@@ -1,0 +1,39 @@
+//! Criterion counterpart of Table 3: JoNM mutation cost, single-run
+//! (parse + boot + mutate) vs large-scale (mutate only).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cse_core::mutate::Artemis;
+use cse_core::synth::SynthParams;
+use cse_vm::VmKind;
+
+fn bench_mutation(c: &mut Criterion) {
+    let seed_program = cse_fuzz::generate(11, &cse_fuzz::FuzzConfig::default());
+    let source = cse_lang::pretty::print(&seed_program);
+
+    c.bench_function("mutation/single_run_parse_boot_mutate", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let seed = cse_lang::parse_and_check(&source).unwrap();
+            let mut artemis = Artemis::new(n, SynthParams::for_kind(VmKind::HotSpotLike));
+            artemis.jonm(&seed)
+        });
+    });
+
+    c.bench_function("mutation/large_scale_mutate_only", |b| {
+        let seed = cse_lang::parse_and_check(&source).unwrap();
+        let mut artemis = Artemis::new(3, SynthParams::for_kind(VmKind::HotSpotLike));
+        b.iter(|| artemis.jonm(&seed));
+    });
+
+    c.bench_function("mutation/parse_and_check_seed", |b| {
+        b.iter_batched(
+            || source.clone(),
+            |s| cse_lang::parse_and_check(&s).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

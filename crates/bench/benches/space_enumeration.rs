@@ -1,0 +1,33 @@
+//! Cost of exhaustively enumerating a small compilation space (Figure 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_core::space::enumerate_space;
+use cse_vm::{VmConfig, VmKind};
+
+fn bench_space(c: &mut Criterion) {
+    let program = cse_lang::parse_and_check(
+        r#"
+        class T {
+            static int baz() { return 1; }
+            static int bar() { return 2; }
+            static int foo() { return bar() + baz(); }
+            static void main() { println(foo()); }
+        }
+        "#,
+    )
+    .unwrap();
+    let bytecode = cse_bytecode::compile(&program).unwrap();
+    let calls = vec![
+        (bytecode.find_method("T", "main").unwrap(), 0),
+        (bytecode.find_method("T", "foo").unwrap(), 0),
+        (bytecode.find_method("T", "bar").unwrap(), 0),
+        (bytecode.find_method("T", "baz").unwrap(), 0),
+    ];
+    let config = VmConfig::correct(VmKind::HotSpotLike);
+    c.bench_function("space/enumerate_2^4_choices", |b| {
+        b.iter(|| enumerate_space(&bytecode, &calls, &config));
+    });
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

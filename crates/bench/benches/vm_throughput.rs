@@ -1,0 +1,45 @@
+//! VM engine throughput: the same hot kernel under interpreter-only,
+//! tiered-JIT, and force-compile-all execution. The tiered run must not
+//! be slower than interpretation (our JIT "speedup" shows up as fewer
+//! executed operations; wall time tracks it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_vm::{Vm, VmConfig, VmKind};
+
+const KERNEL: &str = r#"
+class T {
+    static int mix(int x) { return (x * 31 + 17) ^ (x >>> 3); }
+    static void main() {
+        int acc = 0;
+        for (int i = 0; i < 30000; i++) {
+            acc = acc + mix(i) % 1000;
+        }
+        println(acc);
+    }
+}
+"#;
+
+fn bench_vm(c: &mut Criterion) {
+    let program = cse_lang::parse_and_check(KERNEL).unwrap();
+    let bytecode = cse_bytecode::compile(&program).unwrap();
+    let mut group = c.benchmark_group("vm_throughput");
+    group.sample_size(20);
+    group.bench_function("interpreter_only", |b| {
+        b.iter(|| Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike)));
+    });
+    group.bench_function("tiered_jit", |b| {
+        b.iter(|| Vm::run_program(&bytecode, VmConfig::correct(VmKind::HotSpotLike)));
+    });
+    group.bench_function("force_compile_all", |b| {
+        b.iter(|| {
+            Vm::run_program(
+                &bytecode,
+                VmConfig::force_compile_all(VmKind::HotSpotLike).with_faults(Default::default()),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

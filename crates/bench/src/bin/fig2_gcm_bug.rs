@@ -1,0 +1,84 @@
+//! Figure 2 — the JDK-8288975 analog: Global Code Motion sinks a field
+//! read-modify-write into a deeper loop whose (buggy) frequency estimate
+//! ties with its home block.
+//!
+//! The seed keeps incrementing `T.l` by 2 inside a nested loop/switch and
+//! prints it; it is far too cold to reach any JIT threshold. The mutant
+//! carries the paper's Artemis insertions: a control flag `z` with an
+//! early-return prologue in `o()`, a 9,676-iteration pre-invocation loop,
+//! and a hot strided loop inside the `case 36:` arm. Those heat `T.g()`
+//! to the top tier, where the seeded GCM bug moves the `l += 2` chain
+//! into the inner loop — and the byte accumulator diverges.
+
+use cse_bench::{FIG2_MUTANT, FIG2_SEED};
+use cse_core::space::JitTrace;
+use cse_core::validate::compile_checked;
+use cse_vm::{BugId, FaultInjector, TraceEvent, Vm, VmConfig, VmKind};
+
+fn main() {
+    println!("Figure 2: the GCM store-sink mis-compilation (JDK-8288975 analog)\n");
+    let seed = cse_lang::parse_and_check(FIG2_SEED).unwrap();
+    let mutant = cse_lang::parse_and_check(FIG2_MUTANT).unwrap();
+    let vm = VmConfig::correct(VmKind::HotSpotLike)
+        .with_faults(FaultInjector::with([BugId::HsGcmStoreSink]));
+
+    let seed_bc = compile_checked(&seed);
+    let mutant_bc = compile_checked(&mutant);
+
+    let seed_run = Vm::run_program(&seed_bc, vm.clone());
+    println!(
+        "seed   (default trace): output {:?}  [{} compilations — too cold to JIT]",
+        seed_run.output.trim().replace('\n', " "),
+        seed_run.stats.compilations + seed_run.stats.osr_compilations,
+    );
+
+    let mut verbose = vm.clone();
+    verbose.record_method_entries = false;
+    let mutant_run = Vm::run_program(&mutant_bc, verbose);
+    println!(
+        "mutant (default trace): output {:?}  [{} JIT + {} OSR compilations, {} deopts]",
+        mutant_run.output.trim().replace('\n', " "),
+        mutant_run.stats.compilations,
+        mutant_run.stats.osr_compilations,
+        mutant_run.stats.deopts,
+    );
+
+    println!("\nmutant compilation-state transitions (the paper's narrative):");
+    let trace = JitTrace::from_events(&mutant_run.events);
+    let _ = trace;
+    for event in mutant_run.events.iter().take(14) {
+        match event {
+            TraceEvent::Compiled { method, tier, reason, invocation } => println!(
+                "  {} compiled at {tier} ({reason:?}, invocation {invocation})",
+                mutant_bc.qualified_name(*method)
+            ),
+            TraceEvent::Deopt { method, bc_pc, reason, .. } => println!(
+                "  {} de-optimized at bytecode {bc_pc} ({reason:?})",
+                mutant_bc.qualified_name(*method)
+            ),
+            _ => {}
+        }
+    }
+
+    assert_ne!(
+        seed_run.output, mutant_run.output,
+        "the mutant must expose the mis-compilation"
+    );
+    println!(
+        "\n=> DISCREPANCY: seed printed {:?}, mutant printed {:?}.",
+        seed_run.output.trim().replace('\n', " "),
+        mutant_run.output.trim().replace('\n', " "),
+    );
+
+    // Root-cause confirmation: with the GCM bug disabled the mutant agrees.
+    let fixed = Vm::run_program(&mutant_bc, VmConfig::correct(VmKind::HotSpotLike));
+    assert_eq!(fixed.output, seed_run.output);
+    println!(
+        "With HsGcmStoreSink disabled (the \"fixed\" compiler), the mutant prints {:?} — matching the seed.",
+        fixed.output.trim().replace('\n', " ")
+    );
+    println!("\nNote: the interpreter-only run of the mutant also matches the seed,");
+    let interp = Vm::run_program(&mutant_bc, VmConfig::interpreter_only(VmKind::HotSpotLike));
+    assert_eq!(interp.output, seed_run.output);
+    println!("so the mutation is semantics-preserving: the JIT compiler is at fault.");
+}

@@ -1,0 +1,1706 @@
+//! AST-to-bytecode lowering.
+
+use std::collections::HashMap;
+
+use cse_lang::ast::*;
+use cse_lang::ty::Ty;
+use cse_lang::typeck::ClassTable;
+use cse_lang::FrontError;
+
+use crate::insn::{ArrKind, CmpOp, Insn, PrintKind};
+use crate::program::*;
+
+/// Compiles a checked program to bytecode.
+///
+/// The input must have passed [`cse_lang::typeck::check`]; unresolved names
+/// or type errors surface here as [`FrontError`]s (they indicate a caller
+/// bug, not a user error).
+pub fn compile(program: &Program) -> Result<BProgram, FrontError> {
+    // Validate shape invariants (duplicates, reserved names) once more.
+    ClassTable::build(program)?;
+    let mut layout = Layout::new(program)?;
+    layout.compile_all(program)?;
+    layout.finish()
+}
+
+/// The element kind used by array instructions for a given element type.
+fn arr_kind(ty: &Ty) -> ArrKind {
+    match ty {
+        Ty::Int => ArrKind::I32,
+        Ty::Long => ArrKind::I64,
+        Ty::Byte => ArrKind::I8,
+        Ty::Bool => ArrKind::Bool,
+        Ty::Str => ArrKind::Str,
+        _ => ArrKind::Ref,
+    }
+}
+
+struct FieldSlot {
+    index: u32,
+    is_static: bool,
+    ty: Ty,
+}
+
+struct Layout {
+    classes: Vec<BClass>,
+    methods: Vec<BMethod>,
+    strings: Vec<String>,
+    string_ids: HashMap<String, StrId>,
+    class_ids: HashMap<String, ClassId>,
+    method_ids: HashMap<(String, String), MethodId>,
+    field_slots: HashMap<(String, String), FieldSlot>,
+    entry: MethodId,
+    clinit: Option<MethodId>,
+}
+
+impl Layout {
+    fn new(program: &Program) -> Result<Self, FrontError> {
+        let mut layout = Layout {
+            classes: Vec::new(),
+            methods: Vec::new(),
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+            class_ids: HashMap::new(),
+            method_ids: HashMap::new(),
+            field_slots: HashMap::new(),
+            entry: MethodId(0),
+            clinit: None,
+        };
+        // Pass 1: assign class ids, field slots, and method ids (including
+        // synthetic `$init` / `$clinit`).
+        for (class_idx, class) in program.classes.iter().enumerate() {
+            let class_id = ClassId(class_idx as u32);
+            layout.class_ids.insert(class.name.clone(), class_id);
+            let mut static_fields = Vec::new();
+            let mut inst_fields = Vec::new();
+            for field in &class.fields {
+                let (list, is_static) = if field.is_static {
+                    (&mut static_fields, true)
+                } else {
+                    (&mut inst_fields, false)
+                };
+                layout.field_slots.insert(
+                    (class.name.clone(), field.name.clone()),
+                    FieldSlot { index: list.len() as u32, is_static, ty: field.ty.clone() },
+                );
+                list.push(BField { name: field.name.clone(), ty: field.ty.clone() });
+            }
+            layout.classes.push(BClass {
+                name: class.name.clone(),
+                static_fields,
+                inst_fields,
+                init: None,
+                methods: Vec::new(),
+            });
+        }
+        for (class_idx, class) in program.classes.iter().enumerate() {
+            let class_id = ClassId(class_idx as u32);
+            for method in &class.methods {
+                let id = MethodId(layout.methods.len() as u32);
+                layout.method_ids.insert((class.name.clone(), method.name.clone()), id);
+                layout.classes[class_idx].methods.push(id);
+                layout.methods.push(BMethod {
+                    name: method.name.clone(),
+                    class: class_id,
+                    is_static: method.is_static,
+                    params: method.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: method.ret.clone(),
+                    num_locals: 0,
+                    local_types: Vec::new(),
+                    code: Vec::new(),
+                    handlers: Vec::new(),
+                    loop_headers: Vec::new(),
+                });
+            }
+            if class.fields.iter().any(|f| !f.is_static && f.init.is_some()) {
+                let id = MethodId(layout.methods.len() as u32);
+                layout.classes[class_idx].init = Some(id);
+                layout.classes[class_idx].methods.push(id);
+                layout.methods.push(BMethod {
+                    name: "$init".into(),
+                    class: class_id,
+                    is_static: false,
+                    params: vec![],
+                    ret: Ty::Void,
+                    num_locals: 0,
+                    local_types: Vec::new(),
+                    code: Vec::new(),
+                    handlers: Vec::new(),
+                    loop_headers: Vec::new(),
+                });
+            }
+        }
+        let (entry_class, _) = program
+            .entry()
+            .ok_or_else(|| FrontError::msg("program has no entry point"))?;
+        layout.entry = layout.method_ids[&(entry_class.name.clone(), "main".to_string())];
+        if program.classes.iter().any(|c| c.fields.iter().any(|f| f.is_static && f.init.is_some())) {
+            let id = MethodId(layout.methods.len() as u32);
+            layout.clinit = Some(id);
+            let entry_class_id = layout.class_ids[&entry_class.name];
+            layout.classes[entry_class_id.0 as usize].methods.push(id);
+            layout.methods.push(BMethod {
+                name: "$clinit".into(),
+                class: entry_class_id,
+                is_static: true,
+                params: vec![],
+                ret: Ty::Void,
+                num_locals: 0,
+                local_types: Vec::new(),
+                code: Vec::new(),
+                handlers: Vec::new(),
+                loop_headers: Vec::new(),
+            });
+        }
+        Ok(layout)
+    }
+
+    fn intern(&mut self, text: &str) -> StrId {
+        if let Some(id) = self.string_ids.get(text) {
+            return *id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(text.to_string());
+        self.string_ids.insert(text.to_string(), id);
+        id
+    }
+
+    fn compile_all(&mut self, program: &Program) -> Result<(), FrontError> {
+        // Method bodies.
+        for class in &program.classes {
+            for method in &class.methods {
+                let id = self.method_ids[&(class.name.clone(), method.name.clone())];
+                let compiled = self.compile_method(class, method)?;
+                self.install(id, compiled);
+            }
+            // Synthetic `$init`.
+            if let Some(init_id) = self.classes[self.class_ids[&class.name].0 as usize].init {
+                let mut ctx = MethodCtx::new(self, false, &[], Some(&class.name), Ty::Void);
+                for field in &class.fields {
+                    if field.is_static {
+                        continue;
+                    }
+                    if let Some(init) = &field.init {
+                        ctx.emit(Insn::Load(0));
+                        let ty = ctx.expr(init)?;
+                        ctx.coerce(&ty, &field.ty);
+                        let slot = &ctx.layout.field_slots[&(class.name.clone(), field.name.clone())];
+                        let index = slot.index;
+                        ctx.emit(Insn::PutField { field: index });
+                    }
+                }
+                ctx.emit(Insn::Return);
+                let compiled = ctx.finish();
+                self.install(init_id, compiled);
+            }
+        }
+        // Synthetic `$clinit` running all static initializers in program
+        // order.
+        if let Some(clinit_id) = self.clinit {
+            let mut ctx = MethodCtx::new(self, true, &[], None, Ty::Void);
+            for class in &program.classes {
+                for field in &class.fields {
+                    if !field.is_static {
+                        continue;
+                    }
+                    if let Some(init) = &field.init {
+                        let ty = ctx.expr(init)?;
+                        ctx.coerce(&ty, &field.ty);
+                        let class_id = ctx.layout.class_ids[&class.name];
+                        let index = ctx.layout.field_slots[&(class.name.clone(), field.name.clone())].index;
+                        ctx.emit(Insn::PutStatic { class: class_id, field: index });
+                    }
+                }
+            }
+            ctx.emit(Insn::Return);
+            let compiled = ctx.finish();
+            self.install(clinit_id, compiled);
+        }
+        Ok(())
+    }
+
+    fn install(&mut self, id: MethodId, compiled: CompiledBody) {
+        let method = &mut self.methods[id.0 as usize];
+        method.code = compiled.code;
+        method.handlers = compiled.handlers;
+        method.num_locals = compiled.num_locals;
+        method.local_types = compiled.local_types;
+        method.compute_loop_headers();
+    }
+
+    fn compile_method(
+        &mut self,
+        class: &ClassDecl,
+        method: &MethodDecl,
+    ) -> Result<CompiledBody, FrontError> {
+        let this_class = if method.is_static { None } else { Some(class.name.as_str()) };
+        let mut ctx = MethodCtx::new(self, method.is_static, &method.params, this_class, method.ret.clone());
+        ctx.block(&method.body)?;
+        // Pad the method end when control can fall off it, or when an
+        // (unreachable) branch was patched to one-past-the-end — e.g. the
+        // jump-over-catch of a `try` whose body always returns. Non-void
+        // methods passed the definite-exit check, so the non-void pad is
+        // unreachable, but every branch target must index real code.
+        let end = ctx.pc();
+        let last_terminates = ctx.code.last().map(Insn::is_terminator).unwrap_or(false);
+        let dangling = ctx.code.iter().any(|i| i.targets().contains(&end));
+        if method.ret == Ty::Void {
+            if !last_terminates || dangling {
+                ctx.emit(Insn::Return);
+            }
+        } else if !last_terminates || dangling {
+            ctx.emit(Insn::IConst(i32::MIN));
+            ctx.emit(Insn::ThrowUser);
+        }
+        Ok(ctx.finish())
+    }
+
+    fn finish(self) -> Result<BProgram, FrontError> {
+        Ok(BProgram {
+            classes: self.classes,
+            methods: self.methods,
+            strings: self.strings,
+            entry: self.entry,
+            clinit: self.clinit,
+        })
+    }
+}
+
+struct CompiledBody {
+    code: Vec<Insn>,
+    handlers: Vec<Handler>,
+    num_locals: u16,
+    local_types: Vec<Option<Ty>>,
+}
+
+/// A loop or switch on the break/continue resolution stack.
+struct Frame {
+    is_loop: bool,
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct MethodCtx<'l> {
+    layout: &'l mut Layout,
+    code: Vec<Insn>,
+    handlers: Vec<Handler>,
+    scopes: Vec<HashMap<String, (u16, Ty)>>,
+    local_types: Vec<Option<Ty>>,
+    frames: Vec<Frame>,
+    /// Static type of `this`, for instance methods.
+    this_class: Option<String>,
+    ret: Ty,
+}
+
+impl<'l> MethodCtx<'l> {
+    fn new(
+        layout: &'l mut Layout,
+        is_static: bool,
+        params: &[Param],
+        this_class: Option<&str>,
+        ret: Ty,
+    ) -> Self {
+        let mut ctx = MethodCtx {
+            layout,
+            code: Vec::new(),
+            handlers: Vec::new(),
+            scopes: vec![HashMap::new()],
+            local_types: Vec::new(),
+            frames: Vec::new(),
+            this_class: this_class.map(str::to_string),
+            ret,
+        };
+        if !is_static {
+            let class = this_class.expect("instance methods have a class").to_string();
+            ctx.declare("this", Ty::Class(class));
+        }
+        for param in params {
+            ctx.declare(&param.name, param.ty.clone());
+        }
+        ctx
+    }
+
+    fn finish(self) -> CompiledBody {
+        CompiledBody {
+            code: self.code,
+            handlers: self.handlers,
+            num_locals: self.local_types.len() as u16,
+            local_types: self.local_types,
+        }
+    }
+
+    // ----- low-level emission ----------------------------------------------
+
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.code.push(insn);
+    }
+
+    /// Emits a jump with a placeholder target; returns its index for
+    /// [`MethodCtx::patch`].
+    fn emit_patch(&mut self, insn: Insn) -> usize {
+        let at = self.code.len();
+        self.code.push(insn);
+        at
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        self.code[at].map_targets(|_| target);
+    }
+
+    fn patch_all(&mut self, patches: &[usize], target: u32) {
+        for &at in patches {
+            self.patch(at, target);
+        }
+    }
+
+    // ----- locals -----------------------------------------------------------
+
+    fn declare(&mut self, name: &str, ty: Ty) -> u16 {
+        let slot = self.local_types.len() as u16;
+        self.local_types.push(Some(ty.clone()));
+        self.scopes
+            .last_mut()
+            .expect("method context always has a scope")
+            .insert(name.to_string(), (slot, ty));
+        slot
+    }
+
+    /// A fresh anonymous slot (exception saves, desugaring temporaries).
+    fn fresh_slot(&mut self) -> u16 {
+        let slot = self.local_types.len() as u16;
+        self.local_types.push(None);
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u16, Ty)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
+    }
+
+    fn local(&self, name: &str) -> Result<(u16, Ty), FrontError> {
+        self.lookup(name)
+            .ok_or_else(|| FrontError::msg(format!("internal: unresolved local `{name}`")))
+    }
+
+    // ----- type plumbing ----------------------------------------------------
+
+    fn field_slot(&self, class: &str, field: &str) -> Result<(u32, bool, Ty), FrontError> {
+        let slot = self
+            .layout
+            .field_slots
+            .get(&(class.to_string(), field.to_string()))
+            .ok_or_else(|| FrontError::msg(format!("internal: unknown field `{class}.{field}`")))?;
+        Ok((slot.index, slot.is_static, slot.ty.clone()))
+    }
+
+    fn method_id(&self, class: &str, method: &str) -> Result<MethodId, FrontError> {
+        self.layout
+            .method_ids
+            .get(&(class.to_string(), method.to_string()))
+            .copied()
+            .ok_or_else(|| FrontError::msg(format!("internal: unknown method `{class}.{method}`")))
+    }
+
+    /// Emits the conversion from `from` to `to` (widening or equal kinds).
+    fn coerce(&mut self, from: &Ty, to: &Ty) {
+        match (from, to) {
+            (Ty::Int | Ty::Byte, Ty::Long) => self.emit(Insn::I2L),
+            (Ty::Int, Ty::Byte) => self.emit(Insn::I2B),
+            (Ty::Long, Ty::Int) => self.emit(Insn::L2I),
+            (Ty::Long, Ty::Byte) => {
+                self.emit(Insn::L2I);
+                self.emit(Insn::I2B);
+            }
+            _ => {}
+        }
+    }
+
+    /// Converts the value on top of the stack to a string for concatenation.
+    fn emit_to_str(&mut self, ty: &Ty) {
+        match ty {
+            Ty::Int | Ty::Byte => self.emit(Insn::I2S),
+            Ty::Long => self.emit(Insn::L2S),
+            Ty::Bool => self.emit(Insn::Bool2S),
+            Ty::Str => {}
+            other => unreachable!("to_str on non-primitive {other}"),
+        }
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn block(&mut self, block: &Block) -> Result<(), FrontError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), FrontError> {
+        match stmt {
+            Stmt::VarDecl { name, ty, init } => {
+                let from = self.expr(init)?;
+                self.coerce(&from, ty);
+                let slot = self.declare(name, ty.clone());
+                self.emit(Insn::Store(slot));
+                Ok(())
+            }
+            Stmt::Assign { target, op, value } => self.assign(target, *op, value),
+            Stmt::IncDec { target, inc } => {
+                let op = if *inc { AssignOp::Add } else { AssignOp::Sub };
+                self.assign(target, op, &Expr::IntLit(1))
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.expr(cond)?;
+                let to_else = self.emit_patch(Insn::JumpIfFalse(0));
+                self.block(then_blk)?;
+                match else_blk {
+                    Some(else_blk) => {
+                        let to_end = self.emit_patch(Insn::Jump(0));
+                        let else_pc = self.pc();
+                        self.patch(to_else, else_pc);
+                        self.block(else_blk)?;
+                        let end = self.pc();
+                        self.patch(to_end, end);
+                    }
+                    None => {
+                        let end = self.pc();
+                        self.patch(to_else, end);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let cond_pc = self.pc();
+                self.expr(cond)?;
+                let to_end = self.emit_patch(Insn::JumpIfFalse(0));
+                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.block(body)?;
+                self.emit(Insn::Jump(cond_pc));
+                let end = self.pc();
+                let frame = self.frames.pop().expect("frame pushed above");
+                self.patch(to_end, end);
+                self.patch_all(&frame.break_patches, end);
+                self.patch_all(&frame.continue_patches, cond_pc);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_pc = self.pc();
+                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.block(body)?;
+                let cond_pc = self.pc();
+                self.expr(cond)?;
+                self.emit(Insn::JumpIfTrue(body_pc));
+                let end = self.pc();
+                let frame = self.frames.pop().expect("frame pushed above");
+                self.patch_all(&frame.break_patches, end);
+                self.patch_all(&frame.continue_patches, cond_pc);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let cond_pc = self.pc();
+                let to_end = match cond {
+                    Some(cond) => {
+                        self.expr(cond)?;
+                        Some(self.emit_patch(Insn::JumpIfFalse(0)))
+                    }
+                    None => None,
+                };
+                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.block(body)?;
+                let step_pc = self.pc();
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                self.emit(Insn::Jump(cond_pc));
+                let end = self.pc();
+                let frame = self.frames.pop().expect("frame pushed above");
+                if let Some(to_end) = to_end {
+                    self.patch(to_end, end);
+                }
+                self.patch_all(&frame.break_patches, end);
+                self.patch_all(&frame.continue_patches, step_pc);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases } => {
+                self.expr(scrutinee)?;
+                let switch_at = self.emit_patch(Insn::TableSwitch { cases: vec![], default: 0 });
+                self.frames.push(Frame { is_loop: false, break_patches: vec![], continue_patches: vec![] });
+                let mut case_targets: Vec<(Vec<i32>, u32)> = Vec::new();
+                let mut default_target: Option<u32> = None;
+                for case in cases {
+                    let target = self.pc();
+                    case_targets.push((case.labels.clone(), target));
+                    if case.is_default {
+                        default_target = Some(target);
+                    }
+                    self.scopes.push(HashMap::new());
+                    for inner in &case.body {
+                        self.stmt(inner)?;
+                    }
+                    self.scopes.pop();
+                }
+                let end = self.pc();
+                let mut pairs = Vec::new();
+                for (labels, target) in case_targets {
+                    for label in labels {
+                        pairs.push((label, target));
+                    }
+                }
+                self.code[switch_at] =
+                    Insn::TableSwitch { cases: pairs, default: default_target.unwrap_or(end) };
+                let frame = self.frames.pop().expect("frame pushed above");
+                self.patch_all(&frame.break_patches, end);
+                Ok(())
+            }
+            Stmt::Break => {
+                let at = self.emit_patch(Insn::Jump(0));
+                let frame = self
+                    .frames
+                    .last_mut()
+                    .ok_or_else(|| FrontError::msg("internal: break without frame"))?;
+                frame.break_patches.push(at);
+                Ok(())
+            }
+            Stmt::Continue => {
+                let at = self.emit_patch(Insn::Jump(0));
+                let frame = self
+                    .frames
+                    .iter_mut()
+                    .rev()
+                    .find(|f| f.is_loop)
+                    .ok_or_else(|| FrontError::msg("internal: continue without loop frame"))?;
+                frame.continue_patches.push(at);
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(value) => {
+                        let from = self.expr(value)?;
+                        let ret = self.ret.clone();
+                        self.coerce(&from, &ret);
+                        self.emit(Insn::ReturnVal);
+                    }
+                    None => self.emit(Insn::Return),
+                }
+                Ok(())
+            }
+            Stmt::ExprStmt(expr) => {
+                let ty = self.expr(expr)?;
+                if ty != Ty::Void {
+                    self.emit(Insn::Pop);
+                }
+                Ok(())
+            }
+            Stmt::Block(block) => self.block(block),
+            Stmt::Try { body, catch, finally } => self.try_stmt(body, catch.as_ref(), finally.as_ref()),
+            Stmt::Throw(code) => {
+                let ty = self.expr(code)?;
+                self.coerce(&ty, &Ty::Int);
+                self.emit(Insn::ThrowUser);
+                Ok(())
+            }
+            Stmt::Println(value) => {
+                let ty = self.expr(value)?;
+                let kind = match ty {
+                    Ty::Int | Ty::Byte => PrintKind::Int,
+                    Ty::Long => PrintKind::Long,
+                    Ty::Bool => PrintKind::Bool,
+                    Ty::Str => PrintKind::Str,
+                    other => {
+                        return Err(FrontError::msg(format!("internal: println of `{other}`")));
+                    }
+                };
+                self.emit(Insn::Println(kind));
+                Ok(())
+            }
+            Stmt::Mute => {
+                self.emit(Insn::Mute);
+                Ok(())
+            }
+            Stmt::Unmute => {
+                self.emit(Insn::Unmute);
+                Ok(())
+            }
+        }
+    }
+
+    fn try_stmt(
+        &mut self,
+        body: &Block,
+        catch: Option<&Block>,
+        finally: Option<&Block>,
+    ) -> Result<(), FrontError> {
+        match (catch, finally) {
+            (Some(catch), None) => {
+                let start = self.pc();
+                self.block(body)?;
+                let end = self.pc();
+                let to_after = self.emit_patch(Insn::Jump(0));
+                let target = self.pc();
+                self.block(catch)?;
+                let after = self.pc();
+                self.patch(to_after, after);
+                if end > start {
+                    self.handlers.push(Handler { start, end, target, save_slot: None });
+                }
+                Ok(())
+            }
+            (None, Some(finally)) => {
+                let start = self.pc();
+                self.block(body)?;
+                let end = self.pc();
+                self.block(finally)?;
+                let to_after = self.emit_patch(Insn::Jump(0));
+                let target = self.pc();
+                let save = self.fresh_slot();
+                self.block(finally)?;
+                self.emit(Insn::Rethrow(save));
+                let after = self.pc();
+                self.patch(to_after, after);
+                if end > start {
+                    self.handlers.push(Handler { start, end, target, save_slot: Some(save) });
+                }
+                Ok(())
+            }
+            (Some(catch), Some(finally)) => {
+                let body_start = self.pc();
+                self.block(body)?;
+                let body_end = self.pc();
+                // Normal path: finally then continue.
+                self.block(finally)?;
+                let to_after1 = self.emit_patch(Insn::Jump(0));
+                // Exception in body: catch, then finally, then continue.
+                let catch_start = self.pc();
+                self.block(catch)?;
+                let catch_end = self.pc();
+                self.block(finally)?;
+                let to_after2 = self.emit_patch(Insn::Jump(0));
+                // Exception in catch: finally, then re-raise.
+                let rethrow_start = self.pc();
+                let save = self.fresh_slot();
+                self.block(finally)?;
+                self.emit(Insn::Rethrow(save));
+                let after = self.pc();
+                self.patch(to_after1, after);
+                self.patch(to_after2, after);
+                if body_end > body_start {
+                    self.handlers.push(Handler {
+                        start: body_start,
+                        end: body_end,
+                        target: catch_start,
+                        save_slot: None,
+                    });
+                }
+                if catch_end > catch_start {
+                    self.handlers.push(Handler {
+                        start: catch_start,
+                        end: catch_end,
+                        target: rethrow_start,
+                        save_slot: Some(save),
+                    });
+                }
+                Ok(())
+            }
+            (None, None) => Err(FrontError::msg("internal: try without catch or finally")),
+        }
+    }
+
+    // ----- assignments ------------------------------------------------------
+
+    fn assign(&mut self, target: &LValue, op: AssignOp, value: &Expr) -> Result<(), FrontError> {
+        match op.binop() {
+            None => self.assign_set(target, value),
+            Some(binop) => self.assign_compound(target, binop, value),
+        }
+    }
+
+    fn assign_set(&mut self, target: &LValue, value: &Expr) -> Result<(), FrontError> {
+        match target {
+            LValue::Local(name) => {
+                let (slot, ty) = self.local(name)?;
+                let from = self.expr(value)?;
+                self.coerce(&from, &ty);
+                self.emit(Insn::Store(slot));
+            }
+            LValue::StaticField { class, field } => {
+                let (index, _, ty) = self.field_slot(class, field)?;
+                let from = self.expr(value)?;
+                self.coerce(&from, &ty);
+                let class_id = self.layout.class_ids[class];
+                self.emit(Insn::PutStatic { class: class_id, field: index });
+            }
+            LValue::InstField { recv, field } => {
+                let recv_ty = self.expr(recv)?;
+                let class = class_name(&recv_ty)?;
+                let (index, _, ty) = self.field_slot(&class, field)?;
+                let from = self.expr(value)?;
+                self.coerce(&from, &ty);
+                self.emit(Insn::PutField { field: index });
+            }
+            LValue::Index { array, index } => {
+                let arr_ty = self.expr(array)?;
+                let elem = arr_ty
+                    .elem()
+                    .ok_or_else(|| FrontError::msg("internal: indexing non-array"))?
+                    .clone();
+                let idx_ty = self.expr(index)?;
+                self.coerce(&idx_ty, &Ty::Int);
+                let from = self.expr(value)?;
+                self.coerce(&from, &elem);
+                self.emit(Insn::ArrStore(arr_kind(&elem)));
+            }
+            LValue::Name(name) => {
+                return Err(FrontError::msg(format!("internal: unresolved lvalue `{name}`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// `target op= value`: loads the target, applies the operator at the
+    /// promoted type, narrows back to the target type (Java's implicit
+    /// compound-assignment cast), and stores.
+    fn assign_compound(
+        &mut self,
+        target: &LValue,
+        op: BinOp,
+        value: &Expr,
+    ) -> Result<(), FrontError> {
+        // Phase 1: push any address components and the current value.
+        let target_ty: Ty;
+        enum Addr {
+            Local(u16),
+            Static { class: ClassId, field: u32 },
+            Field { field: u32 },
+            Index(ArrKind),
+        }
+        let addr: Addr;
+        match target {
+            LValue::Local(name) => {
+                let (slot, ty) = self.local(name)?;
+                target_ty = ty;
+                addr = Addr::Local(slot);
+                self.emit(Insn::Load(slot));
+            }
+            LValue::StaticField { class, field } => {
+                let (index, _, ty) = self.field_slot(class, field)?;
+                target_ty = ty;
+                let class_id = self.layout.class_ids[class];
+                addr = Addr::Static { class: class_id, field: index };
+                self.emit(Insn::GetStatic { class: class_id, field: index });
+            }
+            LValue::InstField { recv, field } => {
+                let recv_ty = self.expr(recv)?;
+                let class = class_name(&recv_ty)?;
+                let (index, _, ty) = self.field_slot(&class, field)?;
+                target_ty = ty;
+                addr = Addr::Field { field: index };
+                self.emit(Insn::Dup);
+                self.emit(Insn::GetField { field: index });
+            }
+            LValue::Index { array, index } => {
+                let arr_ty = self.expr(array)?;
+                let elem = arr_ty
+                    .elem()
+                    .ok_or_else(|| FrontError::msg("internal: indexing non-array"))?
+                    .clone();
+                let idx_ty = self.expr(index)?;
+                self.coerce(&idx_ty, &Ty::Int);
+                target_ty = elem.clone();
+                addr = Addr::Index(arr_kind(&elem));
+                self.emit(Insn::Dup2);
+                self.emit(Insn::ArrLoad(arr_kind(&elem)));
+            }
+            LValue::Name(name) => {
+                return Err(FrontError::msg(format!("internal: unresolved lvalue `{name}`")));
+            }
+        }
+        // Phase 2: apply the operator.
+        let result_ty = self.binary_on_loaded(&target_ty, op, value)?;
+        // Phase 3: narrow back to the target type.
+        self.coerce(&result_ty, &target_ty);
+        // Phase 4: store.
+        match addr {
+            Addr::Local(slot) => self.emit(Insn::Store(slot)),
+            Addr::Static { class, field } => self.emit(Insn::PutStatic { class, field }),
+            Addr::Field { field } => self.emit(Insn::PutField { field }),
+            Addr::Index(kind) => self.emit(Insn::ArrStore(kind)),
+        }
+        Ok(())
+    }
+
+    /// With the left operand (of type `lhs_ty`) already on the stack,
+    /// compiles `value` and the operator, returning the result type.
+    fn binary_on_loaded(&mut self, lhs_ty: &Ty, op: BinOp, value: &Expr) -> Result<Ty, FrontError> {
+        // String concatenation.
+        if op == BinOp::Add && *lhs_ty == Ty::Str {
+            self.emit_to_str(lhs_ty);
+            let rhs_ty = self.expr(value)?;
+            self.emit_to_str(&rhs_ty);
+            self.emit(Insn::SConcat);
+            return Ok(Ty::Str);
+        }
+        match op {
+            BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
+                let result = if *lhs_ty == Ty::Long { Ty::Long } else { Ty::Int };
+                // Left operand is already promoted as stored (byte is
+                // int-represented). Shift distance is an int.
+                let rhs_ty = self.expr(value)?;
+                self.coerce(&rhs_ty, &Ty::Int);
+                let insn = match (op, &result) {
+                    (BinOp::Shl, Ty::Int) => Insn::IShl,
+                    (BinOp::Shr, Ty::Int) => Insn::IShr,
+                    (BinOp::Ushr, Ty::Int) => Insn::IUshr,
+                    (BinOp::Shl, Ty::Long) => Insn::LShl,
+                    (BinOp::Shr, Ty::Long) => Insn::LShr,
+                    (BinOp::Ushr, Ty::Long) => Insn::LUshr,
+                    _ => unreachable!(),
+                };
+                self.emit(insn);
+                Ok(result)
+            }
+            _ => {
+                // Boolean bitwise ops share the int instructions.
+                if *lhs_ty == Ty::Bool {
+                    self.expr(value)?;
+                    let insn = match op {
+                        BinOp::And => Insn::IAnd,
+                        BinOp::Or => Insn::IOr,
+                        BinOp::Xor => Insn::IXor,
+                        other => {
+                            return Err(FrontError::msg(format!("internal: bool op {other:?}")));
+                        }
+                    };
+                    self.emit(insn);
+                    return Ok(Ty::Bool);
+                }
+                let rhs_static = self.type_of(value)?;
+                let promoted = lhs_ty
+                    .promote(&rhs_static)
+                    .ok_or_else(|| FrontError::msg("internal: non-numeric compound operands"))?;
+                self.coerce(lhs_ty, &promoted);
+                let rhs_ty = self.expr(value)?;
+                self.coerce(&rhs_ty, &promoted);
+                let insn = match (&promoted, op) {
+                    (Ty::Int, BinOp::Add) => Insn::IAdd,
+                    (Ty::Int, BinOp::Sub) => Insn::ISub,
+                    (Ty::Int, BinOp::Mul) => Insn::IMul,
+                    (Ty::Int, BinOp::Div) => Insn::IDiv,
+                    (Ty::Int, BinOp::Rem) => Insn::IRem,
+                    (Ty::Int, BinOp::And) => Insn::IAnd,
+                    (Ty::Int, BinOp::Or) => Insn::IOr,
+                    (Ty::Int, BinOp::Xor) => Insn::IXor,
+                    (Ty::Long, BinOp::Add) => Insn::LAdd,
+                    (Ty::Long, BinOp::Sub) => Insn::LSub,
+                    (Ty::Long, BinOp::Mul) => Insn::LMul,
+                    (Ty::Long, BinOp::Div) => Insn::LDiv,
+                    (Ty::Long, BinOp::Rem) => Insn::LRem,
+                    (Ty::Long, BinOp::And) => Insn::LAnd,
+                    (Ty::Long, BinOp::Or) => Insn::LOr,
+                    (Ty::Long, BinOp::Xor) => Insn::LXor,
+                    other => {
+                        return Err(FrontError::msg(format!("internal: compound op {other:?}")));
+                    }
+                };
+                self.emit(insn);
+                Ok(promoted)
+            }
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    /// Compiles an expression, returning its static type.
+    fn expr(&mut self, expr: &Expr) -> Result<Ty, FrontError> {
+        match expr {
+            Expr::IntLit(v) => {
+                self.emit(Insn::IConst(*v));
+                Ok(Ty::Int)
+            }
+            Expr::LongLit(v) => {
+                self.emit(Insn::LConst(*v));
+                Ok(Ty::Long)
+            }
+            Expr::BoolLit(b) => {
+                self.emit(Insn::IConst(i32::from(*b)));
+                Ok(Ty::Bool)
+            }
+            Expr::StrLit(s) => {
+                let id = self.layout.intern(s);
+                self.emit(Insn::SConst(id));
+                Ok(Ty::Str)
+            }
+            Expr::Null => {
+                self.emit(Insn::NullConst);
+                Ok(Ty::Class("null".into()))
+            }
+            Expr::Local(name) => {
+                let (slot, ty) = self.local(name)?;
+                self.emit(Insn::Load(slot));
+                Ok(ty)
+            }
+            Expr::This => {
+                self.emit(Insn::Load(0));
+                let class = self
+                    .this_class
+                    .clone()
+                    .ok_or_else(|| FrontError::msg("internal: `this` in static method"))?;
+                Ok(Ty::Class(class))
+            }
+            Expr::Name(name) => Err(FrontError::msg(format!("internal: unresolved name `{name}`"))),
+            Expr::FreeCall { name, .. } => {
+                Err(FrontError::msg(format!("internal: unresolved call `{name}`")))
+            }
+            Expr::StaticField { class, field } => {
+                let (index, _, ty) = self.field_slot(class, field)?;
+                let class_id = self.layout.class_ids[class];
+                self.emit(Insn::GetStatic { class: class_id, field: index });
+                Ok(ty)
+            }
+            Expr::InstField { recv, field } => {
+                let recv_ty = self.expr(recv)?;
+                let class = class_name(&recv_ty)?;
+                let (index, _, ty) = self.field_slot(&class, field)?;
+                self.emit(Insn::GetField { field: index });
+                Ok(ty)
+            }
+            Expr::Index { array, index } => {
+                let arr_ty = self.expr(array)?;
+                let elem = arr_ty
+                    .elem()
+                    .ok_or_else(|| FrontError::msg("internal: indexing non-array"))?
+                    .clone();
+                let idx_ty = self.expr(index)?;
+                self.coerce(&idx_ty, &Ty::Int);
+                self.emit(Insn::ArrLoad(arr_kind(&elem)));
+                Ok(elem)
+            }
+            Expr::Length(array) => {
+                self.expr(array)?;
+                self.emit(Insn::ArrLen);
+                Ok(Ty::Int)
+            }
+            Expr::NewObject(class) => {
+                let class_id = self.layout.class_ids[class];
+                self.emit(Insn::NewObject(class_id));
+                if let Some(init) = self.layout.classes[class_id.0 as usize].init {
+                    self.emit(Insn::Dup);
+                    self.emit(Insn::InvokeInstance(init));
+                }
+                Ok(Ty::Class(class.clone()))
+            }
+            Expr::NewArray { elem, dims, extra_dims } => {
+                for dim in dims {
+                    let ty = self.expr(dim)?;
+                    self.coerce(&ty, &Ty::Int);
+                }
+                let total_dims = dims.len() + extra_dims;
+                // The innermost *allocated* level holds elements with
+                // `extra_dims` residual dimensions.
+                let innermost = if *extra_dims == 0 { arr_kind(elem) } else { ArrKind::Ref };
+                if dims.len() == 1 {
+                    self.emit(Insn::NewArray(innermost));
+                } else {
+                    self.emit(Insn::NewMultiArray { kind: innermost, dims: dims.len() as u8 });
+                }
+                let mut ty = elem.clone();
+                for _ in 0..total_dims {
+                    ty = ty.array_of();
+                }
+                Ok(ty)
+            }
+            Expr::NewArrayInit { elem, elems } => {
+                self.emit(Insn::IConst(elems.len() as i32));
+                self.emit(Insn::NewArray(arr_kind(elem)));
+                for (i, e) in elems.iter().enumerate() {
+                    self.emit(Insn::Dup);
+                    self.emit(Insn::IConst(i as i32));
+                    let ty = self.expr(e)?;
+                    self.coerce(&ty, elem);
+                    self.emit(Insn::ArrStore(arr_kind(elem)));
+                }
+                Ok(elem.clone().array_of())
+            }
+            Expr::StaticCall { class, method, args } => {
+                let id = self.method_id(class, method)?;
+                let params = self.layout.methods[id.0 as usize].params.clone();
+                let ret = self.layout.methods[id.0 as usize].ret.clone();
+                for (arg, param) in args.iter().zip(&params) {
+                    let ty = self.expr(arg)?;
+                    self.coerce(&ty, param);
+                }
+                self.emit(Insn::InvokeStatic(id));
+                Ok(ret)
+            }
+            Expr::InstCall { recv, method, args } => {
+                let recv_ty = self.expr(recv)?;
+                let class = class_name(&recv_ty)?;
+                let id = self.method_id(&class, method)?;
+                let params = self.layout.methods[id.0 as usize].params.clone();
+                let ret = self.layout.methods[id.0 as usize].ret.clone();
+                for (arg, param) in args.iter().zip(&params) {
+                    let ty = self.expr(arg)?;
+                    self.coerce(&ty, param);
+                }
+                self.emit(Insn::InvokeInstance(id));
+                Ok(ret)
+            }
+            Expr::IntrinsicCall { which, args } => {
+                let mut result = Ty::Int;
+                for arg in args {
+                    let ty = self.type_of(arg)?;
+                    result = result.promote(&ty).unwrap_or(Ty::Long);
+                }
+                for arg in args {
+                    let ty = self.expr(arg)?;
+                    self.coerce(&ty, &result);
+                }
+                // min/max/abs lower to compare-and-select sequences using a
+                // scratch local, keeping the instruction set lean.
+                self.intrinsic(*which, &result)?;
+                Ok(result)
+            }
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => {
+                    let ty = self.expr(expr)?;
+                    match ty {
+                        Ty::Long => {
+                            self.emit(Insn::LNeg);
+                            Ok(Ty::Long)
+                        }
+                        _ => {
+                            self.emit(Insn::INeg);
+                            Ok(Ty::Int)
+                        }
+                    }
+                }
+                UnOp::Not => {
+                    self.expr(expr)?;
+                    self.emit(Insn::IConst(1));
+                    self.emit(Insn::IXor);
+                    Ok(Ty::Bool)
+                }
+                UnOp::BitNot => {
+                    let ty = self.expr(expr)?;
+                    match ty {
+                        Ty::Long => {
+                            self.emit(Insn::LConst(-1));
+                            self.emit(Insn::LXor);
+                            Ok(Ty::Long)
+                        }
+                        _ => {
+                            self.emit(Insn::IConst(-1));
+                            self.emit(Insn::IXor);
+                            Ok(Ty::Int)
+                        }
+                    }
+                }
+            },
+            Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
+            Expr::Cast { ty, expr } => {
+                let from = self.expr(expr)?;
+                match (from.clone(), ty.clone()) {
+                    (Ty::Int | Ty::Byte, Ty::Long) => self.emit(Insn::I2L),
+                    (Ty::Int, Ty::Byte) => self.emit(Insn::I2B),
+                    (Ty::Long, Ty::Int) => self.emit(Insn::L2I),
+                    (Ty::Long, Ty::Byte) => {
+                        self.emit(Insn::L2I);
+                        self.emit(Insn::I2B);
+                    }
+                    _ => {}
+                }
+                Ok(ty.clone())
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Ty, FrontError> {
+        match op {
+            BinOp::LAnd => {
+                self.expr(lhs)?;
+                let to_false = self.emit_patch(Insn::JumpIfFalse(0));
+                self.expr(rhs)?;
+                let to_end = self.emit_patch(Insn::Jump(0));
+                let false_pc = self.pc();
+                self.patch(to_false, false_pc);
+                self.emit(Insn::IConst(0));
+                let end = self.pc();
+                self.patch(to_end, end);
+                Ok(Ty::Bool)
+            }
+            BinOp::LOr => {
+                self.expr(lhs)?;
+                let to_true = self.emit_patch(Insn::JumpIfTrue(0));
+                self.expr(rhs)?;
+                let to_end = self.emit_patch(Insn::Jump(0));
+                let true_pc = self.pc();
+                self.patch(to_true, true_pc);
+                self.emit(Insn::IConst(1));
+                let end = self.pc();
+                self.patch(to_end, end);
+                Ok(Ty::Bool)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let cmp = match op {
+                    BinOp::Eq => CmpOp::Eq,
+                    BinOp::Ne => CmpOp::Ne,
+                    BinOp::Lt => CmpOp::Lt,
+                    BinOp::Le => CmpOp::Le,
+                    BinOp::Gt => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                let lhs_static = self.type_of(lhs)?;
+                if lhs_static.is_numeric() {
+                    let promoted = self.compile_promoted_pair(lhs, rhs)?;
+                    match promoted {
+                        Ty::Long => self.emit(Insn::LCmp(cmp)),
+                        _ => self.emit(Insn::ICmp(cmp)),
+                    }
+                    return Ok(Ty::Bool);
+                }
+                // Bool equality or reference identity.
+                let lhs_ty = self.expr(lhs)?;
+                let _rhs_ty = self.expr(rhs)?;
+                if lhs_ty == Ty::Bool {
+                    self.emit(Insn::ICmp(cmp));
+                } else if cmp == CmpOp::Eq {
+                    self.emit(Insn::RefEq);
+                } else {
+                    self.emit(Insn::RefNe);
+                }
+                Ok(Ty::Bool)
+            }
+            BinOp::Add => {
+                let lhs_hint = self.type_of(lhs)?;
+                let rhs_hint = self.type_of(rhs)?;
+                if lhs_hint == Ty::Str || rhs_hint == Ty::Str {
+                    let lt = self.expr(lhs)?;
+                    self.emit_to_str(&lt);
+                    let rt = self.expr(rhs)?;
+                    self.emit_to_str(&rt);
+                    self.emit(Insn::SConcat);
+                    return Ok(Ty::Str);
+                }
+                self.arith(op, lhs, rhs)
+            }
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => self.arith(op, lhs, rhs),
+            BinOp::And | BinOp::Or | BinOp::Xor => {
+                let hint = self.type_of(lhs)?;
+                if hint == Ty::Bool {
+                    self.expr(lhs)?;
+                    self.expr(rhs)?;
+                    let insn = match op {
+                        BinOp::And => Insn::IAnd,
+                        BinOp::Or => Insn::IOr,
+                        _ => Insn::IXor,
+                    };
+                    self.emit(insn);
+                    return Ok(Ty::Bool);
+                }
+                self.arith(op, lhs, rhs)
+            }
+            BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
+                let lhs_ty = self.expr(lhs)?;
+                let result = if lhs_ty == Ty::Long { Ty::Long } else { Ty::Int };
+                let rhs_ty = self.expr(rhs)?;
+                self.coerce(&rhs_ty, &Ty::Int);
+                let insn = match (op, &result) {
+                    (BinOp::Shl, Ty::Int) => Insn::IShl,
+                    (BinOp::Shr, Ty::Int) => Insn::IShr,
+                    (BinOp::Ushr, Ty::Int) => Insn::IUshr,
+                    (BinOp::Shl, Ty::Long) => Insn::LShl,
+                    (BinOp::Shr, Ty::Long) => Insn::LShr,
+                    (BinOp::Ushr, Ty::Long) => Insn::LUshr,
+                    _ => unreachable!(),
+                };
+                self.emit(insn);
+                Ok(result)
+            }
+        }
+    }
+
+    /// Compiles `lhs` and `rhs` with both widened to their promoted type;
+    /// returns the promoted type.
+    fn compile_promoted_pair(&mut self, lhs: &Expr, rhs: &Expr) -> Result<Ty, FrontError> {
+        let rhs_static = self.type_of(rhs)?;
+        let lhs_ty = self.expr(lhs)?;
+        let promoted = lhs_ty
+            .promote(&rhs_static)
+            .ok_or_else(|| FrontError::msg("internal: non-numeric operands"))?;
+        self.coerce(&lhs_ty, &promoted);
+        let rhs_ty = self.expr(rhs)?;
+        self.coerce(&rhs_ty, &promoted);
+        Ok(promoted)
+    }
+
+    fn arith(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Ty, FrontError> {
+        let promoted = self.compile_promoted_pair(lhs, rhs)?;
+        let insn = match (&promoted, op) {
+            (Ty::Int, BinOp::Add) => Insn::IAdd,
+            (Ty::Int, BinOp::Sub) => Insn::ISub,
+            (Ty::Int, BinOp::Mul) => Insn::IMul,
+            (Ty::Int, BinOp::Div) => Insn::IDiv,
+            (Ty::Int, BinOp::Rem) => Insn::IRem,
+            (Ty::Int, BinOp::And) => Insn::IAnd,
+            (Ty::Int, BinOp::Or) => Insn::IOr,
+            (Ty::Int, BinOp::Xor) => Insn::IXor,
+            (Ty::Long, BinOp::Add) => Insn::LAdd,
+            (Ty::Long, BinOp::Sub) => Insn::LSub,
+            (Ty::Long, BinOp::Mul) => Insn::LMul,
+            (Ty::Long, BinOp::Div) => Insn::LDiv,
+            (Ty::Long, BinOp::Rem) => Insn::LRem,
+            (Ty::Long, BinOp::And) => Insn::LAnd,
+            (Ty::Long, BinOp::Or) => Insn::LOr,
+            (Ty::Long, BinOp::Xor) => Insn::LXor,
+            other => return Err(FrontError::msg(format!("internal: arith {other:?}"))),
+        };
+        self.emit(insn);
+        Ok(promoted)
+    }
+
+    /// Lowers `Math.min/max/abs` to branch-free-ish compare sequences using
+    /// scratch locals.
+    fn intrinsic(&mut self, which: Intrinsic, ty: &Ty) -> Result<(), FrontError> {
+        let is_long = *ty == Ty::Long;
+        match which {
+            Intrinsic::Min | Intrinsic::Max => {
+                // Stack: [a, b]. Keep b in a scratch local, compare, select.
+                let b_slot = self.fresh_slot();
+                let a_slot = self.fresh_slot();
+                self.emit(Insn::Store(b_slot));
+                self.emit(Insn::Store(a_slot));
+                self.emit(Insn::Load(a_slot));
+                self.emit(Insn::Load(b_slot));
+                let cmp = if which == Intrinsic::Min { CmpOp::Le } else { CmpOp::Ge };
+                if is_long {
+                    self.emit(Insn::LCmp(cmp));
+                } else {
+                    self.emit(Insn::ICmp(cmp));
+                }
+                let to_a = self.emit_patch(Insn::JumpIfTrue(0));
+                self.emit(Insn::Load(b_slot));
+                let to_end = self.emit_patch(Insn::Jump(0));
+                let a_pc = self.pc();
+                self.patch(to_a, a_pc);
+                self.emit(Insn::Load(a_slot));
+                let end = self.pc();
+                self.patch(to_end, end);
+            }
+            Intrinsic::Abs => {
+                let slot = self.fresh_slot();
+                self.emit(Insn::Store(slot));
+                self.emit(Insn::Load(slot));
+                if is_long {
+                    self.emit(Insn::LConst(0));
+                    self.emit(Insn::LCmp(CmpOp::Ge));
+                } else {
+                    self.emit(Insn::IConst(0));
+                    self.emit(Insn::ICmp(CmpOp::Ge));
+                }
+                let to_pos = self.emit_patch(Insn::JumpIfTrue(0));
+                self.emit(Insn::Load(slot));
+                if is_long {
+                    self.emit(Insn::LNeg);
+                } else {
+                    self.emit(Insn::INeg);
+                }
+                let to_end = self.emit_patch(Insn::Jump(0));
+                let pos_pc = self.pc();
+                self.patch(to_pos, pos_pc);
+                self.emit(Insn::Load(slot));
+                let end = self.pc();
+                self.patch(to_end, end);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MethodCtx<'_> {
+    /// Pure (non-emitting) static type inference, mirroring the type
+    /// checker's rules. The input already passed `typeck::check`, so this
+    /// never needs to report type errors — only unresolved internals.
+    fn type_of(&self, expr: &Expr) -> Result<Ty, FrontError> {
+        Ok(match expr {
+            Expr::IntLit(_) => Ty::Int,
+            Expr::LongLit(_) => Ty::Long,
+            Expr::BoolLit(_) => Ty::Bool,
+            Expr::StrLit(_) => Ty::Str,
+            Expr::Null => Ty::Class("null".into()),
+            Expr::Local(name) => self.local(name)?.1,
+            Expr::This => Ty::Class(
+                self.this_class
+                    .clone()
+                    .ok_or_else(|| FrontError::msg("internal: `this` in static method"))?,
+            ),
+            Expr::Name(name) => {
+                return Err(FrontError::msg(format!("internal: unresolved name `{name}`")));
+            }
+            Expr::FreeCall { name, .. } => {
+                return Err(FrontError::msg(format!("internal: unresolved call `{name}`")));
+            }
+            Expr::StaticField { class, field } => self.field_slot(class, field)?.2,
+            Expr::InstField { recv, field } => {
+                let class = class_name(&self.type_of(recv)?)?;
+                self.field_slot(&class, field)?.2
+            }
+            Expr::Index { array, .. } => self
+                .type_of(array)?
+                .elem()
+                .ok_or_else(|| FrontError::msg("internal: indexing non-array"))?
+                .clone(),
+            Expr::Length(_) => Ty::Int,
+            Expr::NewObject(class) => Ty::Class(class.clone()),
+            Expr::NewArray { elem, dims, extra_dims } => {
+                let mut ty = elem.clone();
+                for _ in 0..(dims.len() + extra_dims) {
+                    ty = ty.array_of();
+                }
+                ty
+            }
+            Expr::NewArrayInit { elem, .. } => elem.clone().array_of(),
+            Expr::StaticCall { class, method, .. } => {
+                let id = self.method_id(class, method)?;
+                self.layout.methods[id.0 as usize].ret.clone()
+            }
+            Expr::InstCall { recv, method, .. } => {
+                let class = class_name(&self.type_of(recv)?)?;
+                let id = self.method_id(&class, method)?;
+                self.layout.methods[id.0 as usize].ret.clone()
+            }
+            Expr::IntrinsicCall { args, .. } => {
+                let mut ty = Ty::Int;
+                for arg in args {
+                    let at = self.type_of(arg)?;
+                    ty = ty.promote(&at).unwrap_or(Ty::Long);
+                }
+                ty
+            }
+            Expr::Unary { op, expr } => match op {
+                UnOp::Not => Ty::Bool,
+                UnOp::Neg | UnOp::BitNot => {
+                    if self.type_of(expr)? == Ty::Long {
+                        Ty::Long
+                    } else {
+                        Ty::Int
+                    }
+                }
+            },
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+                | BinOp::LAnd | BinOp::LOr => Ty::Bool,
+                BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
+                    if self.type_of(lhs)? == Ty::Long {
+                        Ty::Long
+                    } else {
+                        Ty::Int
+                    }
+                }
+                BinOp::Add => {
+                    let lt = self.type_of(lhs)?;
+                    let rt = self.type_of(rhs)?;
+                    if lt == Ty::Str || rt == Ty::Str {
+                        Ty::Str
+                    } else {
+                        lt.promote(&rt)
+                            .ok_or_else(|| FrontError::msg("internal: bad operand types"))?
+                    }
+                }
+                BinOp::And | BinOp::Or | BinOp::Xor => {
+                    let lt = self.type_of(lhs)?;
+                    if lt == Ty::Bool {
+                        Ty::Bool
+                    } else {
+                        let rt = self.type_of(rhs)?;
+                        lt.promote(&rt)
+                            .ok_or_else(|| FrontError::msg("internal: bad operand types"))?
+                    }
+                }
+                _ => {
+                    let lt = self.type_of(lhs)?;
+                    let rt = self.type_of(rhs)?;
+                    lt.promote(&rt).ok_or_else(|| FrontError::msg("internal: bad operand types"))?
+                }
+            },
+            Expr::Cast { ty, .. } => ty.clone(),
+        })
+    }
+}
+
+fn class_name(ty: &Ty) -> Result<String, FrontError> {
+    match ty {
+        Ty::Class(name) => Ok(name.clone()),
+        other => Err(FrontError::msg(format!("internal: `{other}` is not a class type"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_program;
+
+    fn compile_src(src: &str) -> BProgram {
+        let program = cse_lang::parse_and_check(src).unwrap();
+        let compiled = compile(&program).unwrap();
+        verify_program(&compiled).unwrap_or_else(|e| panic!("verify failed: {e}"));
+        compiled
+    }
+
+    #[test]
+    fn compiles_and_verifies_basics() {
+        let p = compile_src(
+            r#"
+            class T {
+                static int f(int a, long b) {
+                    int c = a + (int) b;
+                    long d = a + b;
+                    byte e = (byte) (c * 3);
+                    return c + (int) d + e;
+                }
+                static void main() { println(f(1, 2L)); }
+            }
+            "#,
+        );
+        assert_eq!(p.classes.len(), 1);
+        assert!(p.clinit.is_none());
+        let main = p.method(p.entry);
+        assert_eq!(main.name, "main");
+    }
+
+    #[test]
+    fn widens_int_variable_against_long_variable() {
+        let p = compile_src(
+            r#"
+            class T {
+                static void main() {
+                    int a = 3;
+                    long b = 4L;
+                    long c = a + b;
+                    println(c);
+                }
+            }
+            "#,
+        );
+        // The int operand must be widened before LAdd.
+        let main = p.method(p.entry);
+        assert!(main.code.contains(&Insn::I2L), "missing I2L in {:?}", main.code);
+        assert!(main.code.contains(&Insn::LAdd));
+    }
+
+    #[test]
+    fn control_flow_compiles_with_loop_headers() {
+        let p = compile_src(
+            r#"
+            class T {
+                static int f(int n) {
+                    int acc = 0;
+                    for (int i = 0; i < n; i++) {
+                        if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+                        while (acc > 50) { acc /= 2; }
+                    }
+                    do { acc++; } while (acc < 0);
+                    return acc;
+                }
+                static void main() { println(f(5)); }
+            }
+            "#,
+        );
+        let f = p.find_method("T", "f").unwrap();
+        assert!(p.method(f).loop_headers.len() >= 3);
+    }
+
+    #[test]
+    fn switch_compiles_with_fallthrough() {
+        let p = compile_src(
+            r#"
+            class T {
+                static int f(int x) {
+                    int r = 0;
+                    switch (x) {
+                        case 1: r += 1;
+                        case 2: r += 2; break;
+                        case 3: r += 3; break;
+                        default: r = -1;
+                    }
+                    return r;
+                }
+                static void main() { println(f(1)); }
+            }
+            "#,
+        );
+        let f = p.method(p.find_method("T", "f").unwrap());
+        let has_switch = f.code.iter().any(|i| matches!(i, Insn::TableSwitch { cases, .. } if cases.len() == 3));
+        assert!(has_switch);
+    }
+
+    #[test]
+    fn try_catch_finally_lowering_duplicates_finally() {
+        let p = compile_src(
+            r#"
+            class T {
+                static void main() {
+                    int x = 1;
+                    try { x = 10 / x; } catch { x = -1; } finally { x += 100; }
+                    try { x += 1; } finally { x += 2; }
+                    try { x /= 0; } catch { x = 7; }
+                    println(x);
+                }
+            }
+            "#,
+        );
+        let main = p.method(p.entry);
+        // try/catch/finally => 2 handler entries, try/finally => 1,
+        // try/catch => 1.
+        assert_eq!(main.handlers.len(), 4);
+        assert!(main.handlers.iter().filter(|h| h.save_slot.is_some()).count() >= 2);
+        assert!(main.code.iter().any(|i| matches!(i, Insn::Rethrow(_))));
+    }
+
+    #[test]
+    fn field_initializers_become_synthetic_methods() {
+        let p = compile_src(
+            r#"
+            class A { static int s = 5; int f = 6; static void main() { println(new A().f + A.s); } }
+            "#,
+        );
+        assert!(p.clinit.is_some());
+        assert!(p.find_method("A", "$init").is_some());
+        let a = &p.classes[0];
+        assert!(a.init.is_some());
+    }
+
+    #[test]
+    fn string_concat_lowers_to_sconcat() {
+        let p = compile_src(
+            r#"class T { static void main() { println("x=" + 1 + true + 2L); } }"#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.iter().filter(|i| matches!(i, Insn::SConcat)).count() >= 3);
+        assert!(main.code.contains(&Insn::I2S));
+        assert!(main.code.contains(&Insn::L2S));
+        assert!(main.code.contains(&Insn::Bool2S));
+    }
+
+    #[test]
+    fn compound_assign_on_array_uses_dup2() {
+        let p = compile_src(
+            r#"
+            class T {
+                static void main() {
+                    int[] a = new int[3];
+                    a[1] += 5;
+                    byte[] b = new byte[2];
+                    b[0] += 1;
+                    println(a[1] + b[0]);
+                }
+            }
+            "#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.iter().filter(|i| matches!(i, Insn::Dup2)).count() >= 2);
+        // Byte compound must narrow back.
+        assert!(main.code.contains(&Insn::I2B));
+    }
+
+    #[test]
+    fn multi_dim_arrays() {
+        compile_src(
+            r#"
+            class T {
+                static void main() {
+                    int[][] m = new int[2][3];
+                    long[][] n = new long[4][];
+                    n[0] = new long[1];
+                    m[1][2] = 9;
+                    println(m[1][2] + n[0][0]);
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn intrinsics_lower_to_branches() {
+        let p = compile_src(
+            r#"
+            class T {
+                static void main() {
+                    println(Math.min(3, 4) + Math.max(5L, 6L) + Math.abs(-7));
+                }
+            }
+            "#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.iter().any(|i| matches!(i, Insn::LCmp(_))));
+        assert!(main.code.iter().any(|i| matches!(i, Insn::ICmp(_))));
+    }
+
+    #[test]
+    fn instance_dispatch_and_this() {
+        compile_src(
+            r#"
+            class P { int v = 2; int get() { return v; } }
+            class T {
+                int w = 3;
+                int sum(P p) { return w + p.get(); }
+                static void main() {
+                    T t = new T();
+                    println(t.sum(new P()));
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn throw_and_user_exceptions() {
+        let p = compile_src(
+            r#"
+            class T {
+                static void main() {
+                    try { throw 42; } catch { println("caught"); }
+                }
+            }
+            "#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.contains(&Insn::ThrowUser));
+    }
+
+    #[test]
+    fn mute_unmute_emit_insns() {
+        let p = compile_src(
+            r#"class T { static void main() { __mute(); println(1); __unmute(); } }"#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.contains(&Insn::Mute));
+        assert!(main.code.contains(&Insn::Unmute));
+    }
+
+    #[test]
+    fn logical_operators_short_circuit_shape() {
+        let p = compile_src(
+            r#"
+            class T {
+                static boolean t() { return true; }
+                static void main() {
+                    boolean b = t() && (1 / 0 > 0) || t();
+                    println(b);
+                }
+            }
+            "#,
+        );
+        let main = p.method(p.entry);
+        assert!(main.code.iter().any(|i| matches!(i, Insn::JumpIfFalse(_))));
+        assert!(main.code.iter().any(|i| matches!(i, Insn::JumpIfTrue(_))));
+    }
+}

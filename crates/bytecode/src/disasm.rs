@@ -1,0 +1,95 @@
+//! Human-readable bytecode listings, for debugging and bug reports.
+
+use crate::insn::Insn;
+use crate::program::{BMethod, BProgram, MethodId};
+
+/// Disassembles a whole program.
+pub fn disasm_program(program: &BProgram) -> String {
+    let mut out = String::new();
+    for (idx, method) in program.methods.iter().enumerate() {
+        out.push_str(&disasm_method(program, MethodId(idx as u32), method));
+        out.push('\n');
+    }
+    out
+}
+
+/// Disassembles a single method.
+pub fn disasm_method(program: &BProgram, id: MethodId, method: &BMethod) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = method.params.iter().map(|t| t.to_string()).collect();
+    out.push_str(&format!(
+        "{} {}({}) [{} locals]{}\n",
+        method.ret,
+        program.qualified_name(id),
+        params.join(", "),
+        method.num_locals,
+        if method.is_static { " static" } else { "" },
+    ));
+    for (pc, insn) in method.code.iter().enumerate() {
+        let marker = if method.loop_headers.contains(&(pc as u32)) { "*" } else { " " };
+        out.push_str(&format!("  {marker}{pc:4}: {}\n", render(program, insn)));
+    }
+    for handler in &method.handlers {
+        out.push_str(&format!(
+            "  handler [{}, {}) -> {}{}\n",
+            handler.start,
+            handler.end,
+            handler.target,
+            handler
+                .save_slot
+                .map(|s| format!(" (save {s})"))
+                .unwrap_or_default()
+        ));
+    }
+    out
+}
+
+fn render(program: &BProgram, insn: &Insn) -> String {
+    match insn {
+        Insn::SConst(id) => format!("SConst {:?}", program.strings[id.0 as usize]),
+        Insn::InvokeStatic(id) => format!("InvokeStatic {}", program.qualified_name(*id)),
+        Insn::InvokeInstance(id) => format!("InvokeInstance {}", program.qualified_name(*id)),
+        Insn::GetStatic { class, field } => {
+            let c = &program.classes[class.0 as usize];
+            format!("GetStatic {}.{}", c.name, c.static_fields[*field as usize].name)
+        }
+        Insn::PutStatic { class, field } => {
+            let c = &program.classes[class.0 as usize];
+            format!("PutStatic {}.{}", c.name, c.static_fields[*field as usize].name)
+        }
+        Insn::NewObject(class) => format!("NewObject {}", program.classes[class.0 as usize].name),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn disassembles_without_panicking() {
+        let program = cse_lang::parse_and_check(
+            r#"
+            class T {
+                static int s = 3;
+                int f = 4;
+                static int twice(int x) { return x * 2; }
+                int get() { return f; }
+                static void main() {
+                    T t = new T();
+                    println(twice(t.get()) + T.s + "!");
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let compiled = compile(&program).unwrap();
+        let text = disasm_program(&compiled);
+        assert!(text.contains("T.twice"));
+        assert!(text.contains("T.$init"));
+        assert!(text.contains("T.$clinit"));
+        assert!(text.contains("InvokeStatic T.twice"));
+        assert!(text.contains("PutStatic T.s"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The verifier must reject malformed bytecode the compiler would never
+//! emit — the safety net under the JIT's IR builder.
+
+use cse_bytecode::verify::verify_method;
+use cse_bytecode::{BMethod, BProgram, ClassId, Insn};
+use cse_lang::Ty;
+
+fn base_program() -> BProgram {
+    let p = cse_lang::parse_and_check("class T { static void main() { } }").unwrap();
+    cse_bytecode::compile(&p).unwrap()
+}
+
+fn method(code: Vec<Insn>, num_locals: u16, ret: Ty) -> BMethod {
+    let mut m = BMethod {
+        name: "bad".into(),
+        class: ClassId(0),
+        is_static: true,
+        params: vec![],
+        ret,
+        num_locals,
+        local_types: vec![None; num_locals as usize],
+        code,
+        handlers: vec![],
+        loop_headers: vec![],
+    };
+    m.compute_loop_headers();
+    m
+}
+
+#[test]
+fn rejects_stack_underflow() {
+    let program = base_program();
+    let m = method(vec![Insn::Pop, Insn::Return], 0, Ty::Void);
+    let err = verify_method(&program, &m).unwrap_err();
+    assert!(err.message.contains("underflow"), "{err}");
+}
+
+#[test]
+fn rejects_type_confusion() {
+    let program = base_program();
+    let m = method(vec![Insn::IConst(1), Insn::LConst(2), Insn::IAdd, Insn::Return], 0, Ty::Void);
+    let err = verify_method(&program, &m).unwrap_err();
+    assert!(err.message.contains("expected"), "{err}");
+}
+
+#[test]
+fn rejects_out_of_range_slot_and_target() {
+    let program = base_program();
+    let m = method(vec![Insn::Load(3), Insn::Pop, Insn::Return], 1, Ty::Void);
+    assert!(verify_method(&program, &m).is_err());
+    let m = method(vec![Insn::Jump(99)], 0, Ty::Void);
+    assert!(verify_method(&program, &m).is_err());
+}
+
+#[test]
+fn rejects_fallthrough_and_bad_merges() {
+    let program = base_program();
+    // Code not ending in a terminator.
+    let m = method(vec![Insn::IConst(1), Insn::Pop], 0, Ty::Void);
+    assert!(verify_method(&program, &m).is_err());
+    // Inconsistent stack heights at a join: path A pushes, path B doesn't.
+    let m = method(
+        vec![
+            Insn::IConst(1),     // 0: cond
+            Insn::JumpIfTrue(3), // 1
+            Insn::IConst(7),     // 2: push on fallthrough only
+            Insn::Return,        // 3: join with differing heights
+        ],
+        0,
+        Ty::Void,
+    );
+    assert!(verify_method(&program, &m).is_err());
+}
+
+#[test]
+fn rejects_wrong_return_arity() {
+    let program = base_program();
+    let m = method(vec![Insn::Return], 0, Ty::Int);
+    assert!(verify_method(&program, &m).is_err());
+    let m = method(vec![Insn::IConst(1), Insn::IConst(2), Insn::ReturnVal], 0, Ty::Int);
+    assert!(verify_method(&program, &m).is_err(), "extra stack values at return");
+}

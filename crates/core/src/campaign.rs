@@ -1,0 +1,169 @@
+//! Fuzzing campaigns: the driver behind the paper's §4 evaluation.
+//!
+//! A campaign generates seeds (JavaFuzzer analog), validates each with
+//! Artemis (Algorithm 1), optionally runs the traditional baseline on the
+//! same seeds (the §4.3 comparative study), and aggregates per-bug
+//! statistics with ground-truth deduplication (Table 1's
+//! Reported/Duplicate split).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
+
+use crate::baseline;
+use crate::validate::{self, DiscrepancyKind, ValidateConfig};
+
+/// Campaign settings.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub vm: VmConfig,
+    /// Seeds to generate and validate.
+    pub seeds: u64,
+    /// First seed value (campaigns are fully deterministic).
+    pub first_seed: u64,
+    /// Mutants per seed (`MAX_ITER`).
+    pub max_iter: usize,
+    /// Also run the traditional baseline on every seed (§4.3 study).
+    pub run_traditional: bool,
+    /// Seed-generator settings.
+    pub fuzz: cse_fuzz::FuzzConfig,
+}
+
+impl CampaignConfig {
+    /// Paper-style campaign against a VM profile with its default bug set.
+    pub fn for_kind(kind: VmKind, seeds: u64) -> CampaignConfig {
+        CampaignConfig {
+            vm: VmConfig::for_kind(kind),
+            seeds,
+            first_seed: 0,
+            max_iter: 8,
+            run_traditional: false,
+            fuzz: cse_fuzz::FuzzConfig::default(),
+        }
+    }
+}
+
+/// Aggregated evidence for one discovered bug.
+#[derive(Debug, Clone)]
+pub struct BugEvidence {
+    pub bug: BugId,
+    pub component: Component,
+    pub symptom: Symptom,
+    /// How many distinct (seed, mutant) pairs exposed it — occurrences
+    /// beyond the first are the paper's "Duplicate" class.
+    pub occurrences: usize,
+    /// The seed value that first exposed it.
+    pub first_seed: u64,
+    /// A reproducer: the first mutant source exposing the bug.
+    pub reproducer: String,
+}
+
+/// Campaign totals.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignTotals {
+    pub seeds: u64,
+    pub mutants: u64,
+    pub vm_invocations: u64,
+    pub discarded: u64,
+    pub neutrality_violations: u64,
+    pub wall: Duration,
+}
+
+/// The result of a campaign.
+#[derive(Debug, Default)]
+pub struct CampaignResult {
+    /// Ground-truth-deduplicated bugs, keyed by id.
+    pub bugs: BTreeMap<BugId, BugEvidence>,
+    /// Discrepancies that could not be attributed (counted but unkeyed).
+    pub unattributed: usize,
+    /// Seeds on which CSE found at least one discrepancy.
+    pub cse_seeds: Vec<u64>,
+    /// Seeds on which the traditional baseline found a discrepancy.
+    pub traditional_seeds: Vec<u64>,
+    pub totals: CampaignTotals,
+}
+
+impl CampaignResult {
+    /// Bug count by symptom (Table 1's type split).
+    pub fn by_symptom(&self) -> BTreeMap<Symptom, usize> {
+        let mut map = BTreeMap::new();
+        for evidence in self.bugs.values() {
+            *map.entry(evidence.symptom).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Crash-bug count by affected component (Table 2).
+    pub fn crash_components(&self) -> BTreeMap<Component, usize> {
+        let mut map = BTreeMap::new();
+        for evidence in self.bugs.values() {
+            if evidence.symptom == Symptom::Crash {
+                *map.entry(evidence.component).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Total duplicate occurrences (re-discoveries of known bugs).
+    pub fn duplicates(&self) -> usize {
+        self.bugs.values().map(|e| e.occurrences.saturating_sub(1)).sum()
+    }
+}
+
+/// Runs a campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    let start = Instant::now();
+    let mut result = CampaignResult::default();
+    let validate_config = ValidateConfig {
+        max_iter: config.max_iter,
+        vm: config.vm.clone(),
+        params: crate::synth::SynthParams::for_kind(config.vm.kind),
+        verify_neutrality: true,
+    };
+    for i in 0..config.seeds {
+        let seed_value = config.first_seed + i;
+        let seed_program = cse_fuzz::generate(seed_value, &config.fuzz);
+        let outcome = validate::validate(&seed_program, &validate_config, seed_value);
+        result.totals.seeds += 1;
+        result.totals.mutants += outcome.mutants_run as u64;
+        result.totals.vm_invocations += outcome.vm_invocations as u64;
+        result.totals.discarded += outcome.discarded as u64;
+        result.totals.neutrality_violations += outcome.neutrality_violations as u64;
+        if outcome.found_bug() {
+            result.cse_seeds.push(seed_value);
+        }
+        for discrepancy in outcome.discrepancies {
+            match discrepancy.culprit {
+                Some(bug) => {
+                    let evidence = result.bugs.entry(bug).or_insert_with(|| BugEvidence {
+                        bug,
+                        component: bug.component(),
+                        symptom: bug.symptom(),
+                        occurrences: 0,
+                        first_seed: seed_value,
+                        reproducer: discrepancy.mutant_source.clone(),
+                    });
+                    evidence.occurrences += 1;
+                    // Trust the *observed* symptom over the catalog when a
+                    // bug manifests differently (e.g. a mis-compilation
+                    // that crashes downstream).
+                    if let DiscrepancyKind::Crash(info) = &discrepancy.kind {
+                        evidence.symptom = Symptom::Crash;
+                        evidence.component = info.component;
+                    }
+                }
+                None => result.unattributed += 1,
+            }
+        }
+        if config.run_traditional {
+            let b = baseline::traditional(&seed_program, &config.vm);
+            result.totals.vm_invocations += b.vm_invocations as u64;
+            if b.discrepancy {
+                result.traditional_seeds.push(seed_value);
+            }
+        }
+    }
+    result.totals.wall = start.elapsed();
+    result
+}

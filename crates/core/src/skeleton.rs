@@ -1,0 +1,214 @@
+//! The statement-skeleton corpus.
+//!
+//! The paper extracts 7,823 statement skeletons from the HotSpot, OpenJ9,
+//! and ART test suites (§3.4). Those suites are not available offline, so
+//! this corpus is hand-written to cover the same construct classes —
+//! arithmetic chains (int/long/byte, wrapping), nested control flow,
+//! switches with fall-through, short bounded loops, local arrays, string
+//! building, masked shifts, guarded division, and `Math` intrinsics. The
+//! substitution is documented in `DESIGN.md`.
+//!
+//! A skeleton is a sequence of consecutive MiniJava statements containing
+//! only *expression holes* (paper Algorithm 2): the pseudo-calls
+//! `__int()`, `__long()`, `__byte()`, `__bool()`, and `__str()`, each
+//! replaced by `SynExpr` output at instantiation. Skeleton-local variables
+//! are prefixed `s_` and renamed fresh per instantiation, so skeletons
+//! never collide with program variables or with other instantiations.
+//! Skeletons only ever *write* their own locals; writes to reused program
+//! variables are synthesized separately (with backup/restore), keeping the
+//! corpus trivially neutral.
+//!
+//! Every skeleton must terminate quickly (bounded loops only) — exceptions
+//! are fine (the mutators wrap synthesized code in `try`/`catch`).
+
+use std::sync::OnceLock;
+
+use cse_lang::ast::Stmt;
+
+/// The corpus sources.
+pub const CORPUS: &[&str] = &[
+    // ----- integer arithmetic chains ------------------------------------
+    "int s_a = __int(); s_a = s_a * 31 + __int(); s_a ^= s_a >>> 7;",
+    "int s_a = __int() + __int(); int s_b = s_a - __int(); s_a = s_a * s_b;",
+    "int s_a = __int(); s_a += s_a << 3; s_a -= s_a >> 2;",
+    "int s_a = __int() & 255; int s_b = s_a | __int(); s_b ^= 4096;",
+    "int s_a = __int(); int s_b = Math.max(s_a, __int()); s_a = Math.min(s_b, 1000000);",
+    "int s_a = Math.abs(__int()); s_a = s_a % 97 + 1;",
+    "int s_a = __int(); s_a = (s_a << 5) - s_a;",
+    "int s_a = __int(); int s_b = __int(); int s_c = s_a * s_b - (s_a + s_b);",
+    "int s_a = -(__int()); s_a = ~s_a + __int();",
+    "int s_a = __int() >>> 1; s_a *= 3; s_a >>>= 2;",
+    "int s_a = __int(); int s_b = 0; if (s_a == 0) { s_b = 1; } s_a += s_b;",
+    // ----- long arithmetic ------------------------------------------------
+    "long s_l = __long(); s_l = s_l * 1103515245L + 12345L;",
+    "long s_l = __long() ^ __long(); s_l = (s_l << 13) ^ (s_l >>> 7);",
+    "long s_l = __long(); long s_m = s_l >> 3; s_l = s_l - s_m * 8L;",
+    "long s_l = (long) __int(); s_l *= s_l; s_l += __long();",
+    "long s_l = __long(); s_l &= 65535L; s_l |= __long() << 16;",
+    "long s_l = Math.max(__long(), 0L); s_l = s_l % 1000003L;",
+    "long s_l = __long(); int s_i = (int) s_l; s_l = s_l - s_i;",
+    // ----- byte wrap-around ------------------------------------------------
+    "byte s_b = (byte) __int(); s_b += 2; s_b = (byte) (s_b * 3);",
+    "byte s_b = (byte) (__int() & 127); s_b -= (byte) 1; s_b ^= 85;",
+    "byte s_b = (byte) __int(); byte s_c = (byte) (s_b + s_b); s_b = (byte) (s_c - 1);",
+    "byte s_b = (byte) (__int() >> 4); s_b <<= 2;",
+    // ----- boolean logic ----------------------------------------------------
+    "boolean s_p = __bool(); boolean s_q = !s_p || __bool(); s_p = s_p ^ s_q;",
+    "boolean s_p = __int() > __int(); boolean s_q = s_p && __bool(); s_q |= !s_p;",
+    "boolean s_p = __long() != 0L; s_p &= __bool();",
+    "boolean s_p = __bool(); int s_a = 0; if (s_p) { s_a = __int(); } else { s_a = -(__int()); }",
+    // ----- conditionals ------------------------------------------------------
+    "int s_a = __int(); if (s_a > 0) { s_a = s_a - __int(); }",
+    "int s_a = __int(); if (s_a % 2 == 0) { s_a /= 2; } else { s_a = 3 * s_a + 1; }",
+    "int s_a = __int(); int s_b = __int(); if (s_a < s_b) { int s_t = s_a; s_a = s_b; s_b = s_t; }",
+    "long s_l = __long(); if (s_l < 0L) { s_l = -(s_l); } if (s_l > 1000L) { s_l %= 1000L; }",
+    "int s_a = __int(); if (s_a > 10) { if (s_a > 100) { s_a = 100; } else { s_a += 10; } }",
+    "boolean s_p = __bool(); int s_a = __int(); if (s_p && s_a != 0) { s_a = 0 - s_a; }",
+    // ----- short loops ---------------------------------------------------------
+    "int s_s = 0; for (int s_i = 0; s_i < 7; s_i++) { s_s += s_i * __int(); }",
+    "int s_s = __int(); for (int s_i = 0; s_i < 5; s_i++) { s_s = s_s * 2 + 1; }",
+    "long s_s = 0L; for (int s_i = 1; s_i < 6; s_i++) { s_s += (long) s_i * __long(); }",
+    "int s_s = 0; int s_i = 0; while (s_i < 6) { s_s ^= s_i << 2; s_i++; }",
+    "int s_s = __int(); int s_i = 0; do { s_s -= 3; s_i++; } while (s_i < 4);",
+    "int s_s = 0; for (int s_i = 8; s_i > 0; s_i -= 2) { s_s += s_i; }",
+    "int s_s = 0; for (int s_i = 0; s_i < 9; s_i++) { if (s_i == 4) { continue; } s_s += s_i; }",
+    "int s_s = 0; for (int s_i = 0; s_i < 9; s_i++) { if (s_s > __int()) { break; } s_s += 2; }",
+    "int s_s = 0; for (int s_i = 0; s_i < 4; s_i++) { for (int s_j = 0; s_j < 3; s_j++) { s_s += s_i * s_j; } }",
+    // ----- switches -----------------------------------------------------------
+    "int s_a = __int(); switch (s_a % 4) { case 0: s_a += 1; break; case 1: s_a -= 1; break; default: s_a = 0; }",
+    "int s_a = __int() & 7; int s_b = 0; switch (s_a) { case 0: case 1: s_b = 10; break; case 2: s_b = 20; default: s_b += 5; }",
+    "int s_a = __int(); switch (s_a % 3) { case 0: s_a = s_a * 2; case 1: s_a += 3; break; case 2: s_a ^= 12; }",
+    "int s_a = Math.abs(__int()) % 5; int s_b = __int(); switch (s_a) { case 0: s_b <<= 1; break; case 4: s_b >>= 1; break; }",
+    // ----- local arrays ----------------------------------------------------------
+    "int[] s_arr = new int[] { __int(), __int(), __int() }; int s_s = s_arr[0] + s_arr[2];",
+    "int[] s_arr = new int[5]; for (int s_i = 0; s_i < s_arr.length; s_i++) { s_arr[s_i] = s_i * __int(); }",
+    "int[] s_arr = new int[4]; s_arr[__int() & 3] = __int(); int s_v = s_arr[1];",
+    "long[] s_arr = new long[3]; s_arr[0] = __long(); s_arr[2] = s_arr[0] * 2L; long s_v = s_arr[2] - s_arr[1];",
+    "int[] s_arr = new int[6]; int s_s = 0; for (int s_i = 0; s_i < 6; s_i++) { s_arr[s_i] = s_i; s_s += s_arr[5 - s_i]; }",
+    "byte[] s_arr = new byte[4]; s_arr[1] = (byte) __int(); s_arr[2] = (byte) (s_arr[1] + 1);",
+    "boolean[] s_arr = new boolean[3]; s_arr[0] = __bool(); s_arr[2] = !s_arr[0];",
+    "int[][] s_m = new int[2][3]; s_m[1][2] = __int(); int s_v = s_m[1][2] + s_m[0][0];",
+    "int[] s_a = new int[3]; int[] s_b = s_a; s_b[1] = __int(); int s_v = s_a[1];",
+    // ----- strings ---------------------------------------------------------------
+    "String s_s = __str(); s_s = s_s + __int();",
+    "String s_s = \"k\" + __long(); String s_t = s_s + __bool();",
+    "String s_s = __str() + __str(); s_s = s_s + \"|\";",
+    // ----- guarded division / exceptions -------------------------------------------
+    "int s_a = __int(); int s_d = __int() | 1; s_a = s_a / s_d + s_a % s_d;",
+    "int s_a = __int(); try { s_a = 1000 / (s_a & 3); } catch { s_a = -1; }",
+    "int s_a = __int(); int[] s_arr = new int[2]; try { s_arr[s_a] = 7; } catch { s_a = 0; }",
+    "long s_l = __long(); try { s_l = 100000L / (s_l & 7L); } catch { s_l = 1L; }",
+    "int s_a = __int(); try { if (s_a > 0) { throw 3; } } catch { s_a += 100; }",
+    // ----- casts & conversions ------------------------------------------------------
+    "long s_l = __long(); int s_i = (int) (s_l >> 32); byte s_b = (byte) s_i;",
+    "int s_a = __int(); long s_l = (long) s_a * (long) s_a;",
+    "byte s_b = (byte) __int(); int s_i = s_b * 2 + 1; long s_l = s_i + __long();",
+    "int s_a = (int) (__long() & 2147483647L); s_a >>>= 3;",
+    // ----- mixed / Figure-2-flavored snippets ------------------------------------------
+    "int s_a = __int(); for (int s_w = -6; s_w < 5; s_w += 4) { s_a += 2; } s_a &= 1023;",
+    "byte s_b = (byte) __int(); for (int s_i = 0; s_i < 3; s_i++) { s_b += 2; }",
+    "int s_m = __int(); switch ((s_m >>> 1) % 10 + 36) { case 36: s_m += 2; case 40: break; case 41: s_m = 9; }",
+    "int s_s = 0; for (int s_i = 0; s_i < 5; s_i++) { switch (s_i % 3) { case 0: s_s += 1; break; case 1: s_s += 10; } }",
+    "int s_a = __int(); int s_b = 0; while (s_a != 0 && s_b < 8) { s_b++; s_a >>>= 4; }",
+    "long s_acc = 0L; for (int s_i = 0; s_i < 6; s_i++) { s_acc = s_acc * 31L + (long) (s_i ^ __int()); }",
+    "int s_x = __int(); int s_y = __int(); int s_g = 0; for (int s_i = 0; s_i < 6; s_i++) { s_g = s_x & s_y; s_x = s_x ^ s_y; s_y = s_g << 1; }",
+    "int s_n = Math.abs(__int()) % 10 + 2; int s_f = 1; for (int s_i = 1; s_i < s_n && s_i < 8; s_i++) { s_f *= s_i; }",
+    "int s_v = __int(); int s_r = 0; for (int s_i = 0; s_i < 8; s_i++) { s_r = (s_r << 1) | (s_v & 1); s_v >>>= 1; }",
+    "int s_a = __int(); int s_b = __int(); int s_c = (s_a + s_b) / 2; if (s_c > s_a) { s_c = s_a; }",
+];
+
+/// Parsed corpus: each entry is the statement list of one skeleton.
+pub fn parsed_corpus() -> &'static Vec<Vec<Stmt>> {
+    static PARSED: OnceLock<Vec<Vec<Stmt>>> = OnceLock::new();
+    PARSED.get_or_init(|| {
+        CORPUS
+            .iter()
+            .filter_map(|src| parse_skeleton(src).ok())
+            .collect()
+    })
+}
+
+/// Parses one skeleton source into raw (unresolved) statements.
+pub fn parse_skeleton(body: &str) -> Result<Vec<Stmt>, cse_lang::FrontError> {
+    let wrapped = format!("class $Skel {{ static void k() {{ {body} }} }}");
+    let program = cse_lang::parse(&wrapped)?;
+    Ok(program.classes[0].methods[0].body.stmts.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_large_and_mostly_parses() {
+        assert!(CORPUS.len() >= 70, "corpus has {} skeletons", CORPUS.len());
+        let parsed = parsed_corpus();
+        assert_eq!(parsed.len(), CORPUS.len(), "every skeleton must parse");
+        for stmts in parsed {
+            assert!(!stmts.is_empty());
+        }
+    }
+
+    #[test]
+    fn skeleton_locals_use_the_reserved_prefix() {
+        for stmts in parsed_corpus() {
+            for stmt in stmts {
+                check_decl_prefixes(stmt);
+            }
+        }
+    }
+
+    fn check_decl_prefixes(stmt: &Stmt) {
+        use cse_lang::ast::Stmt::*;
+        match stmt {
+            VarDecl { name, .. } => {
+                assert!(name.starts_with("s_"), "skeleton local `{name}` lacks s_ prefix");
+            }
+            If { then_blk, else_blk, .. } => {
+                then_blk.stmts.iter().for_each(check_decl_prefixes);
+                if let Some(e) = else_blk {
+                    e.stmts.iter().for_each(check_decl_prefixes);
+                }
+            }
+            While { body, .. } | DoWhile { body, .. } => {
+                body.stmts.iter().for_each(check_decl_prefixes);
+            }
+            For { init, body, .. } => {
+                if let Some(init) = init {
+                    check_decl_prefixes(init);
+                }
+                body.stmts.iter().for_each(check_decl_prefixes);
+            }
+            Switch { cases, .. } => {
+                for case in cases {
+                    case.body.iter().for_each(check_decl_prefixes);
+                }
+            }
+            Block(b) => b.stmts.iter().for_each(check_decl_prefixes),
+            Try { body, catch, finally } => {
+                body.stmts.iter().for_each(check_decl_prefixes);
+                if let Some(c) = catch {
+                    c.stmts.iter().for_each(check_decl_prefixes);
+                }
+                if let Some(f) = finally {
+                    f.stmts.iter().for_each(check_decl_prefixes);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn skeletons_have_no_toplevel_jumps() {
+        // `return` anywhere, and `break`/`continue` that would escape the
+        // skeleton, would break neutrality.
+        for (i, stmts) in parsed_corpus().iter().enumerate() {
+            for stmt in stmts {
+                assert!(
+                    !matches!(stmt, Stmt::Return(_) | Stmt::Break | Stmt::Continue),
+                    "skeleton {i} has a top-level jump"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The compilation space modulo LVM — Definitions 3.1–3.3 of the paper.
+//!
+//! * **Thresholds** (Def 3.1): an LVM's `Z_1 ≤ … ≤ Z_N` split counter
+//!   values into `N + 1` temperature bands.
+//! * **Temperature** (Def 3.2): a counter `c` has temperature `t_i` iff
+//!   `c ∈ [Z_i, Z_{i+1})`; a method's temperature is the max over its
+//!   counter set `C_m` (method counter `c_0` + back-edge counters).
+//! * **JIT-trace / compilation space** (Def 3.3): the set of
+//!   interpreter/JIT interleavings an LVM can produce for a program;
+//!   `LVM(P, φ)` — running `P` along a chosen trace — maps onto the VM's
+//!   forced plans, and this module enumerates small spaces exhaustively
+//!   (the paper's Figure 1).
+
+use cse_bytecode::{BProgram, MethodId};
+use cse_vm::{
+    ExecutionResult, ExecMode, ForcedPlan, Tier, TraceEvent, Vm, VmConfig,
+};
+
+/// Definition 3.2: the temperature band of a single counter value given
+/// the thresholds `Z_1 ≤ … ≤ Z_N`.
+///
+/// # Examples
+///
+/// ```
+/// use cse_core::space::counter_temperature;
+/// use cse_vm::Tier;
+///
+/// let thresholds = [100, 1000];
+/// assert_eq!(counter_temperature(0, &thresholds), Tier(0));
+/// assert_eq!(counter_temperature(99, &thresholds), Tier(0));
+/// assert_eq!(counter_temperature(100, &thresholds), Tier(1));
+/// assert_eq!(counter_temperature(5000, &thresholds), Tier(2));
+/// ```
+pub fn counter_temperature(counter: u64, thresholds: &[u64]) -> Tier {
+    let mut temp = 0u8;
+    for (i, &z) in thresholds.iter().enumerate() {
+        if counter >= z {
+            temp = i as u8 + 1;
+        }
+    }
+    Tier(temp)
+}
+
+/// Definition 3.2: a method's temperature is the maximum over its counter
+/// set `C_m = {c_0, c_1, …, c_M}`.
+pub fn method_temperature(method_counter: u64, backedge_counters: &[u64], thresholds: &[u64]) -> Tier {
+    let mut temp = counter_temperature(method_counter, thresholds);
+    for &c in backedge_counters {
+        temp = temp.max(counter_temperature(c, thresholds));
+    }
+    temp
+}
+
+/// The temperature vector `u_m^i` of one method call: how the method's
+/// temperature evolved while the call was on stack (e.g. `⟨t0, t1, t0⟩` =
+/// entered interpreted, was compiled at level 1, then de-optimized).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TemperatureVector {
+    pub method: MethodId,
+    /// 0-based invocation index of this call.
+    pub invocation: u64,
+    pub temps: Vec<Tier>,
+}
+
+impl std::fmt::Display for TemperatureVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let temps: Vec<String> = self.temps.iter().map(|t| t.to_string()).collect();
+        write!(f, "⟨{}⟩^{}_m{}", temps.join(","), self.invocation + 1, self.method.0)
+    }
+}
+
+/// A JIT-trace: the sequence of temperature vectors of a run
+/// (Definition 3.2's "JIT compilation trace").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JitTrace {
+    pub vectors: Vec<TemperatureVector>,
+}
+
+impl JitTrace {
+    /// Reconstructs the JIT-trace from a run's event log. Requires the run
+    /// to have been executed with `record_method_entries` enabled;
+    /// otherwise only compile/deopt transitions appear (as length-2
+    /// vectors at their triggering invocation).
+    pub fn from_events(events: &[TraceEvent]) -> JitTrace {
+        let mut vectors: Vec<TemperatureVector> = Vec::new();
+        for event in events {
+            match event {
+                TraceEvent::MethodEntry { method, tier, invocation } => {
+                    vectors.push(TemperatureVector {
+                        method: *method,
+                        invocation: *invocation,
+                        temps: vec![*tier],
+                    });
+                }
+                TraceEvent::Compiled { method, tier, invocation, .. } => {
+                    // Extend the live vector of this method if the entry was
+                    // recorded; otherwise synthesize a transition vector.
+                    match vectors
+                        .iter_mut()
+                        .rev()
+                        .find(|v| v.method == *method)
+                    {
+                        Some(v) if v.invocation + 1 >= *invocation => v.temps.push(*tier),
+                        _ => vectors.push(TemperatureVector {
+                            method: *method,
+                            invocation: invocation.saturating_sub(1),
+                            temps: vec![Tier::INTERP, *tier],
+                        }),
+                    }
+                }
+                TraceEvent::Deopt { method, invocation, .. } => {
+                    match vectors.iter_mut().rev().find(|v| v.method == *method) {
+                        Some(v) if v.invocation + 1 >= *invocation => v.temps.push(Tier::INTERP),
+                        _ => vectors.push(TemperatureVector {
+                            method: *method,
+                            invocation: invocation.saturating_sub(1),
+                            temps: vec![Tier::INTERP],
+                        }),
+                    }
+                }
+                TraceEvent::GcRun { .. } => {}
+            }
+        }
+        JitTrace { vectors }
+    }
+
+    /// A compact single-line rendering (`⟨t1⟩^1_m0 → ⟨t0,t1⟩^10_m2 → …`).
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self.vectors.iter().map(|v| v.to_string()).collect();
+        parts.join(" → ")
+    }
+
+    /// Whether two traces describe the same interleaving.
+    pub fn same_as(&self, other: &JitTrace) -> bool {
+        self.vectors == other.vectors
+    }
+}
+
+/// One point of an exhaustively enumerated compilation space: the plan's
+/// per-call choices plus the run it produced.
+#[derive(Debug)]
+pub struct SpacePoint {
+    /// For each enumerated call: `true` = compiled, `false` = interpreted.
+    pub choices: Vec<bool>,
+    pub result: ExecutionResult,
+}
+
+/// Exhaustively explores the compilation space of `program` over the given
+/// (method, invocation-index) call sites — the paper's Figure 1, where a
+/// 4-call program yields a 16-choice space.
+///
+/// Each subset of `calls` is forced to compiled execution at the top tier
+/// of `base_config` while the rest interpret; calls outside the list run
+/// interpreted. Returns all `2^n` points in subset-bitmask order.
+///
+/// # Panics
+///
+/// Panics when more than 20 call sites are requested (the space would
+/// exceed a million runs).
+pub fn enumerate_space(
+    program: &BProgram,
+    calls: &[(MethodId, u64)],
+    base_config: &VmConfig,
+) -> Vec<SpacePoint> {
+    assert!(calls.len() <= 20, "space of 2^{} is too large to enumerate", calls.len());
+    let top = base_config.top_tier();
+    let mut points = Vec::with_capacity(1 << calls.len());
+    for mask in 0u32..(1 << calls.len()) {
+        let mut plan = ForcedPlan::all_interpreted();
+        let mut choices = Vec::with_capacity(calls.len());
+        for (bit, &(method, invocation)) in calls.iter().enumerate() {
+            let compiled = mask & (1 << bit) != 0;
+            choices.push(compiled);
+            let mode = if compiled { ExecMode::Compiled(top) } else { ExecMode::Interpret };
+            plan.set(method, invocation, mode);
+        }
+        let mut config = base_config.clone();
+        config.plan = Some(plan);
+        config.record_method_entries = true;
+        let result = Vm::run_program(program, config);
+        points.push(SpacePoint { choices, result });
+    }
+    points
+}
+
+/// Cross-validates an enumerated space: `Some((i, j))` returns the first
+/// pair of points whose observable behavior differs (a JIT-compiler bug by
+/// §3.2's oracle), `None` when the space is consistent.
+pub fn find_space_discrepancy(points: &[SpacePoint]) -> Option<(usize, usize)> {
+    let first = points.first()?;
+    for (j, point) in points.iter().enumerate().skip(1) {
+        if point.result.observable() != first.result.observable() {
+            return Some((0, j));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_vm::VmKind;
+
+    #[test]
+    fn temperature_bands_follow_definition() {
+        let z = [10, 100, 1000];
+        assert_eq!(counter_temperature(0, &z), Tier(0));
+        assert_eq!(counter_temperature(9, &z), Tier(0));
+        assert_eq!(counter_temperature(10, &z), Tier(1));
+        assert_eq!(counter_temperature(999, &z), Tier(2));
+        assert_eq!(counter_temperature(1000, &z), Tier(3));
+        assert_eq!(counter_temperature(u64::MAX, &z), Tier(3));
+    }
+
+    #[test]
+    fn temperature_is_total_order() {
+        let z = [10, 100];
+        for c in 0..200u64 {
+            assert!(counter_temperature(c, &z) <= counter_temperature(c + 1, &z));
+        }
+    }
+
+    #[test]
+    fn method_temperature_is_max_of_counters() {
+        let z = [10, 100];
+        assert_eq!(method_temperature(5, &[3, 7], &z), Tier(0));
+        assert_eq!(method_temperature(5, &[50, 7], &z), Tier(1));
+        assert_eq!(method_temperature(500, &[3], &z), Tier(2));
+    }
+
+    fn figure1_program() -> BProgram {
+        // The paper's Figure 1 program: main calls foo, foo calls bar and
+        // baz, and the answer is always 3.
+        let src = r#"
+            class T {
+                static int baz() { return 1; }
+                static int bar() { return 2; }
+                static int foo() { return bar() + baz(); }
+                static void main() { println(foo()); }
+            }
+        "#;
+        let program = cse_lang::parse_and_check(src).unwrap();
+        cse_bytecode::compile(&program).unwrap()
+    }
+
+    #[test]
+    fn figure1_space_has_sixteen_consistent_points() {
+        let program = figure1_program();
+        let calls = vec![
+            (program.find_method("T", "main").unwrap(), 0),
+            (program.find_method("T", "foo").unwrap(), 0),
+            (program.find_method("T", "bar").unwrap(), 0),
+            (program.find_method("T", "baz").unwrap(), 0),
+        ];
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let points = enumerate_space(&program, &calls, &config);
+        assert_eq!(points.len(), 16);
+        for point in &points {
+            assert_eq!(point.result.output, "3\n", "choice {:?}", point.choices);
+        }
+        assert_eq!(find_space_discrepancy(&points), None);
+    }
+
+    #[test]
+    fn space_points_produce_distinct_traces() {
+        let program = figure1_program();
+        let calls = vec![
+            (program.find_method("T", "foo").unwrap(), 0),
+            (program.find_method("T", "bar").unwrap(), 0),
+        ];
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let points = enumerate_space(&program, &calls, &config);
+        let traces: Vec<JitTrace> =
+            points.iter().map(|p| JitTrace::from_events(&p.result.events)).collect();
+        // All four interleavings must be pairwise distinct JIT-traces.
+        for i in 0..traces.len() {
+            for j in (i + 1)..traces.len() {
+                assert!(!traces[i].same_as(&traces[j]), "points {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_rendering_is_compact() {
+        let trace = JitTrace {
+            vectors: vec![TemperatureVector {
+                method: MethodId(3),
+                invocation: 9,
+                temps: vec![Tier(0), Tier(1), Tier(0)],
+            }],
+        };
+        assert_eq!(trace.render(), "⟨t0,t1,t0⟩^10_m3");
+    }
+}

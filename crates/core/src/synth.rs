@@ -1,0 +1,571 @@
+//! Loop, expression, and statement synthesis — the paper's Algorithm 2.
+//!
+//! `SynExpr` fills expression holes: primitive-alike types get a random
+//! value or a reused in-scope variable (recorded in `V'` for
+//! backup/restore), array types get a freshly built array with
+//! recursively synthesized elements, reference types get `new T()`.
+//! `SynStmts` instantiates a statement skeleton from the corpus (fresh
+//! local names, holes filled) or a writer template targeting a reused
+//! variable. `wrap_loop` assembles the final synthesized loop `L` with
+//! the neutrality armor of §3.4: backups of `V'`, output muting, a
+//! catch-all around the loop, restores afterwards.
+//!
+//! Two deliberate deviations from the paper's Figure 3 shape, both fixing
+//! neutrality holes the paper glosses over (documented in `DESIGN.md`):
+//! the loop bounds `min(MIN, <expr>)` / `max(MAX, <expr>)` are hoisted
+//! into temporaries evaluated once (re-evaluating a bound that reads a
+//! variable the body writes could loop forever), and restores run even on
+//! exceptional exit because the catch-all sits *inside* the
+//! backup/restore bracket.
+
+use cse_lang::ast::*;
+use cse_lang::scope::VarInfo;
+use cse_lang::ty::Ty;
+use cse_vm::VmKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::skeleton;
+
+/// Synthesis hyper-parameters (the paper's `MIN`, `MAX`, `STEP`, §4.1).
+#[derive(Debug, Clone)]
+pub struct SynthParams {
+    /// Lower loop bound `MIN`.
+    pub min: i32,
+    /// Upper loop bound `MAX`; chosen per VM so synthesized loops cross
+    /// the JIT and OSR thresholds (paper: 5,000/10,000 on HotSpot/OpenJ9,
+    /// 20,000/50,000 on ART, scaled to this VM's thresholds).
+    pub max: i32,
+    /// `STEP` is drawn uniformly from `1..=step_max` (paper: 1..10).
+    pub step_max: i32,
+    /// Per-method mutation probability (Algorithm 1's `FlipCoin`).
+    pub mutation_prob: f64,
+}
+
+impl SynthParams {
+    /// Parameters tuned to a VM profile's thresholds (§4.1).
+    pub fn for_kind(kind: VmKind) -> SynthParams {
+        match kind {
+            VmKind::HotSpotLike => SynthParams { min: 5000, max: 9000, step_max: 10, mutation_prob: 0.5 },
+            VmKind::OpenJ9Like => SynthParams { min: 4500, max: 8500, step_max: 10, mutation_prob: 0.5 },
+            VmKind::ArtLike => SynthParams { min: 3500, max: 7000, step_max: 10, mutation_prob: 0.5 },
+        }
+    }
+}
+
+/// The synthesis engine: RNG + fresh-name counter + params.
+pub struct Synth<'a> {
+    pub rng: &'a mut StdRng,
+    pub params: &'a SynthParams,
+    pub counter: &'a mut u64,
+}
+
+impl Synth<'_> {
+    fn fresh(&mut self, tag: &str) -> String {
+        *self.counter += 1;
+        format!("${tag}{}", self.counter)
+    }
+
+    fn record_reuse(reused: &mut Vec<VarInfo>, var: &VarInfo) {
+        if !reused.iter().any(|v| v.name == var.name) {
+            reused.push(var.clone());
+        }
+    }
+
+    /// Algorithm 2's `SynExpr`: synthesizes an expression of type `ty`
+    /// from the variables available at the program point.
+    pub fn syn_expr(&mut self, ty: &Ty, vars: &[VarInfo], reused: &mut Vec<VarInfo>) -> Expr {
+        if ty.is_primitive_alike() {
+            // Rule 1/2: random value or a reused same-typed variable.
+            let candidates: Vec<&VarInfo> = vars.iter().filter(|v| &v.ty == ty).collect();
+            if !candidates.is_empty() && self.rng.gen_bool(0.5) {
+                let pick = candidates[self.rng.gen_range(0..candidates.len())];
+                Self::record_reuse(reused, pick);
+                return Expr::local(&pick.name);
+            }
+            return self.literal(ty);
+        }
+        match ty {
+            Ty::Array(elem) => {
+                if elem.is_primitive_alike() {
+                    // One-dimensional: build with synthesized elements.
+                    let len = self.rng.gen_range(1..=4);
+                    let elems =
+                        (0..len).map(|_| self.syn_expr(elem, vars, reused)).collect();
+                    Expr::NewArrayInit { elem: (**elem).clone(), elems }
+                } else {
+                    // Higher dimensions: allocate with random sizes.
+                    let dims = ty.dimensions();
+                    let sizes: Vec<Expr> = (0..dims)
+                        .map(|_| Expr::IntLit(self.rng.gen_range(1..=3)))
+                        .collect();
+                    Expr::NewArray { elem: ty.base().clone(), dims: sizes, extra_dims: 0 }
+                }
+            }
+            // Every MiniJava class has the implicit no-argument
+            // constructor, so `new T()` always applies (Rule 3's `null`
+            // fallback never fires here).
+            Ty::Class(name) => Expr::NewObject(name.clone()),
+            _ => Expr::Null,
+        }
+    }
+
+    fn literal(&mut self, ty: &Ty) -> Expr {
+        match ty {
+            Ty::Int => Expr::IntLit(self.rng.gen_range(-10_000..10_000)),
+            Ty::Long => Expr::LongLit(self.rng.gen_range(-1_000_000..1_000_000)),
+            Ty::Byte => Expr::IntLit(self.rng.gen_range(-128..=127)),
+            Ty::Bool => Expr::BoolLit(self.rng.gen_bool(0.5)),
+            Ty::Str => {
+                let n: u32 = self.rng.gen_range(0..1000);
+                Expr::StrLit(format!("s{n}"))
+            }
+            _ => Expr::Null,
+        }
+    }
+
+    /// Algorithm 2's `SynStmts`: a statement list instantiated from the
+    /// skeleton corpus, or a writer template over a reused variable.
+    pub fn syn_stmts(&mut self, vars: &[VarInfo], reused: &mut Vec<VarInfo>) -> Vec<Stmt> {
+        let writable: Vec<&VarInfo> =
+            vars.iter().filter(|v| v.ty.is_primitive_alike()).collect();
+        if !writable.is_empty() && self.rng.gen_bool(0.3) {
+            // Writer template: mutate a reused variable (then restored by
+            // the backup/restore bracket).
+            let var = writable[self.rng.gen_range(0..writable.len())].clone();
+            Self::record_reuse(reused, &var);
+            let target = LValue::Local(var.name.clone());
+            let stmt = if var.ty.is_numeric() && self.rng.gen_bool(0.6) {
+                let op = match self.rng.gen_range(0..4) {
+                    0 => AssignOp::Add,
+                    1 => AssignOp::Sub,
+                    2 => AssignOp::Xor,
+                    _ => AssignOp::Or,
+                };
+                Stmt::Assign { target, op, value: self.syn_expr(&Ty::Int, vars, reused) }
+            } else {
+                let value = self.syn_expr(&var.ty, vars, reused);
+                Stmt::Assign { target, op: AssignOp::Set, value }
+            };
+            return vec![stmt];
+        }
+        self.instantiate_skeleton(vars, reused)
+    }
+
+    /// Corpus-only synthesis: writes nothing but fresh locals (used where
+    /// neutrality requires it, e.g. before SW's wrapped statement).
+    pub fn syn_stmts_pure(&mut self, vars: &[VarInfo], reused: &mut Vec<VarInfo>) -> Vec<Stmt> {
+        self.instantiate_skeleton(vars, reused)
+    }
+
+    fn instantiate_skeleton(&mut self, vars: &[VarInfo], reused: &mut Vec<VarInfo>) -> Vec<Stmt> {
+        let corpus = skeleton::parsed_corpus();
+        let mut stmts = corpus[self.rng.gen_range(0..corpus.len())].clone();
+        // Rename skeleton locals (`s_*`) to fresh names.
+        let mut rename = std::collections::HashMap::new();
+        collect_decl_names(&stmts, &mut |name| {
+            if name.starts_with("s_") && !rename.contains_key(name) {
+                *self.counter += 1;
+                rename.insert(name.to_string(), format!("$s{}", self.counter));
+            }
+        });
+        rewrite_stmts(&mut stmts, &mut |expr| {
+            match expr {
+                Expr::Name(n) | Expr::Local(n) => {
+                    if let Some(new) = rename.get(n) {
+                        *n = new.clone();
+                    }
+                }
+                Expr::FreeCall { name, .. } => {
+                    let ty = match name.as_str() {
+                        "__int" => Some(Ty::Int),
+                        "__long" => Some(Ty::Long),
+                        "__byte" => Some(Ty::Byte),
+                        "__bool" => Some(Ty::Bool),
+                        "__str" => Some(Ty::Str),
+                        _ => None,
+                    };
+                    if let Some(ty) = ty {
+                        *expr = self.syn_expr(&ty, vars, reused);
+                    }
+                }
+                _ => {}
+            }
+        }, &mut |name| {
+            if let Some(new) = rename.get(name) {
+                *name = new.clone();
+            }
+        });
+        stmts
+    }
+
+    /// Assembles the synthesized loop `L` (Figure 3's shared shell):
+    ///
+    /// ```text
+    /// <backups of V'>
+    /// <pre>                          // mutator-specific (e.g. SW's flag)
+    /// __mute();
+    /// int $lo = Math.min(MIN, e1);
+    /// int $hi = Math.max(MAX, e2);
+    /// try { for (int $i = $lo; $i < $hi; $i += STEP) { <body> } } catch { }
+    /// <post>                         // mutator-specific (e.g. MI's reset)
+    /// __unmute();
+    /// <restores of V'>
+    /// ```
+    pub fn wrap_loop(
+        &mut self,
+        vars: &[VarInfo],
+        mut reused: Vec<VarInfo>,
+        pre: Vec<Stmt>,
+        body: Vec<Stmt>,
+        post: Vec<Stmt>,
+    ) -> Vec<Stmt> {
+        let i = self.fresh("i");
+        let lo = self.fresh("lo");
+        let hi = self.fresh("hi");
+        let step = self.rng.gen_range(1..=self.params.step_max.max(1));
+        let e1 = self.syn_expr(&Ty::Int, vars, &mut reused);
+        let e2 = self.syn_expr(&Ty::Int, vars, &mut reused);
+        let loop_stmt = Stmt::For {
+            init: Some(Box::new(Stmt::VarDecl {
+                name: i.clone(),
+                ty: Ty::Int,
+                init: Expr::local(&lo),
+            })),
+            cond: Some(Expr::bin(BinOp::Lt, Expr::local(&i), Expr::local(&hi))),
+            step: Some(Box::new(Stmt::Assign {
+                target: LValue::Local(i),
+                op: AssignOp::Add,
+                value: Expr::IntLit(step),
+            })),
+            body: Block::of(body),
+        };
+        let mut out: Vec<Stmt> = Vec::new();
+        // Backups (dedup by name happened at record time).
+        let mut restores: Vec<Stmt> = Vec::new();
+        for var in &reused {
+            let bk = self.fresh("bk");
+            out.push(Stmt::VarDecl {
+                name: bk.clone(),
+                ty: var.ty.clone(),
+                init: Expr::local(&var.name),
+            });
+            restores.push(Stmt::Assign {
+                target: LValue::Local(var.name.clone()),
+                op: AssignOp::Set,
+                value: Expr::local(&bk),
+            });
+        }
+        out.extend(pre);
+        out.push(Stmt::Mute);
+        out.push(Stmt::VarDecl {
+            name: lo,
+            ty: Ty::Int,
+            init: Expr::IntrinsicCall {
+                which: Intrinsic::Min,
+                args: vec![Expr::IntLit(self.params.min), e1],
+            },
+        });
+        out.push(Stmt::VarDecl {
+            name: hi,
+            ty: Ty::Int,
+            init: Expr::IntrinsicCall {
+                which: Intrinsic::Max,
+                args: vec![Expr::IntLit(self.params.max), e2],
+            },
+        });
+        out.push(Stmt::Try {
+            body: Block::of(vec![loop_stmt]),
+            catch: Some(Block::default()),
+            finally: None,
+        });
+        out.extend(post);
+        out.push(Stmt::Unmute);
+        out.extend(restores);
+        out
+    }
+}
+
+/// Collects the names declared by `stmts` (including loop-init decls).
+fn collect_decl_names(stmts: &[Stmt], f: &mut impl FnMut(&str)) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::VarDecl { name, .. } => f(name),
+            Stmt::If { then_blk, else_blk, .. } => {
+                collect_decl_names(&then_blk.stmts, f);
+                if let Some(e) = else_blk {
+                    collect_decl_names(&e.stmts, f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                collect_decl_names(&body.stmts, f);
+            }
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    collect_decl_names(std::slice::from_ref(init), f);
+                }
+                collect_decl_names(&body.stmts, f);
+            }
+            Stmt::Switch { cases, .. } => {
+                for case in cases {
+                    collect_decl_names(&case.body, f);
+                }
+            }
+            Stmt::Block(b) => collect_decl_names(&b.stmts, f),
+            Stmt::Try { body, catch, finally } => {
+                collect_decl_names(&body.stmts, f);
+                if let Some(c) = catch {
+                    collect_decl_names(&c.stmts, f);
+                }
+                if let Some(fin) = finally {
+                    collect_decl_names(&fin.stmts, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rewrites every expression (post-order) and declared name in `stmts`.
+pub fn rewrite_stmts(
+    stmts: &mut [Stmt],
+    on_expr: &mut impl FnMut(&mut Expr),
+    on_decl: &mut impl FnMut(&mut String),
+) {
+    for stmt in stmts {
+        rewrite_stmt(stmt, on_expr, on_decl);
+    }
+}
+
+fn rewrite_stmt(
+    stmt: &mut Stmt,
+    on_expr: &mut impl FnMut(&mut Expr),
+    on_decl: &mut impl FnMut(&mut String),
+) {
+    match stmt {
+        Stmt::VarDecl { name, init, .. } => {
+            rewrite_expr(init, on_expr);
+            on_decl(name);
+        }
+        Stmt::Assign { target, value, .. } => {
+            rewrite_lvalue(target, on_expr, on_decl);
+            rewrite_expr(value, on_expr);
+        }
+        Stmt::IncDec { target, .. } => rewrite_lvalue(target, on_expr, on_decl),
+        Stmt::If { cond, then_blk, else_blk } => {
+            rewrite_expr(cond, on_expr);
+            rewrite_stmts(&mut then_blk.stmts, on_expr, on_decl);
+            if let Some(e) = else_blk {
+                rewrite_stmts(&mut e.stmts, on_expr, on_decl);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            rewrite_expr(cond, on_expr);
+            rewrite_stmts(&mut body.stmts, on_expr, on_decl);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(init) = init {
+                rewrite_stmt(init, on_expr, on_decl);
+            }
+            if let Some(cond) = cond {
+                rewrite_expr(cond, on_expr);
+            }
+            if let Some(step) = step {
+                rewrite_stmt(step, on_expr, on_decl);
+            }
+            rewrite_stmts(&mut body.stmts, on_expr, on_decl);
+        }
+        Stmt::Switch { scrutinee, cases } => {
+            rewrite_expr(scrutinee, on_expr);
+            for case in cases {
+                rewrite_stmts(&mut case.body, on_expr, on_decl);
+            }
+        }
+        Stmt::Return(Some(value)) => rewrite_expr(value, on_expr),
+        Stmt::ExprStmt(expr) => rewrite_expr(expr, on_expr),
+        Stmt::Block(b) => rewrite_stmts(&mut b.stmts, on_expr, on_decl),
+        Stmt::Try { body, catch, finally } => {
+            rewrite_stmts(&mut body.stmts, on_expr, on_decl);
+            if let Some(c) = catch {
+                rewrite_stmts(&mut c.stmts, on_expr, on_decl);
+            }
+            if let Some(f) = finally {
+                rewrite_stmts(&mut f.stmts, on_expr, on_decl);
+            }
+        }
+        Stmt::Throw(code) => rewrite_expr(code, on_expr),
+        Stmt::Println(value) => rewrite_expr(value, on_expr),
+        Stmt::Break | Stmt::Continue | Stmt::Return(None) | Stmt::Mute | Stmt::Unmute => {}
+    }
+}
+
+fn rewrite_lvalue(
+    lvalue: &mut LValue,
+    on_expr: &mut impl FnMut(&mut Expr),
+    on_decl: &mut impl FnMut(&mut String),
+) {
+    match lvalue {
+        LValue::Name(name) | LValue::Local(name) => on_decl(name),
+        LValue::InstField { recv, .. } => rewrite_expr(recv, on_expr),
+        LValue::Index { array, index } => {
+            rewrite_expr(array, on_expr);
+            rewrite_expr(index, on_expr);
+        }
+        LValue::StaticField { .. } => {}
+    }
+}
+
+fn rewrite_expr(expr: &mut Expr, on_expr: &mut impl FnMut(&mut Expr)) {
+    match expr {
+        Expr::InstField { recv, .. } => rewrite_expr(recv, on_expr),
+        Expr::Index { array, index } => {
+            rewrite_expr(array, on_expr);
+            rewrite_expr(index, on_expr);
+        }
+        Expr::Length(array) => rewrite_expr(array, on_expr),
+        Expr::NewArray { dims, .. } => {
+            for d in dims {
+                rewrite_expr(d, on_expr);
+            }
+        }
+        Expr::NewArrayInit { elems, .. } => {
+            for e in elems {
+                rewrite_expr(e, on_expr);
+            }
+        }
+        Expr::StaticCall { args, .. }
+        | Expr::FreeCall { args, .. }
+        | Expr::IntrinsicCall { args, .. } => {
+            for a in args {
+                rewrite_expr(a, on_expr);
+            }
+        }
+        Expr::InstCall { recv, args, .. } => {
+            rewrite_expr(recv, on_expr);
+            for a in args {
+                rewrite_expr(a, on_expr);
+            }
+        }
+        Expr::Unary { expr: inner, .. } | Expr::Cast { expr: inner, .. } => {
+            rewrite_expr(inner, on_expr);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            rewrite_expr(lhs, on_expr);
+            rewrite_expr(rhs, on_expr);
+        }
+        _ => {}
+    }
+    on_expr(expr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn synth_env() -> (StdRng, SynthParams, u64) {
+        (StdRng::seed_from_u64(1), SynthParams::for_kind(VmKind::HotSpotLike), 0)
+    }
+
+    fn vars() -> Vec<VarInfo> {
+        vec![
+            VarInfo { name: "x".into(), ty: Ty::Int, is_param: true },
+            VarInfo { name: "l".into(), ty: Ty::Long, is_param: false },
+            VarInfo { name: "b".into(), ty: Ty::Bool, is_param: false },
+        ]
+    }
+
+    #[test]
+    fn syn_expr_reuses_matching_variables() {
+        let (mut rng, params, mut counter) = synth_env();
+        let mut synth = Synth { rng: &mut rng, params: &params, counter: &mut counter };
+        let vars = vars();
+        let mut reused = Vec::new();
+        let mut saw_reuse = false;
+        for _ in 0..50 {
+            if let Expr::Local(name) = synth.syn_expr(&Ty::Int, &vars, &mut reused) {
+                assert_eq!(name, "x");
+                saw_reuse = true;
+            }
+        }
+        assert!(saw_reuse, "Rule 2 should fire with ~50% probability");
+        assert!(reused.iter().any(|v| v.name == "x"));
+        // Reuse list is deduplicated.
+        let count = reused.iter().filter(|v| v.name == "x").count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn syn_expr_array_and_class_rules() {
+        let (mut rng, params, mut counter) = synth_env();
+        let mut synth = Synth { rng: &mut rng, params: &params, counter: &mut counter };
+        let mut reused = Vec::new();
+        let arr = synth.syn_expr(&Ty::Int.array_of(), &[], &mut reused);
+        assert!(matches!(arr, Expr::NewArrayInit { .. }));
+        let multi = synth.syn_expr(&Ty::Int.array_of().array_of(), &[], &mut reused);
+        assert!(matches!(multi, Expr::NewArray { .. }));
+        let obj = synth.syn_expr(&Ty::Class("T".into()), &[], &mut reused);
+        assert_eq!(obj, Expr::NewObject("T".into()));
+    }
+
+    #[test]
+    fn skeleton_instantiation_renames_and_fills() {
+        let (mut rng, params, mut counter) = synth_env();
+        let mut synth = Synth { rng: &mut rng, params: &params, counter: &mut counter };
+        let vars = vars();
+        for _ in 0..80 {
+            let mut reused = Vec::new();
+            let stmts = synth.syn_stmts_pure(&vars, &mut reused);
+            // No `s_` name and no hole may survive instantiation.
+            let bad = std::cell::Cell::new(false);
+            let mut probe = stmts.clone();
+            rewrite_stmts(
+                &mut probe,
+                &mut |e| {
+                    if let Expr::FreeCall { name, .. } = e {
+                        if name.starts_with("__") {
+                            bad.set(true);
+                        }
+                    }
+                    if let Expr::Name(n) | Expr::Local(n) = e {
+                        if n.starts_with("s_") {
+                            bad.set(true);
+                        }
+                    }
+                },
+                &mut |n| {
+                    if n.starts_with("s_") {
+                        bad.set(true);
+                    }
+                },
+            );
+            assert!(!bad.get(), "unsubstituted skeleton parts in {stmts:?}");
+        }
+    }
+
+    #[test]
+    fn wrapped_loop_has_neutrality_armor() {
+        let (mut rng, params, mut counter) = synth_env();
+        let mut synth = Synth { rng: &mut rng, params: &params, counter: &mut counter };
+        let vars = vars();
+        let mut reused = Vec::new();
+        let body = synth.syn_stmts(&vars, &mut reused);
+        // Force one reused var so backups appear.
+        let reused_vars = vec![vars[0].clone()];
+        let l = synth.wrap_loop(&vars, reused_vars, vec![], body, vec![]);
+        assert!(matches!(l[0], Stmt::VarDecl { .. }), "backup first");
+        assert!(l.iter().any(|s| matches!(s, Stmt::Mute)));
+        assert!(l.iter().any(|s| matches!(s, Stmt::Unmute)));
+        assert!(l.iter().any(|s| matches!(s, Stmt::Try { catch: Some(_), .. })));
+        // Restore is the last statement.
+        assert!(matches!(l.last(), Some(Stmt::Assign { op: AssignOp::Set, .. })));
+    }
+
+    #[test]
+    fn params_scale_with_vm_kind() {
+        let hs = SynthParams::for_kind(VmKind::HotSpotLike);
+        let j9 = SynthParams::for_kind(VmKind::OpenJ9Like);
+        assert!(hs.max > j9.max, "per-VM MIN/MAX track each VM's thresholds (§4.1)");
+        assert!(hs.min < hs.max && j9.min < j9.max);
+    }
+}

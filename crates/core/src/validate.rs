@@ -1,0 +1,296 @@
+//! JIT-compiler validation — the paper's Algorithm 1.
+//!
+//! `Validate(LVM, P)` runs the seed with its default JIT-trace, derives
+//! `MAX_ITER` JoNM mutants, runs each with *its* default JIT-trace, and
+//! reports a JIT-compiler bug whenever the outputs disagree (§3.3's
+//! metamorphic oracle: the mutations are semantics-preserving, so any
+//! discrepancy is the VM's fault).
+//!
+//! Beyond the paper's tool, the driver can (a) verify each mutant's
+//! neutrality against the reference interpreter — a harness-soundness
+//! check the paper cannot run on production JVMs but we can, and (b)
+//! attribute discrepancies to ground-truth injected bugs by re-running
+//! with individual bugs disabled, which powers the Table 1 "Duplicate"
+//! accounting.
+
+use cse_bytecode::BProgram;
+use cse_lang::Program;
+use cse_vm::{
+    BugId, ExecutionResult, FaultInjector, Outcome, Symptom, Vm, VmConfig,
+};
+
+use crate::mutate::{AppliedMutation, Artemis};
+use crate::synth::SynthParams;
+
+/// Validation settings.
+#[derive(Debug, Clone)]
+pub struct ValidateConfig {
+    /// Mutants per seed (the paper's `MAX_ITER`, set to 8 in §4.1).
+    pub max_iter: usize,
+    /// The LVM under test.
+    pub vm: VmConfig,
+    /// Synthesis hyper-parameters.
+    pub params: SynthParams,
+    /// Cross-check every mutant against the reference interpreter and
+    /// panic on a non-neutral mutation (harness soundness; costs one
+    /// extra run per mutant).
+    pub verify_neutrality: bool,
+}
+
+impl ValidateConfig {
+    /// The paper's evaluation settings for a VM profile (§4.1):
+    /// `MAX_ITER = 8`, thresholds-scaled `MIN`/`MAX`.
+    pub fn paper_defaults(vm: VmConfig) -> ValidateConfig {
+        let params = SynthParams::for_kind(vm.kind);
+        ValidateConfig { max_iter: 8, vm, params, verify_neutrality: true }
+    }
+}
+
+/// How a discrepancy manifested (Table 1's bug-type split).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscrepancyKind {
+    /// Outputs differ between seed and mutant (both completed).
+    MisCompilation,
+    /// The mutant crashed the VM.
+    Crash(cse_vm::CrashInfo),
+    /// The mutant's compiled code is pathologically slower than its
+    /// interpreted execution (or timed out when interpretation finishes
+    /// comfortably).
+    Performance,
+}
+
+impl DiscrepancyKind {
+    /// Maps to the Table 1 symptom class.
+    pub fn symptom(&self) -> Symptom {
+        match self {
+            DiscrepancyKind::MisCompilation => Symptom::MisCompilation,
+            DiscrepancyKind::Crash(_) => Symptom::Crash,
+            DiscrepancyKind::Performance => Symptom::Performance,
+        }
+    }
+}
+
+/// One reported discrepancy.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    pub kind: DiscrepancyKind,
+    /// The mutant source that exposes the bug (a ready bug report).
+    pub mutant_source: String,
+    /// Mutations that were applied to derive the mutant.
+    pub mutations: Vec<AppliedMutation>,
+    /// Ground-truth culprit, when attribution was possible.
+    pub culprit: Option<BugId>,
+    /// Seed/mutant observable behaviors, for the report.
+    pub seed_observable: String,
+    pub mutant_observable: String,
+}
+
+/// The outcome of validating one seed.
+#[derive(Debug, Default)]
+pub struct ValidationOutcome {
+    pub discrepancies: Vec<Discrepancy>,
+    /// Mutants executed.
+    pub mutants_run: usize,
+    /// Mutants discarded for exceeding the step budget (the paper's
+    /// two-minute cutoff, §4.3).
+    pub discarded: usize,
+    /// VM invocations performed (seed + mutants + attribution reruns).
+    pub vm_invocations: usize,
+    /// Non-neutral mutants detected (harness bugs; must stay zero).
+    pub neutrality_violations: usize,
+}
+
+impl ValidationOutcome {
+    /// Whether any discrepancy was found.
+    pub fn found_bug(&self) -> bool {
+        !self.discrepancies.is_empty()
+    }
+}
+
+/// Compiles a checked program, panicking on front-end failure (inputs are
+/// either fuzzer output or mutants of checked programs — both valid by
+/// construction).
+pub fn compile_checked(program: &Program) -> BProgram {
+    let mut program = program.clone();
+    cse_lang::typeck::check(&mut program).expect("mutant failed the type checker");
+    cse_bytecode::compile(&program).expect("mutant failed bytecode compilation")
+}
+
+/// Algorithm 1: validates `LVM` (in `config.vm`) against one seed.
+///
+/// `rng_seed` fixes the mutation randomness, making every validation
+/// reproducible.
+pub fn validate(seed: &Program, config: &ValidateConfig, rng_seed: u64) -> ValidationOutcome {
+    validate_with(seed, config, rng_seed, |_| {})
+}
+
+/// [`validate`] with a hook to configure the mutation engine (e.g. the
+/// mutator-mix ablation restricts `Artemis::enabled`).
+pub fn validate_with(
+    seed: &Program,
+    config: &ValidateConfig,
+    rng_seed: u64,
+    configure: impl FnOnce(&mut Artemis),
+) -> ValidationOutcome {
+    let mut outcome = ValidationOutcome::default();
+    let seed_bytecode = compile_checked(seed);
+    // R ← LVM(P): the seed with its default JIT-trace.
+    let seed_result = Vm::run_program(&seed_bytecode, config.vm.clone());
+    outcome.vm_invocations += 1;
+    if matches!(seed_result.outcome, Outcome::Timeout) {
+        outcome.discarded += 1;
+        return outcome;
+    }
+    // Reference (interpreter) behavior for neutrality and the perf oracle.
+    let seed_reference = if config.verify_neutrality {
+        outcome.vm_invocations += 1;
+        Some(Vm::run_program(&seed_bytecode, VmConfig::interpreter_only(config.vm.kind)))
+    } else {
+        None
+    };
+    let mut artemis = Artemis::new(rng_seed, config.params.clone());
+    configure(&mut artemis);
+    for _ in 0..config.max_iter {
+        // P' ← JoNM(P).
+        let (mutant, mutations) = artemis.jonm(seed);
+        if mutations.is_empty() {
+            continue;
+        }
+        let mutant_bytecode = compile_checked(&mutant);
+        // R' ← LVM(P').
+        let mutant_result = Vm::run_program(&mutant_bytecode, config.vm.clone());
+        outcome.vm_invocations += 1;
+        outcome.mutants_run += 1;
+        // Reference run: neutrality check + performance baseline.
+        let mutant_reference = if config.verify_neutrality {
+            outcome.vm_invocations += 1;
+            let reference =
+                Vm::run_program(&mutant_bytecode, VmConfig::interpreter_only(config.vm.kind));
+            if let Some(seed_reference) = &seed_reference {
+                if reference.observable() != seed_reference.observable()
+                    && !matches!(reference.outcome, Outcome::Timeout)
+                    && !matches!(seed_reference.outcome, Outcome::Timeout)
+                {
+                    outcome.neutrality_violations += 1;
+                    continue;
+                }
+            }
+            Some(reference)
+        } else {
+            None
+        };
+        // Timeout handling: discard unless the reference shows the mutant
+        // is comfortably cheap — then the slowness is the JIT's fault.
+        if matches!(mutant_result.outcome, Outcome::Timeout) {
+            let genuine_perf_bug = mutant_reference
+                .as_ref()
+                .map(|r| {
+                    r.outcome.is_completed() && r.stats.total_ops() < config.vm.fuel / 4
+                })
+                .unwrap_or(false);
+            if genuine_perf_bug {
+                outcome.discrepancies.push(make_discrepancy(
+                    DiscrepancyKind::Performance,
+                    &mutant,
+                    mutations,
+                    &seed_result,
+                    &mutant_result,
+                    config,
+                    &mutant_bytecode,
+                    &mut outcome.vm_invocations,
+                ));
+            } else {
+                outcome.discarded += 1;
+            }
+            continue;
+        }
+        // Explicit performance anomaly: compiled execution does far more
+        // work than pure interpretation of the same program.
+        if let Some(reference) = &mutant_reference {
+            if reference.outcome.is_completed()
+                && mutant_result.stats.total_ops()
+                    > reference.stats.total_ops().saturating_mul(8) + 1_000_000
+            {
+                outcome.discrepancies.push(make_discrepancy(
+                    DiscrepancyKind::Performance,
+                    &mutant,
+                    mutations,
+                    &seed_result,
+                    &mutant_result,
+                    config,
+                    &mutant_bytecode,
+                    &mut outcome.vm_invocations,
+                ));
+                continue;
+            }
+        }
+        // The §3.2 oracle: LVM(P) vs LVM(P').
+        if mutant_result.observable() != seed_result.observable() {
+            let kind = match &mutant_result.outcome {
+                Outcome::Crash(info) => DiscrepancyKind::Crash(info.clone()),
+                _ => DiscrepancyKind::MisCompilation,
+            };
+            outcome.discrepancies.push(make_discrepancy(
+                kind,
+                &mutant,
+                mutations,
+                &seed_result,
+                &mutant_result,
+                config,
+                &mutant_bytecode,
+                &mut outcome.vm_invocations,
+            ));
+        }
+    }
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_discrepancy(
+    kind: DiscrepancyKind,
+    mutant: &Program,
+    mutations: Vec<AppliedMutation>,
+    seed_result: &ExecutionResult,
+    mutant_result: &ExecutionResult,
+    config: &ValidateConfig,
+    mutant_bytecode: &BProgram,
+    vm_invocations: &mut usize,
+) -> Discrepancy {
+    let culprit = match &kind {
+        // Crashes carry ground truth directly.
+        DiscrepancyKind::Crash(info) => Some(info.bug),
+        // Mis-compilations and perf bugs are attributed by ablation.
+        _ => attribute(mutant_bytecode, config, mutant_result, vm_invocations),
+    };
+    Discrepancy {
+        kind,
+        mutant_source: cse_lang::pretty::print(mutant),
+        mutations,
+        culprit,
+        seed_observable: seed_result.observable(),
+        mutant_observable: mutant_result.observable(),
+    }
+}
+
+/// Ground-truth attribution: re-runs the mutant with each active bug
+/// disabled; the first whose removal changes the observable behavior is
+/// the culprit.
+fn attribute(
+    mutant_bytecode: &BProgram,
+    config: &ValidateConfig,
+    buggy_result: &ExecutionResult,
+    vm_invocations: &mut usize,
+) -> Option<BugId> {
+    let active: Vec<BugId> = config.vm.faults.bugs().collect();
+    for &bug in &active {
+        let remaining: Vec<BugId> = active.iter().copied().filter(|&b| b != bug).collect();
+        let mut vm = config.vm.clone();
+        vm.faults = FaultInjector::with(remaining);
+        let result = Vm::run_program(mutant_bytecode, vm);
+        *vm_invocations += 1;
+        if result.observable() != buggy_result.observable() {
+            return Some(bug);
+        }
+    }
+    None
+}

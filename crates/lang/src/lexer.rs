@@ -1,0 +1,428 @@
+//! Hand-written lexer for the MiniJava subset.
+
+use crate::token::{Tok, Token};
+use crate::FrontError;
+
+/// Lexes source text into a token stream ending with [`Tok::Eof`].
+///
+/// Supports `//` line comments and `/* ... */` block comments, decimal
+/// integer literals with an optional `L`/`l` suffix, and double-quoted
+/// string literals with `\n`, `\t`, `\\`, and `\"` escapes.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().peekable(), line: 1, tokens: Vec::new() }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push(&mut self, kind: Tok) {
+        let line = self.line;
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontError> {
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' => {
+                    self.bump();
+                    if self.eat('/') {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else if self.eat('*') {
+                        self.block_comment()?;
+                    } else if self.eat('=') {
+                        self.push(Tok::SlashAssign);
+                    } else {
+                        self.push(Tok::Slash);
+                    }
+                }
+                '0'..='9' => self.number()?,
+                'a'..='z' | 'A'..='Z' | '_' | '$' => self.word(),
+                '"' => self.string()?,
+                _ => self.symbol()?,
+            }
+        }
+        self.push(Tok::Eof);
+        Ok(self.tokens)
+    }
+
+    fn block_comment(&mut self) -> Result<(), FrontError> {
+        let start = self.line;
+        loop {
+            match self.bump() {
+                Some('*') if self.eat('/') => return Ok(()),
+                Some(_) => {}
+                None => {
+                    return Err(FrontError::at(start, "unterminated block comment"));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), FrontError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    digits.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let long_suffix = matches!(self.peek(), Some('L') | Some('l'));
+        if long_suffix {
+            self.bump();
+        }
+        // Parse as u64 first so that `2147483648` (i32::MIN magnitude) and
+        // `9223372036854775808` survive until the parser applies unary minus.
+        let value: u64 = digits
+            .parse()
+            .map_err(|_| FrontError::at(self.line, format!("integer literal `{digits}` too large")))?;
+        let kind = if long_suffix {
+            if value > i64::MAX as u64 + 1 {
+                return Err(FrontError::at(self.line, format!("long literal `{digits}` out of range")));
+            }
+            // Stored as wrapped i64 bits; the parser range-checks after
+            // folding a leading unary minus.
+            Tok::LongLit(value as i64)
+        } else {
+            if value > i32::MAX as u64 + 1 {
+                return Err(FrontError::at(
+                    self.line,
+                    format!("int literal `{digits}` out of range (use an `L` suffix for long)"),
+                ));
+            }
+            Tok::IntLit(value as i64)
+        };
+        self.push(kind);
+        Ok(())
+    }
+
+    fn word(&mut self) {
+        let mut ident = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                ident.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match ident.as_str() {
+            "class" => Tok::KwClass,
+            "static" => Tok::KwStatic,
+            "int" => Tok::KwInt,
+            "long" => Tok::KwLong,
+            "byte" => Tok::KwByte,
+            "boolean" => Tok::KwBoolean,
+            "String" => Tok::KwString,
+            "void" => Tok::KwVoid,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "for" => Tok::KwFor,
+            "switch" => Tok::KwSwitch,
+            "case" => Tok::KwCase,
+            "default" => Tok::KwDefault,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "return" => Tok::KwReturn,
+            "new" => Tok::KwNew,
+            "true" => Tok::KwTrue,
+            "false" => Tok::KwFalse,
+            "null" => Tok::KwNull,
+            "this" => Tok::KwThis,
+            "try" => Tok::KwTry,
+            "catch" => Tok::KwCatch,
+            "finally" => Tok::KwFinally,
+            "throw" => Tok::KwThrow,
+            _ => Tok::Ident(ident),
+        };
+        self.push(kind);
+    }
+
+    fn string(&mut self) -> Result<(), FrontError> {
+        let start = self.line;
+        self.bump(); // Opening quote.
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('\\') => text.push('\\'),
+                    Some('"') => text.push('"'),
+                    other => {
+                        return Err(FrontError::at(
+                            start,
+                            format!("unsupported escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                        ));
+                    }
+                },
+                Some('\n') | None => {
+                    return Err(FrontError::at(start, "unterminated string literal"));
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(Tok::StrLit(text));
+        Ok(())
+    }
+
+    fn symbol(&mut self) -> Result<(), FrontError> {
+        let c = self.bump().expect("symbol() called with a pending char");
+        let kind = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            ':' => Tok::Colon,
+            '~' => Tok::Tilde,
+            '+' => {
+                if self.eat('+') {
+                    Tok::PlusPlus
+                } else if self.eat('=') {
+                    Tok::PlusAssign
+                } else {
+                    Tok::Plus
+                }
+            }
+            '-' => {
+                if self.eat('-') {
+                    Tok::MinusMinus
+                } else if self.eat('=') {
+                    Tok::MinusAssign
+                } else {
+                    Tok::Minus
+                }
+            }
+            '*' => {
+                if self.eat('=') {
+                    Tok::StarAssign
+                } else {
+                    Tok::Star
+                }
+            }
+            '%' => {
+                if self.eat('=') {
+                    Tok::PercentAssign
+                } else {
+                    Tok::Percent
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    Tok::AmpAmp
+                } else if self.eat('=') {
+                    Tok::AmpAssign
+                } else {
+                    Tok::Amp
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    Tok::PipePipe
+                } else if self.eat('=') {
+                    Tok::PipeAssign
+                } else {
+                    Tok::Pipe
+                }
+            }
+            '^' => {
+                if self.eat('=') {
+                    Tok::CaretAssign
+                } else {
+                    Tok::Caret
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    Tok::BangEq
+                } else {
+                    Tok::Bang
+                }
+            }
+            '=' => {
+                if self.eat('=') {
+                    Tok::EqEq
+                } else {
+                    Tok::Assign
+                }
+            }
+            '<' => {
+                if self.eat('<') {
+                    if self.eat('=') {
+                        Tok::ShlAssign
+                    } else {
+                        Tok::Shl
+                    }
+                } else if self.eat('=') {
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if self.eat('>') {
+                    if self.eat('>') {
+                        if self.eat('=') {
+                            Tok::UshrAssign
+                        } else {
+                            Tok::Ushr
+                        }
+                    } else if self.eat('=') {
+                        Tok::ShrAssign
+                    } else {
+                        Tok::Shr
+                    }
+                } else if self.eat('=') {
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            other => {
+                return Err(FrontError::at(self.line, format!("unexpected character `{other}`")));
+            }
+        };
+        self.push(kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        assert_eq!(
+            kinds("class T { int x = 42; }"),
+            vec![
+                Tok::KwClass,
+                Tok::Ident("T".into()),
+                Tok::LBrace,
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_shift_operators() {
+        assert_eq!(
+            kinds("a >> b >>> c << d >>= e >>>= f <<= g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Shr,
+                Tok::Ident("b".into()),
+                Tok::Ushr,
+                Tok::Ident("c".into()),
+                Tok::Shl,
+                Tok::Ident("d".into()),
+                Tok::ShrAssign,
+                Tok::Ident("e".into()),
+                Tok::UshrAssign,
+                Tok::Ident("f".into()),
+                Tok::ShlAssign,
+                Tok::Ident("g".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn long_literal_is_tagged() {
+        assert_eq!(kinds("900000000000L")[0], Tok::LongLit(900000000000));
+        assert_eq!(kinds("7l")[0], Tok::LongLit(7));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n over lines */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\n\t\"\\""#), vec![Tok::StrLit("a\n\t\"\\".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_oversized_int_literal() {
+        assert!(lex("99999999999").is_err());
+        // But i32::MIN magnitude is fine (parser folds the minus sign).
+        assert!(lex("2147483648").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(lex("#").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! MiniJava front end: the source-level substrate for JIT-op neutral mutation.
+//!
+//! This crate plays the role that the Spoon framework plays for the paper's
+//! Artemis implementation: it parses a statically-typed Java subset into a
+//! mutable AST, type-checks and name-resolves it, and prints it back to
+//! source. The subset deliberately covers everything the JoNM mutators need
+//! (loops, method calls, fields, control flags, `try`/`catch`/`finally`) and
+//! deliberately excludes floating point and concurrency, exactly as the
+//! paper's Artemis does (§4.5).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     class T {
+//!         static int f(int x) { return x * 2; }
+//!         static void main() { println(f(21)); }
+//!     }
+//! "#;
+//! let program = cse_lang::parse_and_check(src).unwrap();
+//! assert_eq!(program.classes.len(), 1);
+//! let printed = cse_lang::pretty::print(&program);
+//! // The printed program re-parses to the same AST.
+//! let reparsed = cse_lang::parse_and_check(&printed).unwrap();
+//! assert_eq!(program, reparsed);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod scope;
+pub mod token;
+pub mod ty;
+pub mod typeck;
+
+pub use ast::Program;
+pub use ty::Ty;
+
+/// A front-end error: lexing, parsing, or type checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number the error was detected at, when known.
+    pub line: Option<u32>,
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl FrontError {
+    /// Creates an error with no line information.
+    pub fn msg(message: impl Into<String>) -> Self {
+        FrontError { message: message.into(), line: None }
+    }
+
+    /// Creates an error attached to a 1-based source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        FrontError { message: message.into(), line: Some(line) }
+    }
+}
+
+/// Parses source text and returns the raw (unresolved) AST.
+pub fn parse(src: &str) -> Result<Program, FrontError> {
+    let tokens = lexer::lex(src)?;
+    parser::parse_tokens(&tokens)
+}
+
+/// Parses, name-resolves, and type-checks source text.
+///
+/// The returned program has every bare name resolved to a local, parameter,
+/// or field access, so downstream consumers (the bytecode compiler and the
+/// JoNM mutators) never see an ambiguous [`ast::Expr::Name`].
+pub fn parse_and_check(src: &str) -> Result<Program, FrontError> {
+    let mut program = parse(src)?;
+    typeck::check(&mut program)?;
+    Ok(program)
+}

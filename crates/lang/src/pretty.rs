@@ -1,0 +1,473 @@
+//! Precedence-aware pretty printer.
+//!
+//! Printing a checked program and re-checking the printed text yields an
+//! identical AST (a property test in the crate root enforces this); the JoNM
+//! pipeline relies on it to emit reproducer sources for bug reports.
+
+use crate::ast::*;
+
+
+/// Prints a whole program as compilable MiniJava source.
+pub fn print(program: &Program) -> String {
+    let mut p = Printer::default();
+    for class in &program.classes {
+        p.class(class);
+    }
+    p.out
+}
+
+/// Prints a single expression (used in diagnostics and tests).
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr, 0);
+    p.out
+}
+
+/// Prints a single statement at indentation level zero.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(stmt);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, text: &str) {
+        self.indent -= 1;
+        self.line(text);
+    }
+
+    fn class(&mut self, class: &ClassDecl) {
+        self.open(&format!("class {} {{", class.name));
+        for field in &class.fields {
+            let stat = if field.is_static { "static " } else { "" };
+            match &field.init {
+                Some(init) => {
+                    let mut e = Printer::default();
+                    e.expr(init, 0);
+                    self.line(&format!("{stat}{} {} = {};", field.ty, field.name, e.out));
+                }
+                None => self.line(&format!("{stat}{} {};", field.ty, field.name)),
+            }
+        }
+        for method in &class.methods {
+            self.method(method);
+        }
+        self.close("}");
+    }
+
+    fn method(&mut self, method: &MethodDecl) {
+        let stat = if method.is_static { "static " } else { "" };
+        let params: Vec<String> =
+            method.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+        self.open(&format!("{stat}{} {}({}) {{", method.ret, method.name, params.join(", ")));
+        for stmt in &method.body.stmts {
+            self.stmt(stmt);
+        }
+        self.close("}");
+    }
+
+    fn block_body(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::VarDecl { name, ty, init } => {
+                let init = render(init);
+                self.line(&format!("{ty} {name} = {init};"));
+            }
+            Stmt::Assign { target, op, value } => {
+                let op_text = match op {
+                    AssignOp::Set => "=",
+                    AssignOp::Add => "+=",
+                    AssignOp::Sub => "-=",
+                    AssignOp::Mul => "*=",
+                    AssignOp::Div => "/=",
+                    AssignOp::Rem => "%=",
+                    AssignOp::And => "&=",
+                    AssignOp::Or => "|=",
+                    AssignOp::Xor => "^=",
+                    AssignOp::Shl => "<<=",
+                    AssignOp::Shr => ">>=",
+                    AssignOp::Ushr => ">>>=",
+                };
+                self.line(&format!("{} {op_text} {};", self.lvalue(target), render(value)));
+            }
+            Stmt::IncDec { target, inc } => {
+                let op = if *inc { "++" } else { "--" };
+                self.line(&format!("{}{op};", self.lvalue(target)));
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.open(&format!("if ({}) {{", render(cond)));
+                self.block_body(then_blk);
+                match else_blk {
+                    Some(else_blk) => {
+                        self.indent -= 1;
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.block_body(else_blk);
+                        self.close("}");
+                    }
+                    None => self.close("}"),
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.open(&format!("while ({}) {{", render(cond)));
+                self.block_body(body);
+                self.close("}");
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.open("do {");
+                self.block_body(body);
+                self.close(&format!("}} while ({});", render(cond)));
+            }
+            Stmt::For { init, cond, step, body } => {
+                let init_text = init.as_ref().map(|s| inline_stmt(s)).unwrap_or_default();
+                let cond_text = cond.as_ref().map(render).unwrap_or_default();
+                let step_text = step.as_ref().map(|s| inline_stmt(s)).unwrap_or_default();
+                self.open(&format!("for ({init_text}; {cond_text}; {step_text}) {{"));
+                self.block_body(body);
+                self.close("}");
+            }
+            Stmt::Switch { scrutinee, cases } => {
+                self.open(&format!("switch ({}) {{", render(scrutinee)));
+                for case in cases {
+                    for label in &case.labels {
+                        self.line(&format!("case {label}:"));
+                    }
+                    if case.is_default {
+                        self.line("default:");
+                    }
+                    self.indent += 1;
+                    for stmt in &case.body {
+                        self.stmt(stmt);
+                    }
+                    self.indent -= 1;
+                }
+                self.close("}");
+            }
+            Stmt::Break => self.line("break;"),
+            Stmt::Continue => self.line("continue;"),
+            Stmt::Return(None) => self.line("return;"),
+            Stmt::Return(Some(value)) => self.line(&format!("return {};", render(value))),
+            Stmt::ExprStmt(expr) => self.line(&format!("{};", render(expr))),
+            Stmt::Block(block) => {
+                self.open("{");
+                self.block_body(block);
+                self.close("}");
+            }
+            Stmt::Try { body, catch, finally } => {
+                self.open("try {");
+                self.block_body(body);
+                if let Some(catch) = catch {
+                    self.indent -= 1;
+                    self.line("} catch {");
+                    self.indent += 1;
+                    self.block_body(catch);
+                }
+                if let Some(finally) = finally {
+                    self.indent -= 1;
+                    self.line("} finally {");
+                    self.indent += 1;
+                    self.block_body(finally);
+                }
+                self.close("}");
+            }
+            Stmt::Throw(code) => self.line(&format!("throw {};", render(code))),
+            Stmt::Println(value) => self.line(&format!("println({});", render(value))),
+            Stmt::Mute => self.line("__mute();"),
+            Stmt::Unmute => self.line("__unmute();"),
+        }
+    }
+
+    fn lvalue(&self, lvalue: &LValue) -> String {
+        match lvalue {
+            LValue::Local(name) | LValue::Name(name) => name.clone(),
+            LValue::StaticField { class, field } => format!("{class}.{field}"),
+            LValue::InstField { recv, field } => format!("{}.{field}", render_at(recv, POSTFIX)),
+            LValue::Index { array, index } => {
+                format!("{}[{}]", render_at(array, POSTFIX), render(index))
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr, min_level: u8) {
+        let text = render_at(expr, min_level);
+        self.out.push_str(&text);
+    }
+}
+
+/// Renders a statement without trailing newline/semicolon handling suitable
+/// for `for (init; cond; step)` headers.
+fn inline_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(stmt);
+    let text = p.out.trim_end().to_string();
+    text.strip_suffix(';').map(str::to_string).unwrap_or(text)
+}
+
+const POSTFIX: u8 = 12;
+const UNARY: u8 = 11;
+
+fn level_of(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Binary { op, .. } => match op {
+            BinOp::LOr => 1,
+            BinOp::LAnd => 2,
+            BinOp::Or => 3,
+            BinOp::Xor => 4,
+            BinOp::And => 5,
+            BinOp::Eq | BinOp::Ne => 6,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+            BinOp::Shl | BinOp::Shr | BinOp::Ushr => 8,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+        },
+        Expr::Unary { .. } | Expr::Cast { .. } => UNARY,
+        _ => POSTFIX + 1,
+    }
+}
+
+/// Renders `expr`, parenthesizing when its precedence is below `min_level`.
+fn render_at(expr: &Expr, min_level: u8) -> String {
+    let level = level_of(expr);
+    let text = render_inner(expr, level);
+    if level < min_level {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn render(expr: &Expr) -> String {
+    render_at(expr, 0)
+}
+
+fn render_inner(expr: &Expr, level: u8) -> String {
+    match expr {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::LongLit(v) => format!("{v}L"),
+        Expr::BoolLit(b) => b.to_string(),
+        Expr::StrLit(s) => {
+            let mut text = String::from("\"");
+            for c in s.chars() {
+                match c {
+                    '\n' => text.push_str("\\n"),
+                    '\t' => text.push_str("\\t"),
+                    '\\' => text.push_str("\\\\"),
+                    '"' => text.push_str("\\\""),
+                    other => text.push(other),
+                }
+            }
+            text.push('"');
+            text
+        }
+        Expr::Null => "null".to_string(),
+        Expr::Name(name) | Expr::Local(name) => name.clone(),
+        Expr::This => "this".to_string(),
+        Expr::StaticField { class, field } => format!("{class}.{field}"),
+        Expr::InstField { recv, field } => format!("{}.{field}", render_at(recv, POSTFIX)),
+        Expr::Index { array, index } => {
+            format!("{}[{}]", render_at(array, POSTFIX), render(index))
+        }
+        Expr::Length(array) => format!("{}.length", render_at(array, POSTFIX)),
+        Expr::NewObject(class) => format!("new {class}()"),
+        Expr::NewArray { elem, dims, extra_dims } => {
+            let mut text = format!("new {elem}");
+            for dim in dims {
+                text.push_str(&format!("[{}]", render(dim)));
+            }
+            for _ in 0..*extra_dims {
+                text.push_str("[]");
+            }
+            text
+        }
+        Expr::NewArrayInit { elem, elems } => {
+            let elems: Vec<String> = elems.iter().map(render).collect();
+            format!("new {elem}[] {{ {} }}", elems.join(", "))
+        }
+        Expr::StaticCall { class, method, args } => {
+            format!("{class}.{method}({})", args.iter().map(render).collect::<Vec<_>>().join(", "))
+        }
+        Expr::InstCall { recv, method, args } => {
+            format!(
+                "{}.{method}({})",
+                render_at(recv, POSTFIX),
+                args.iter().map(render).collect::<Vec<_>>().join(", ")
+            )
+        }
+        Expr::FreeCall { name, args } => {
+            format!("{name}({})", args.iter().map(render).collect::<Vec<_>>().join(", "))
+        }
+        Expr::IntrinsicCall { which, args } => {
+            let name = match which {
+                Intrinsic::Min => "min",
+                Intrinsic::Max => "max",
+                Intrinsic::Abs => "abs",
+            };
+            format!("Math.{name}({})", args.iter().map(render).collect::<Vec<_>>().join(", "))
+        }
+        Expr::Unary { op, expr } => {
+            let symbol = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            // `Neg` always parenthesizes its operand so that `-(5)` does not
+            // re-parse as the folded literal `-5` (which would change the
+            // AST shape on a round trip).
+            match op {
+                UnOp::Neg => format!("{symbol}({})", render(expr)),
+                _ => format!("{symbol}{}", render_at(expr, level)),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let symbol = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Ushr => ">>>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::LAnd => "&&",
+                BinOp::LOr => "||",
+            };
+            format!("{} {symbol} {}", render_at(lhs, level), render_at(rhs, level + 1))
+        }
+        Expr::Cast { ty, expr } => format!("({ty}) {}", render_at(expr, level)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_and_check(src).unwrap();
+        let printed = print(&p1);
+        let p2 = parse_and_check(&printed).unwrap_or_else(|e| {
+            panic!("printed source failed to parse: {e}\n---\n{printed}");
+        });
+        assert_eq!(p1, p2, "round trip changed the AST:\n---\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            r#"
+            class T {
+                static int f(int a, int b) {
+                    int c = (a + b) * 3 - a % (b | 1);
+                    long d = ((long) c << 3) >>> 2;
+                    boolean e = !(a < b) && (b >= 0 || a == 3);
+                    byte g = (byte) (c + 1);
+                    int h = -(a) + ~b;
+                    if (e) { return (int) d; }
+                    return c + g + h;
+                }
+                static void main() { println(f(3, 4)); }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            r#"
+            class T {
+                static int s;
+                int inst = 4;
+                static void main() {
+                    int acc = 0;
+                    for (int i = 0; i < 10; i++) {
+                        switch (i % 4) {
+                            case 0: acc += 1; break;
+                            case 1:
+                            case 2: acc -= 1;
+                            default: acc ^= 3;
+                        }
+                    }
+                    while (acc > 0) { acc--; }
+                    do { acc++; } while (acc < 3);
+                    try { T.s = 9 / acc; } catch { T.s = -1; } finally { acc = 0; }
+                    T t = new T();
+                    println(t.inst + T.s + acc);
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_arrays_and_strings() {
+        round_trip(
+            r#"
+            class T {
+                static void main() {
+                    int[] a = new int[] { 1, 2, 3 };
+                    int[][] m = new int[2][3];
+                    long[][] n = new long[4][];
+                    n[0] = new long[2];
+                    String s = "x\n\"y\"\\";
+                    println(s + a[1] + m[1][2] + a.length);
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_extreme_literals() {
+        round_trip(
+            r#"
+            class T {
+                static void main() {
+                    println(-2147483648 + 1);
+                    println(-9223372036854775808L + 1L);
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn neg_of_variable_survives() {
+        round_trip(
+            "class T { static void main() { int x = 3; println(-(x) * 2); } }",
+        );
+    }
+}

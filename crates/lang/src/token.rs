@@ -1,0 +1,115 @@
+//! Tokens produced by the lexer.
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based line the token starts on, for diagnostics.
+    pub line: u32,
+}
+
+/// Token kinds of the MiniJava subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Ident(String),
+    IntLit(i64),
+    LongLit(i64),
+    StrLit(String),
+
+    // Keywords.
+    KwClass,
+    KwStatic,
+    KwInt,
+    KwLong,
+    KwByte,
+    KwBoolean,
+    KwString,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwNew,
+    KwTrue,
+    KwFalse,
+    KwNull,
+    KwThis,
+    KwTry,
+    KwCatch,
+    KwFinally,
+    KwThrow,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Ushr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    UshrAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Tok {
+    /// A short human-readable name used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::IntLit(v) => format!("integer literal `{v}`"),
+            Tok::StrLit(_) => "string literal".to_string(),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}

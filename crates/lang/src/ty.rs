@@ -1,0 +1,165 @@
+//! Static types of the MiniJava subset.
+
+/// A MiniJava static type.
+///
+/// The numeric tower is `byte < int < long` with Java promotion rules:
+/// `byte` promotes to `int` in any arithmetic context, and mixing `int` with
+/// `long` promotes to `long`. There is deliberately no floating point — the
+/// paper's Artemis excludes it as well (§4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit two's-complement integer with wrapping arithmetic.
+    Int,
+    /// 64-bit two's-complement integer with wrapping arithmetic.
+    Long,
+    /// 8-bit two's-complement integer; promotes to `int` in arithmetic.
+    Byte,
+    /// Boolean; never mixes with the numeric tower.
+    Bool,
+    /// Immutable string; supports `+` concatenation and `println`.
+    Str,
+    /// The return "type" of `void` methods; not a value type.
+    Void,
+    /// Array of the element type (arrays of arrays give multi-dim arrays).
+    Array(Box<Ty>),
+    /// A user-declared class.
+    Class(String),
+}
+
+impl Ty {
+    /// Returns `true` for `byte`, `int`, and `long`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Byte)
+    }
+
+    /// Returns `true` for types that occupy a value slot (everything but
+    /// `void`).
+    pub fn is_value(&self) -> bool {
+        !matches!(self, Ty::Void)
+    }
+
+    /// Returns `true` for reference types (arrays, classes, strings).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Ty::Array(_) | Ty::Class(_) | Ty::Str)
+    }
+
+    /// Returns `true` for the "primitive-alike" types of the paper's
+    /// `SynExpr` (Algorithm 2): the numeric tower, booleans, and strings.
+    pub fn is_primitive_alike(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Byte | Ty::Bool | Ty::Str)
+    }
+
+    /// Wraps `self` in one array dimension.
+    pub fn array_of(self) -> Ty {
+        Ty::Array(Box::new(self))
+    }
+
+    /// The element type if `self` is an array.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The number of array dimensions (0 for non-arrays).
+    pub fn dimensions(&self) -> usize {
+        match self {
+            Ty::Array(e) => 1 + e.dimensions(),
+            _ => 0,
+        }
+    }
+
+    /// The scalar type at the bottom of an array type.
+    pub fn base(&self) -> &Ty {
+        match self {
+            Ty::Array(e) => e.base(),
+            other => other,
+        }
+    }
+
+    /// The binary numeric promotion of two numeric types.
+    ///
+    /// Returns `None` when either side is non-numeric.
+    pub fn promote(&self, other: &Ty) -> Option<Ty> {
+        if !self.is_numeric() || !other.is_numeric() {
+            return None;
+        }
+        if *self == Ty::Long || *other == Ty::Long {
+            Some(Ty::Long)
+        } else {
+            // `byte op byte` still yields `int`, as in Java.
+            Some(Ty::Int)
+        }
+    }
+
+    /// Whether a value of type `from` is implicitly assignable to `self`.
+    ///
+    /// Widening (`byte -> int -> long`) is implicit; narrowing requires an
+    /// explicit cast. `null` assignability is handled by the type checker.
+    pub fn accepts(&self, from: &Ty) -> bool {
+        if self == from {
+            return true;
+        }
+        matches!(
+            (self, from),
+            (Ty::Int, Ty::Byte) | (Ty::Long, Ty::Byte) | (Ty::Long, Ty::Int)
+        )
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Byte => write!(f, "byte"),
+            Ty::Bool => write!(f, "boolean"),
+            Ty::Str => write!(f, "String"),
+            Ty::Void => write!(f, "void"),
+            Ty::Array(e) => write!(f, "{e}[]"),
+            Ty::Class(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_follows_java_rules() {
+        assert_eq!(Ty::Byte.promote(&Ty::Byte), Some(Ty::Int));
+        assert_eq!(Ty::Int.promote(&Ty::Byte), Some(Ty::Int));
+        assert_eq!(Ty::Int.promote(&Ty::Long), Some(Ty::Long));
+        assert_eq!(Ty::Long.promote(&Ty::Long), Some(Ty::Long));
+        assert_eq!(Ty::Bool.promote(&Ty::Int), None);
+        assert_eq!(Ty::Str.promote(&Ty::Str), None);
+    }
+
+    #[test]
+    fn widening_is_implicit_narrowing_is_not() {
+        assert!(Ty::Long.accepts(&Ty::Int));
+        assert!(Ty::Int.accepts(&Ty::Byte));
+        assert!(!Ty::Byte.accepts(&Ty::Int));
+        assert!(!Ty::Int.accepts(&Ty::Long));
+        assert!(Ty::Int.accepts(&Ty::Int));
+    }
+
+    #[test]
+    fn array_helpers() {
+        let t = Ty::Int.array_of().array_of();
+        assert_eq!(t.dimensions(), 2);
+        assert_eq!(t.base(), &Ty::Int);
+        assert_eq!(t.elem(), Some(&Ty::Int.array_of()));
+        assert_eq!(t.to_string(), "int[][]");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::Str.is_primitive_alike());
+        assert!(Ty::Str.is_reference());
+        assert!(!Ty::Class("T".into()).is_primitive_alike());
+        assert!(!Ty::Void.is_value());
+    }
+}

@@ -1,0 +1,42 @@
+//! Front-end robustness: the lexer/parser/checker must never panic —
+//! arbitrary input yields `Ok` or a clean `FrontError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_total_on_arbitrary_strings(input in ".{0,200}") {
+        let _ = cse_lang::lexer::lex(&input);
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(input in ".{0,200}") {
+        let _ = cse_lang::parse(&input);
+    }
+
+    #[test]
+    fn checker_total_on_arbitrary_strings(input in ".{0,300}") {
+        let _ = cse_lang::parse_and_check(&input);
+    }
+
+    /// Token-soup built from plausible Java fragments: far more likely to
+    /// reach deep parser states than raw character noise.
+    #[test]
+    fn parser_total_on_token_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("class"), Just("T"), Just("{"), Just("}"), Just("("), Just(")"),
+            Just("int"), Just("long"), Just("x"), Just("="), Just(";"), Just("if"),
+            Just("for"), Just("while"), Just("switch"), Just("case"), Just("try"),
+            Just("catch"), Just("finally"), Just("return"), Just("1"), Just("+"),
+            Just("-"), Just("*"), Just("["), Just("]"), Just("."), Just(","),
+            Just("new"), Just("static"), Just("void"), Just("main"), Just("<<"),
+            Just(">>>"), Just("&&"), Just("%"), Just("byte"), Just("boolean"),
+        ],
+        0..60,
+    )) {
+        let input = parts.join(" ");
+        let _ = cse_lang::parse_and_check(&input);
+    }
+}

@@ -1,0 +1,198 @@
+//! VM configuration and the three production-VM profiles.
+
+use crate::faults::{BugId, FaultInjector};
+use crate::plan::ForcedPlan;
+
+/// Which production JVM a VM instance emulates. The profiles differ in
+/// tier structure, compilation thresholds, and (by default) which seeded
+/// bugs are active — mirroring how the paper validates HotSpot, OpenJ9,
+/// and ART as distinct targets (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmKind {
+    /// Two JIT tiers (C1-like quick, C2-like optimizing) + speculation.
+    HotSpotLike,
+    /// Two JIT tiers with a different pass mix and GC interplay.
+    OpenJ9Like,
+    /// One optimizing method-JIT tier with higher thresholds.
+    ArtLike,
+}
+
+impl std::fmt::Display for VmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmKind::HotSpotLike => write!(f, "HotSpot"),
+            VmKind::OpenJ9Like => write!(f, "OpenJ9"),
+            VmKind::ArtLike => write!(f, "ART"),
+        }
+    }
+}
+
+/// A compilation tier (0 = interpreter). Tier numbers are the paper's
+/// temperature levels `t_0 .. t_N` (Definition 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tier(pub u8);
+
+impl Tier {
+    pub const INTERP: Tier = Tier(0);
+    pub const T1: Tier = Tier(1);
+    pub const T2: Tier = Tier(2);
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Thresholds for one JIT tier (the paper's `Z_i` from Definition 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierThresholds {
+    /// Method-counter threshold (`c_0` crossing `Z_i` triggers JIT).
+    pub invocations: u64,
+    /// Back-edge-counter threshold (crossing triggers OSR compilation).
+    pub backedge: u64,
+}
+
+/// Full VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    pub kind: VmKind,
+    /// Per-tier thresholds; `tiers[i]` guards `Tier(i + 1)`.
+    pub tiers: Vec<TierThresholds>,
+    /// Disables JIT/OSR entirely (`-Xint` analog).
+    pub jit_enabled: bool,
+    /// Step budget; exceeding it yields `Outcome::Timeout` (the paper's
+    /// two-minute wall-clock cutoff, §4.3).
+    pub fuel: u64,
+    /// Run a GC after this many allocations (0 = only on demand).
+    pub gc_interval: usize,
+    /// Max simultaneously-live heap objects (1 GiB heap analog).
+    pub max_objects: usize,
+    /// Max logical call depth before `StackOverflowError`.
+    pub max_call_depth: usize,
+    /// Record a `MethodEntry` trace event per call (verbose; only for
+    /// small programs / compilation-space enumeration).
+    pub record_method_entries: bool,
+    /// Maximum trace events retained (guards memory in fuzz campaigns).
+    pub max_events: usize,
+    /// Seeded bugs.
+    pub faults: FaultInjector,
+    /// Forced compilation plan (`LVM(P, φ)` from Definition 3.3); `None`
+    /// means profile-driven tiering (the default JIT-trace).
+    pub plan: Option<ForcedPlan>,
+    /// Inline budget: callee bytecode length limit for tier-2 inlining.
+    pub inline_limit: usize,
+    /// Maximum deopts before a method is permanently interpreted.
+    pub max_deopts_per_method: u32,
+}
+
+impl VmConfig {
+    /// Baseline configuration for a VM kind with that kind's *default bug
+    /// set seeded* (a realistic buggy production VM).
+    pub fn for_kind(kind: VmKind) -> VmConfig {
+        let mut config = VmConfig::correct(kind);
+        config.faults = FaultInjector::with(BugId::default_set(kind));
+        config
+    }
+
+    /// Same profile but with *no* seeded bugs (used for substrate
+    /// soundness tests and as the differential reference).
+    pub fn correct(kind: VmKind) -> VmConfig {
+        let tiers = match kind {
+            VmKind::HotSpotLike => vec![
+                TierThresholds { invocations: 150, backedge: 600 },
+                TierThresholds { invocations: 1200, backedge: 3500 },
+            ],
+            VmKind::OpenJ9Like => vec![
+                TierThresholds { invocations: 120, backedge: 550 },
+                TierThresholds { invocations: 1000, backedge: 3200 },
+            ],
+            VmKind::ArtLike => vec![TierThresholds { invocations: 2500, backedge: 2600 }],
+        };
+        VmConfig {
+            kind,
+            tiers,
+            jit_enabled: true,
+            fuel: 40_000_000,
+            gc_interval: 4096,
+            max_objects: 1_000_000,
+            max_call_depth: 128,
+            record_method_entries: false,
+            max_events: 100_000,
+            faults: FaultInjector::none(),
+            plan: None,
+            inline_limit: 48,
+            max_deopts_per_method: 3,
+        }
+    }
+
+    /// Interpreter-only configuration (`-Xint`): the semantic reference.
+    pub fn interpreter_only(kind: VmKind) -> VmConfig {
+        let mut config = VmConfig::correct(kind);
+        config.jit_enabled = false;
+        config
+    }
+
+    /// The paper's "traditional approach" baseline: force every method to
+    /// be JIT-compiled at the top tier before its first call
+    /// (`-Xjit:count=0`, §4.3).
+    pub fn force_compile_all(kind: VmKind) -> VmConfig {
+        let mut config = VmConfig::for_kind(kind);
+        let top = Tier(config.tiers.len() as u8);
+        config.plan = Some(ForcedPlan::all(top));
+        config
+    }
+
+    /// The top JIT tier of this configuration.
+    pub fn top_tier(&self) -> Tier {
+        Tier(self.tiers.len() as u8)
+    }
+
+    /// Replaces the fault set.
+    pub fn with_faults(mut self, faults: FaultInjector) -> VmConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the forced plan.
+    pub fn with_plan(mut self, plan: ForcedPlan) -> VmConfig {
+        self.plan = Some(plan);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_expected_tiers() {
+        assert_eq!(VmConfig::correct(VmKind::HotSpotLike).tiers.len(), 2);
+        assert_eq!(VmConfig::correct(VmKind::OpenJ9Like).tiers.len(), 2);
+        assert_eq!(VmConfig::correct(VmKind::ArtLike).tiers.len(), 1);
+        assert_eq!(VmConfig::correct(VmKind::HotSpotLike).top_tier(), Tier::T2);
+        assert_eq!(VmConfig::correct(VmKind::ArtLike).top_tier(), Tier::T1);
+    }
+
+    #[test]
+    fn thresholds_increase_with_tier() {
+        for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like] {
+            let config = VmConfig::correct(kind);
+            assert!(config.tiers[0].invocations < config.tiers[1].invocations);
+            assert!(config.tiers[0].backedge < config.tiers[1].backedge);
+        }
+    }
+
+    #[test]
+    fn default_config_is_buggy_correct_is_not() {
+        assert!(!VmConfig::for_kind(VmKind::OpenJ9Like).faults.is_empty());
+        assert!(VmConfig::correct(VmKind::OpenJ9Like).faults.is_empty());
+        assert!(!VmConfig::interpreter_only(VmKind::HotSpotLike).jit_enabled);
+    }
+
+    #[test]
+    fn force_compile_all_sets_plan() {
+        let config = VmConfig::force_compile_all(VmKind::OpenJ9Like);
+        assert!(config.plan.is_some());
+    }
+}

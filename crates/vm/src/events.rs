@@ -1,0 +1,85 @@
+//! Trace events — the raw material for JIT-traces (Definition 3.2/3.3).
+//!
+//! The VM records every compilation-state transition: JIT and OSR
+//! compilations, de-optimizations, and (optionally) per-call execution
+//! modes. `cse-core` reconstructs temperature vectors and JIT-traces from
+//! this log.
+
+use cse_bytecode::MethodId;
+
+use crate::config::Tier;
+
+/// Why a method was compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompileReason {
+    /// Method counter crossed a threshold.
+    Invocations,
+    /// Back-edge counter of the loop headed at `header` crossed a
+    /// threshold (OSR compilation).
+    Osr { header: u32 },
+    /// A forced plan demanded it.
+    Forced,
+}
+
+/// Why compiled code was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeoptReason {
+    /// A speculated-never-taken branch was taken (uncommon trap).
+    BranchSpeculation,
+    /// A speculated-never-taken switch arm was hit.
+    SwitchSpeculation,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `method` was JIT/OSR-compiled at `tier` when its invocation counter
+    /// read `invocation`.
+    Compiled { method: MethodId, tier: Tier, reason: CompileReason, invocation: u64 },
+    /// `method` hit an uncommon trap at bytecode `bc_pc` and fell back to
+    /// the interpreter — the paper's "cooled down by uncommon traps".
+    Deopt { method: MethodId, tier: Tier, bc_pc: u32, reason: DeoptReason, invocation: u64 },
+    /// A call began in the given mode (recorded only when
+    /// `record_method_entries` is on).
+    MethodEntry { method: MethodId, tier: Tier, invocation: u64 },
+    /// A garbage collection ran.
+    GcRun { live_before: usize, live_after: usize },
+}
+
+impl TraceEvent {
+    /// The method this event concerns, if any.
+    pub fn method(&self) -> Option<MethodId> {
+        match self {
+            TraceEvent::Compiled { method, .. }
+            | TraceEvent::Deopt { method, .. }
+            | TraceEvent::MethodEntry { method, .. } => Some(*method),
+            TraceEvent::GcRun { .. } => None,
+        }
+    }
+
+    /// Whether this is a compilation-state transition (compile or deopt) —
+    /// the events that distinguish JIT-traces.
+    pub fn is_tier_transition(&self) -> bool {
+        matches!(self, TraceEvent::Compiled { .. } | TraceEvent::Deopt { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Compiled {
+            method: MethodId(2),
+            tier: Tier::T1,
+            reason: CompileReason::Invocations,
+            invocation: 100,
+        };
+        assert_eq!(e.method(), Some(MethodId(2)));
+        assert!(e.is_tier_transition());
+        let gc = TraceEvent::GcRun { live_before: 10, live_after: 2 };
+        assert_eq!(gc.method(), None);
+        assert!(!gc.is_tier_transition());
+    }
+}

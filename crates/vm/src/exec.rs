@@ -1,0 +1,157 @@
+//! Execution results and outcomes.
+
+use crate::events::TraceEvent;
+use crate::faults::{BugId, Component};
+
+/// How a crash manifests (the observable symptom a bug report would carry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Segmentation fault in generated code.
+    Sigsegv,
+    /// Emergency abort.
+    Sigabrt,
+    /// Fatal arithmetic error in generated code.
+    Sigfpe,
+    /// Internal assertion failure (`guarantee()` / `TR_ASSERT` analog).
+    AssertionFailure,
+    /// The collector found a corrupted heap.
+    GcCorruption,
+}
+
+/// When the crash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPhase {
+    /// While the JIT compiler was compiling.
+    Compiling,
+    /// While executing compiled code.
+    Executing,
+    /// Inside the garbage collector.
+    Gc,
+}
+
+/// A VM crash report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashInfo {
+    /// The injected bug that fired (ground truth for deduplication).
+    pub bug: BugId,
+    /// Affected JIT component (Table 2 classification).
+    pub component: Component,
+    pub kind: CrashKind,
+    pub phase: CrashPhase,
+    /// Free-form context (method name, pass detail) — the "stack trace".
+    pub detail: String,
+}
+
+/// Terminal states of a VM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The program ran to completion (possibly by an uncaught exception,
+    /// which is part of the printed output and thus of the oracle).
+    Completed { uncaught_exception: bool },
+    /// The VM crashed.
+    Crash(CrashInfo),
+    /// The step budget was exhausted (wall-clock timeout analog).
+    Timeout,
+    /// The heap budget was exhausted.
+    OutOfMemory,
+}
+
+impl Outcome {
+    /// Whether this is a normal completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Bytecode instructions interpreted.
+    pub interp_ops: u64,
+    /// IR instructions executed in compiled code.
+    pub jit_ops: u64,
+    /// Method compilations performed.
+    pub compilations: u32,
+    /// OSR compilations performed.
+    pub osr_compilations: u32,
+    /// De-optimizations taken.
+    pub deopts: u32,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Method invocations (all engines).
+    pub calls: u64,
+    /// Mute-nesting depth when the program ended (a nonzero value means an
+    /// exception skipped an `__unmute()`; engines must agree on it).
+    pub mute_depth_end: u32,
+}
+
+impl ExecStats {
+    /// Total executed operations across engines.
+    pub fn total_ops(&self) -> u64 {
+        self.interp_ops + self.jit_ops
+    }
+}
+
+/// The result of running a program on the VM.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Everything the program printed (including the uncaught-exception
+    /// banner, when applicable).
+    pub output: String,
+    pub outcome: Outcome,
+    /// Compilation-state transition log.
+    pub events: Vec<TraceEvent>,
+    pub stats: ExecStats,
+}
+
+impl ExecutionResult {
+    /// The observable behavior used by the cross-validation oracle:
+    /// printed output plus the outcome class. Two runs of the same
+    /// program's compilation space must agree on this string (§3.2).
+    pub fn observable(&self) -> String {
+        match &self.outcome {
+            Outcome::Completed { .. } => format!("completed\n{}", self.output),
+            Outcome::Crash(info) => format!(
+                "crash kind={:?} component={} bug={:?} phase={:?}",
+                info.kind, info.component, info.bug, info.phase
+            ),
+            Outcome::Timeout => "timeout".to_string(),
+            Outcome::OutOfMemory => "out-of-memory".to_string(),
+        }
+    }
+
+    /// Whether the run crashed.
+    pub fn crashed(&self) -> bool {
+        matches!(self.outcome, Outcome::Crash(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observable_distinguishes_outcomes() {
+        let ok = ExecutionResult {
+            output: "3\n".into(),
+            outcome: Outcome::Completed { uncaught_exception: false },
+            events: vec![],
+            stats: ExecStats::default(),
+        };
+        let timeout = ExecutionResult {
+            output: "3\n".into(),
+            outcome: Outcome::Timeout,
+            events: vec![],
+            stats: ExecStats::default(),
+        };
+        assert_ne!(ok.observable(), timeout.observable());
+        assert!(ok.outcome.is_completed());
+        assert!(!ok.crashed());
+    }
+
+    #[test]
+    fn stats_totals() {
+        let stats = ExecStats { interp_ops: 10, jit_ops: 32, ..Default::default() };
+        assert_eq!(stats.total_ops(), 42);
+    }
+}

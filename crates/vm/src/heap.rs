@@ -1,0 +1,331 @@
+//! The garbage-collected heap.
+//!
+//! A simple stop-the-world mark-sweep collector triggered every
+//! `gc_interval` allocations (deterministic, so interpreter and JIT runs
+//! see identical GC schedules). The collector validates heap integrity
+//! while marking: a JIT bug that corrupts the heap (the paper's dominant
+//! OpenJ9 crash class, §4.2/Table 2) surfaces here as a
+//! [`HeapError::Corruption`].
+
+use std::rc::Rc;
+
+use cse_bytecode::{ArrKind, BProgram, ClassId};
+
+use crate::value::Value;
+
+/// Array payloads, one vector per element kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrData {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    I8(Vec<i8>),
+    Bool(Vec<bool>),
+    Str(Vec<Option<Rc<str>>>),
+    Ref(Vec<Option<u32>>),
+}
+
+impl ArrData {
+    /// Allocates a defaulted array of `kind` with `len` elements.
+    pub fn new(kind: ArrKind, len: usize) -> ArrData {
+        match kind {
+            ArrKind::I32 => ArrData::I32(vec![0; len]),
+            ArrKind::I64 => ArrData::I64(vec![0; len]),
+            ArrKind::I8 => ArrData::I8(vec![0; len]),
+            ArrKind::Bool => ArrData::Bool(vec![false; len]),
+            ArrKind::Str => ArrData::Str(vec![None; len]),
+            ArrKind::Ref => ArrData::Ref(vec![None; len]),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrData::I32(v) => v.len(),
+            ArrData::I64(v) => v.len(),
+            ArrData::I8(v) => v.len(),
+            ArrData::Bool(v) => v.len(),
+            ArrData::Str(v) => v.len(),
+            ArrData::Ref(v) => v.len(),
+        }
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapObj {
+    Obj { class: ClassId, fields: Vec<Value> },
+    Arr(ArrData),
+}
+
+/// Heap failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The collector found a dangling or wild reference — in this VM that
+    /// only happens when an injected JIT bug corrupted the heap.
+    Corruption { detail: String },
+    /// The heap exceeded its configured object budget.
+    OutOfMemory,
+}
+
+/// The garbage-collected heap.
+#[derive(Debug)]
+pub struct Heap {
+    slots: Vec<Option<HeapObj>>,
+    free: Vec<u32>,
+    live: usize,
+    allocations_since_gc: usize,
+    /// Run a GC after this many allocations (0 disables automatic GC).
+    pub gc_interval: usize,
+    /// Maximum simultaneously-live objects (the paper's 1 GiB heap analog).
+    pub max_objects: usize,
+    /// Number of collections performed.
+    pub gc_count: u64,
+}
+
+impl Heap {
+    /// Creates a heap with the given GC interval and object budget.
+    pub fn new(gc_interval: usize, max_objects: usize) -> Heap {
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            allocations_since_gc: 0,
+            gc_interval,
+            max_objects,
+            gc_count: 0,
+        }
+    }
+
+    /// Whether an automatic GC is due (the VM calls this after allocations
+    /// so it can supply the roots).
+    pub fn gc_due(&self) -> bool {
+        self.gc_interval > 0 && self.allocations_since_gc >= self.gc_interval
+    }
+
+    /// Allocates an object, returning its reference.
+    pub fn alloc(&mut self, obj: HeapObj) -> Result<u32, HeapError> {
+        if self.live >= self.max_objects {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.allocations_since_gc += 1;
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(obj);
+                Ok(slot)
+            }
+            None => {
+                self.slots.push(Some(obj));
+                Ok((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Immutable object access.
+    pub fn get(&self, r: u32) -> Option<&HeapObj> {
+        self.slots.get(r as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable object access.
+    pub fn get_mut(&mut self, r: u32) -> Option<&mut HeapObj> {
+        self.slots.get_mut(r as usize).and_then(Option::as_mut)
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.live
+    }
+
+    /// Mark-sweep collection from `roots`, validating integrity.
+    ///
+    /// `program` supplies class layouts so object field counts can be
+    /// validated against their declared shapes.
+    pub fn collect(&mut self, roots: &[Value], program: &BProgram) -> Result<(), HeapError> {
+        self.gc_count += 1;
+        self.allocations_since_gc = 0;
+        let mut marks = vec![false; self.slots.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for root in roots {
+            if let Value::Ref(r) = root {
+                stack.push(*r);
+            }
+        }
+        while let Some(r) = stack.pop() {
+            let idx = r as usize;
+            if idx >= self.slots.len() {
+                return Err(HeapError::Corruption {
+                    detail: format!("wild reference {r} beyond heap end {}", self.slots.len()),
+                });
+            }
+            if marks[idx] {
+                continue;
+            }
+            let obj = self.slots[idx].as_ref().ok_or_else(|| HeapError::Corruption {
+                detail: format!("dangling reference {r} to a freed slot"),
+            })?;
+            marks[idx] = true;
+            match obj {
+                HeapObj::Obj { class, fields } => {
+                    let declared = program.classes.get(class.0 as usize).map(|c| c.inst_fields.len());
+                    if declared != Some(fields.len()) {
+                        return Err(HeapError::Corruption {
+                            detail: format!(
+                                "object {r} has {} fields, class declares {declared:?}",
+                                fields.len()
+                            ),
+                        });
+                    }
+                    for field in fields {
+                        if let Value::Ref(child) = field {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                HeapObj::Arr(data) => {
+                    if let ArrData::Ref(elems) = data {
+                        for elem in elems.iter().flatten() {
+                            stack.push(*elem);
+                        }
+                    }
+                }
+            }
+        }
+        // Sweep.
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_some() && !marks[idx] {
+                *slot = None;
+                self.free.push(idx as u32);
+                self.live -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliberately corrupts the heap (used by injected JIT bugs): the
+    /// most recently allocated live object's shape is damaged so the next
+    /// collection fails validation.
+    pub fn corrupt_for_fault_injection(&mut self) {
+        for slot in self.slots.iter_mut().rev() {
+            match slot {
+                Some(HeapObj::Obj { fields, .. }) => {
+                    // A field count mismatch models a JIT writing past the
+                    // end of an object.
+                    fields.push(Value::Ref(u32::MAX));
+                    return;
+                }
+                Some(HeapObj::Arr(ArrData::Ref(elems))) => {
+                    elems.push(Some(u32::MAX));
+                    return;
+                }
+                _ => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> BProgram {
+        let program = cse_lang::parse_and_check(
+            "class P { int a; int b; static void main() { } }",
+        )
+        .unwrap();
+        cse_bytecode::compile(&program).unwrap()
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut heap = Heap::new(0, 100);
+        let r = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 3))).unwrap();
+        match heap.get_mut(r).unwrap() {
+            HeapObj::Arr(ArrData::I32(v)) => v[1] = 42,
+            _ => panic!(),
+        }
+        match heap.get(r).unwrap() {
+            HeapObj::Arr(ArrData::I32(v)) => assert_eq!(v[1], 42),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn collect_frees_unreachable() {
+        let program = tiny_program();
+        let mut heap = Heap::new(0, 100);
+        let a = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        let _b = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        assert_eq!(heap.live_objects(), 2);
+        heap.collect(&[Value::Ref(a)], &program).unwrap();
+        assert_eq!(heap.live_objects(), 1);
+        assert!(heap.get(a).is_some());
+    }
+
+    #[test]
+    fn collect_traverses_ref_arrays_and_objects() {
+        let program = tiny_program();
+        let mut heap = Heap::new(0, 100);
+        let inner = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        let obj = heap
+            .alloc(HeapObj::Obj { class: ClassId(0), fields: vec![Value::I(0), Value::I(1)] })
+            .unwrap();
+        let outer =
+            heap.alloc(HeapObj::Arr(ArrData::Ref(vec![Some(inner), Some(obj)]))).unwrap();
+        heap.collect(&[Value::Ref(outer)], &program).unwrap();
+        assert_eq!(heap.live_objects(), 3);
+    }
+
+    #[test]
+    fn gc_interval_trips() {
+        let mut heap = Heap::new(2, 100);
+        heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        assert!(!heap.gc_due());
+        heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        assert!(heap.gc_due());
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut heap = Heap::new(0, 1);
+        heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        assert_eq!(
+            heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))),
+            Err(HeapError::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn corruption_detected_by_gc() {
+        let program = tiny_program();
+        let mut heap = Heap::new(0, 100);
+        let obj = heap
+            .alloc(HeapObj::Obj { class: ClassId(0), fields: vec![Value::I(0), Value::I(1)] })
+            .unwrap();
+        heap.corrupt_for_fault_injection();
+        let err = heap.collect(&[Value::Ref(obj)], &program).unwrap_err();
+        assert!(matches!(err, HeapError::Corruption { .. }));
+    }
+
+    #[test]
+    fn wild_reference_detected() {
+        let program = tiny_program();
+        let mut heap = Heap::new(0, 100);
+        let err = heap.collect(&[Value::Ref(999)], &program).unwrap_err();
+        assert!(matches!(err, HeapError::Corruption { .. }));
+    }
+
+    #[test]
+    fn slot_reuse_after_gc() {
+        let program = tiny_program();
+        let mut heap = Heap::new(0, 100);
+        let a = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))).unwrap();
+        heap.collect(&[], &program).unwrap();
+        let b = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I64, 1))).unwrap();
+        assert_eq!(a, b, "freed slot should be reused deterministically");
+    }
+}

@@ -1,0 +1,518 @@
+//! The bytecode interpreter: the VM's temperature-`t0` execution engine.
+//!
+//! Besides executing bytecode, the interpreter is the profiler: it bumps
+//! the method and back-edge counters of Definition 3.2, records branch and
+//! switch profiles for tier-2 speculation, and triggers OSR compilation
+//! when a back-edge counter crosses its threshold.
+
+use cse_bytecode::{ExcKind, Insn, MethodId};
+
+use crate::config::Tier;
+use crate::events::CompileReason;
+use crate::jit::{self, IrOutcome};
+use crate::value::Value;
+use crate::{Exit, Frame, Vm};
+
+impl Vm<'_> {
+    /// Interprets `method` starting at `start_pc` with the given locals
+    /// (used both for fresh calls and for de-optimization re-entry).
+    pub(crate) fn interpret(
+        &mut self,
+        id: MethodId,
+        locals: Vec<Value>,
+        start_pc: u32,
+    ) -> Result<Option<Value>, Exit> {
+        self.depth += 1;
+        self.frames.push(Frame { locals, stack: Vec::new() });
+        let frame_idx = self.frames.len() - 1;
+        let result = self.interp_loop(id, frame_idx, start_pc);
+        self.frames.pop();
+        self.depth -= 1;
+        result
+    }
+
+    /// Raises an exception at `pc`: transfers to a matching handler in this
+    /// frame or reports the exception upward.
+    fn dispatch_exception(
+        &mut self,
+        id: MethodId,
+        frame_idx: usize,
+        pc: u32,
+        kind: ExcKind,
+        code: i32,
+    ) -> Result<u32, Exit> {
+        let method = self.program.method(id);
+        for handler in &method.handlers {
+            if pc >= handler.start && pc < handler.end {
+                let target = handler.target;
+                let save_slot = handler.save_slot;
+                let frame = &mut self.frames[frame_idx];
+                frame.stack.clear();
+                if let Some(slot) = save_slot {
+                    frame.locals[slot as usize] = Value::L(kind.pack(code));
+                }
+                return Ok(target);
+            }
+        }
+        Err(Exit::Exception { kind, code })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn interp_loop(
+        &mut self,
+        id: MethodId,
+        frame_idx: usize,
+        start_pc: u32,
+    ) -> Result<Option<Value>, Exit> {
+        let mut pc = start_pc;
+        // Fast-path macros keep the dispatch loop readable without
+        // borrowing `self` across helper calls.
+        macro_rules! frame {
+            () => {
+                self.frames[frame_idx]
+            };
+        }
+        macro_rules! raise {
+            ($pc:expr, $kind:expr, $code:expr) => {{
+                pc = self.dispatch_exception(id, frame_idx, $pc, $kind, $code)?;
+                continue;
+            }};
+        }
+        loop {
+            self.burn(1)?;
+            self.stats.interp_ops += 1;
+            // The method body is immutable while running; cloning the insn
+            // is cheap for all hot opcodes (jump targets, consts, slots).
+            let insn = self.program.method(id).code[pc as usize].clone();
+            match insn {
+                Insn::IConst(v) => frame!().stack.push(Value::I(v)),
+                Insn::LConst(v) => frame!().stack.push(Value::L(v)),
+                Insn::SConst(sid) => {
+                    let text: std::rc::Rc<str> =
+                        self.program.strings[sid.0 as usize].as_str().into();
+                    frame!().stack.push(Value::S(text));
+                }
+                Insn::NullConst => frame!().stack.push(Value::Null),
+                Insn::Load(slot) => {
+                    let value = frame!().locals[slot as usize].clone();
+                    frame!().stack.push(value);
+                }
+                Insn::Store(slot) => {
+                    let value = frame!().stack.pop().expect("verified");
+                    frame!().locals[slot as usize] = value;
+                }
+                Insn::Pop => {
+                    frame!().stack.pop();
+                }
+                Insn::Dup => {
+                    let top = frame!().stack.last().expect("verified").clone();
+                    frame!().stack.push(top);
+                }
+                Insn::Dup2 => {
+                    let len = frame!().stack.len();
+                    let a = frame!().stack[len - 2].clone();
+                    let b = frame!().stack[len - 1].clone();
+                    frame!().stack.push(a);
+                    frame!().stack.push(b);
+                }
+                Insn::GetStatic { class, field } => {
+                    let value = self.statics[class.0 as usize][field as usize].clone();
+                    frame!().stack.push(value);
+                }
+                Insn::PutStatic { class, field } => {
+                    let value = frame!().stack.pop().expect("verified");
+                    self.statics[class.0 as usize][field as usize] = value;
+                }
+                Insn::GetField { field } => {
+                    let obj = frame!().stack.pop().expect("verified");
+                    match self.field_get(&obj, field) {
+                        Ok(value) => frame!().stack.push(value),
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::PutField { field } => {
+                    let value = frame!().stack.pop().expect("verified");
+                    let obj = frame!().stack.pop().expect("verified");
+                    match self.field_put(&obj, field, value) {
+                        Ok(()) => {}
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::NewObject(class) => match self.alloc_object(class) {
+                    Ok(value) => frame!().stack.push(value),
+                    Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                    Err(e) => return Err(e),
+                },
+                Insn::NewArray(kind) => {
+                    let len = frame!().stack.pop().expect("verified").as_i();
+                    match self.alloc_array(kind, len) {
+                        Ok(value) => frame!().stack.push(value),
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::NewMultiArray { kind, dims } => {
+                    let mut lens = vec![0i32; dims as usize];
+                    for slot in lens.iter_mut().rev() {
+                        *slot = frame!().stack.pop().expect("verified").as_i();
+                    }
+                    match self.alloc_multi(kind, &lens) {
+                        Ok(value) => frame!().stack.push(value),
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::ArrLoad(_) => {
+                    let idx = frame!().stack.pop().expect("verified").as_i();
+                    let arr = frame!().stack.pop().expect("verified");
+                    match self.arr_load(&arr, idx) {
+                        Ok(value) => frame!().stack.push(value),
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::ArrStore(_) => {
+                    let value = frame!().stack.pop().expect("verified");
+                    let idx = frame!().stack.pop().expect("verified").as_i();
+                    let arr = frame!().stack.pop().expect("verified");
+                    match self.arr_store(&arr, idx, value) {
+                        Ok(()) => {}
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::ArrLen => {
+                    let arr = frame!().stack.pop().expect("verified");
+                    match self.arr_len(&arr) {
+                        Ok(len) => frame!().stack.push(Value::I(len)),
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                // ----- int arithmetic -----
+                Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IAnd | Insn::IOr | Insn::IXor
+                | Insn::IShl | Insn::IShr | Insn::IUshr => {
+                    let b = frame!().stack.pop().expect("verified").as_i();
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    let r = match insn {
+                        Insn::IAdd => a.wrapping_add(b),
+                        Insn::ISub => a.wrapping_sub(b),
+                        Insn::IMul => a.wrapping_mul(b),
+                        Insn::IAnd => a & b,
+                        Insn::IOr => a | b,
+                        Insn::IXor => a ^ b,
+                        Insn::IShl => a.wrapping_shl(b as u32),
+                        Insn::IShr => a.wrapping_shr(b as u32),
+                        Insn::IUshr => ((a as u32).wrapping_shr(b as u32)) as i32,
+                        _ => unreachable!(),
+                    };
+                    frame!().stack.push(Value::I(r));
+                }
+                Insn::IDiv | Insn::IRem => {
+                    let b = frame!().stack.pop().expect("verified").as_i();
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    if b == 0 {
+                        raise!(pc, ExcKind::Arithmetic, 0);
+                    }
+                    let r = if matches!(insn, Insn::IDiv) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    frame!().stack.push(Value::I(r));
+                }
+                Insn::INeg => {
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    frame!().stack.push(Value::I(a.wrapping_neg()));
+                }
+                // ----- long arithmetic -----
+                Insn::LAdd | Insn::LSub | Insn::LMul | Insn::LAnd | Insn::LOr | Insn::LXor => {
+                    let b = frame!().stack.pop().expect("verified").as_l();
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    let r = match insn {
+                        Insn::LAdd => a.wrapping_add(b),
+                        Insn::LSub => a.wrapping_sub(b),
+                        Insn::LMul => a.wrapping_mul(b),
+                        Insn::LAnd => a & b,
+                        Insn::LOr => a | b,
+                        Insn::LXor => a ^ b,
+                        _ => unreachable!(),
+                    };
+                    frame!().stack.push(Value::L(r));
+                }
+                Insn::LDiv | Insn::LRem => {
+                    let b = frame!().stack.pop().expect("verified").as_l();
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    if b == 0 {
+                        raise!(pc, ExcKind::Arithmetic, 0);
+                    }
+                    let r = if matches!(insn, Insn::LDiv) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    frame!().stack.push(Value::L(r));
+                }
+                Insn::LShl | Insn::LShr | Insn::LUshr => {
+                    let b = frame!().stack.pop().expect("verified").as_i();
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    let r = match insn {
+                        Insn::LShl => a.wrapping_shl(b as u32),
+                        Insn::LShr => a.wrapping_shr(b as u32),
+                        Insn::LUshr => ((a as u64).wrapping_shr(b as u32)) as i64,
+                        _ => unreachable!(),
+                    };
+                    frame!().stack.push(Value::L(r));
+                }
+                Insn::LNeg => {
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    frame!().stack.push(Value::L(a.wrapping_neg()));
+                }
+                // ----- conversions -----
+                Insn::I2L => {
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    frame!().stack.push(Value::L(i64::from(a)));
+                }
+                Insn::L2I => {
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    frame!().stack.push(Value::I(a as i32));
+                }
+                Insn::I2B => {
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    frame!().stack.push(Value::I(i32::from(a as i8)));
+                }
+                Insn::I2S => {
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    frame!().stack.push(Value::S(a.to_string().into()));
+                }
+                Insn::L2S => {
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    frame!().stack.push(Value::S(a.to_string().into()));
+                }
+                Insn::Bool2S => {
+                    let a = frame!().stack.pop().expect("verified").as_bool();
+                    frame!().stack.push(Value::S(if a { "true" } else { "false" }.into()));
+                }
+                // ----- comparisons -----
+                Insn::ICmp(op) => {
+                    let b = frame!().stack.pop().expect("verified").as_i();
+                    let a = frame!().stack.pop().expect("verified").as_i();
+                    frame!().stack.push(Value::I(i32::from(op.eval(a, b))));
+                }
+                Insn::LCmp(op) => {
+                    let b = frame!().stack.pop().expect("verified").as_l();
+                    let a = frame!().stack.pop().expect("verified").as_l();
+                    frame!().stack.push(Value::I(i32::from(op.eval(a, b))));
+                }
+                Insn::RefEq | Insn::RefNe => {
+                    let b = frame!().stack.pop().expect("verified");
+                    let a = frame!().stack.pop().expect("verified");
+                    let eq = a.ref_eq(&b);
+                    let want = matches!(insn, Insn::RefEq);
+                    frame!().stack.push(Value::I(i32::from(eq == want)));
+                }
+                Insn::SConcat => {
+                    let b = frame!().stack.pop().expect("verified");
+                    let a = frame!().stack.pop().expect("verified");
+                    let joined = self.concat(&a, &b);
+                    frame!().stack.push(joined);
+                }
+                // ----- control flow -----
+                Insn::Jump(target) => {
+                    if target <= pc {
+                        if let Some(new_pc) = self.back_edge(id, pc, target)? {
+                            return self.osr_execute(id, frame_idx, new_pc);
+                        }
+                    }
+                    pc = target;
+                    continue;
+                }
+                Insn::JumpIfTrue(target) | Insn::JumpIfFalse(target) => {
+                    let cond = frame!().stack.pop().expect("verified").as_bool();
+                    self.profiles[id.0 as usize].record_branch(pc, cond);
+                    let want = matches!(insn, Insn::JumpIfTrue(_));
+                    if cond == want {
+                        if target <= pc {
+                            if let Some(new_pc) = self.back_edge(id, pc, target)? {
+                                return self.osr_execute(id, frame_idx, new_pc);
+                            }
+                        }
+                        pc = target;
+                        continue;
+                    }
+                }
+                Insn::TableSwitch { ref cases, default } => {
+                    let scrut = frame!().stack.pop().expect("verified").as_i();
+                    let arm = cases.iter().position(|(label, _)| *label == scrut);
+                    let target = match arm {
+                        Some(i) => {
+                            self.profiles[id.0 as usize].record_switch(pc, i);
+                            cases[i].1
+                        }
+                        None => {
+                            self.profiles[id.0 as usize].record_switch(pc, usize::MAX);
+                            default
+                        }
+                    };
+                    if target <= pc {
+                        if let Some(new_pc) = self.back_edge(id, pc, target)? {
+                            return self.osr_execute(id, frame_idx, new_pc);
+                        }
+                    }
+                    pc = target;
+                    continue;
+                }
+                // ----- calls -----
+                Insn::InvokeStatic(callee) | Insn::InvokeInstance(callee) => {
+                    let arg_slots = self.program.method(callee).arg_slots();
+                    let split_at = frame!().stack.len() - arg_slots;
+                    let args: Vec<Value> = frame!().stack.split_off(split_at);
+                    if matches!(insn, Insn::InvokeInstance(_)) && args[0].is_null() {
+                        raise!(pc, ExcKind::NullPointer, 0);
+                    }
+                    match self.call_method(callee, args) {
+                        Ok(Some(value)) => frame!().stack.push(value),
+                        Ok(None) => {}
+                        Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Insn::Return => return Ok(None),
+                Insn::ReturnVal => {
+                    let value = frame!().stack.pop().expect("verified");
+                    return Ok(Some(value));
+                }
+                // ----- exceptions -----
+                Insn::ThrowUser => {
+                    let code = frame!().stack.pop().expect("verified").as_i();
+                    raise!(pc, ExcKind::User, code);
+                }
+                Insn::Rethrow(slot) => {
+                    let packed = frame!().locals[slot as usize].as_l();
+                    let (kind, code) = ExcKind::unpack(packed);
+                    raise!(pc, kind, code);
+                }
+                // ----- output -----
+                Insn::Println(kind) => {
+                    let value = frame!().stack.pop().expect("verified");
+                    self.print_value(kind, &value);
+                }
+                Insn::Mute => self.mute_depth += 1,
+                Insn::Unmute => self.mute_depth = self.mute_depth.saturating_sub(1),
+            }
+            pc += 1;
+        }
+    }
+
+    /// Handles a back-edge: bumps the counter and, when a threshold is
+    /// crossed, OSR-compiles and transfers execution to compiled code.
+    ///
+    /// Returns `Ok(Some(header))` when an OSR transfer should happen at the
+    /// given loop header, or `Ok(None)` to continue interpreting normally.
+    fn back_edge(
+        &mut self,
+        id: MethodId,
+        from: u32,
+        to: u32,
+    ) -> Result<Option<u32>, Exit> {
+        let method = self.program.method(id);
+        let Some(counter_idx) = method.back_edge_index(from, to) else {
+            return Ok(None);
+        };
+        let counter = {
+            let prof = &mut self.profiles[id.0 as usize];
+            prof.backedges[counter_idx] += 1;
+            prof.backedges[counter_idx]
+        };
+        if !self.config.jit_enabled || self.config.plan.is_some() {
+            return Ok(None);
+        }
+        let prof = &self.profiles[id.0 as usize];
+        if prof.compile_banned {
+            return Ok(None);
+        }
+        // The hottest tier whose back-edge threshold the counter crossed.
+        let mut target_tier = None;
+        for t in 1..=(self.config.tiers.len() as u8) {
+            if counter >= self.config.tiers[(t - 1) as usize].backedge {
+                target_tier = Some(Tier(t));
+            }
+        }
+        let Some(tier) = target_tier else {
+            return Ok(None);
+        };
+        // Already OSR-compiled at (or beyond) this tier for this header?
+        // `osr_execute` below will find it; recompiling is idempotent via
+        // the code cache.
+        if !jit::can_osr(self.program, id, to) {
+            return Ok(None);
+        }
+        self.ensure_compiled(id, tier, Some(to), true, CompileReason::Osr { header: to })?;
+        // A top-tier OSR compilation promotes the whole method (HotSpot
+        // compiles the full method for OSR; later calls enter the hot code
+        // at its head — the paper's "T.g() is also JIT-compiled at the L4
+        // level").
+        if tier == self.config.top_tier() && self.profiles[id.0 as usize].tier < tier {
+            self.ensure_compiled(id, tier, None, true, CompileReason::Invocations)?;
+            self.profiles[id.0 as usize].tier = tier;
+        }
+        Ok(Some(to))
+    }
+
+    /// Transfers the current interpreter frame into OSR-compiled code at
+    /// loop header `header`. On de-optimization, resumes interpretation.
+    fn osr_execute(
+        &mut self,
+        id: MethodId,
+        frame_idx: usize,
+        header: u32,
+    ) -> Result<Option<Value>, Exit> {
+        {
+            // Find the hottest compiled OSR variant for this header.
+            let mut func = None;
+            for t in (1..=self.config.tiers.len() as u8).rev() {
+                if let Some(f) = self.compiled_code(id, Tier(t), Some(header)) {
+                    func = Some(f);
+                    break;
+                }
+            }
+            let Some(func) = func else {
+                // Deopt invalidated the code (or it never existed): resume
+                // interpreting from the header.
+                return self.interp_resume(id, frame_idx, header);
+            };
+            let locals = self.frames[frame_idx].locals.clone();
+            match jit::run_ir(self, &func, locals)? {
+                IrOutcome::Return(value) => Ok(value),
+                IrOutcome::Deopt { bc_pc, locals, reason } => {
+                    self.deoptimize(id, func.tier, bc_pc, reason);
+                    self.frames[frame_idx].locals = locals;
+                    self.frames[frame_idx].stack.clear();
+                    // Resume interpretation at the deopt point.
+                    self.interp_resume(id, frame_idx, bc_pc)
+                }
+                IrOutcome::TierUp { bc_pc, locals } => {
+                    // Hot loop wants a hotter tier: resume interpreting at
+                    // the header; the next back-edge re-enters through the
+                    // freshly promoted OSR compilation.
+                    self.frames[frame_idx].locals = locals;
+                    self.frames[frame_idx].stack.clear();
+                    self.interp_resume(id, frame_idx, bc_pc)
+                }
+            }
+        }
+    }
+
+    /// Continues interpreting the *current* frame at `pc` (after OSR exit
+    /// or de-optimization) without pushing a new frame.
+    fn interp_resume(
+        &mut self,
+        id: MethodId,
+        frame_idx: usize,
+        pc: u32,
+    ) -> Result<Option<Value>, Exit> {
+        self.interp_loop(id, frame_idx, pc)
+    }
+}

@@ -1,0 +1,322 @@
+//! Control-flow analyses over the IR: reverse postorder, dominators
+//! (Cooper–Harvey–Kennedy), and the natural-loop forest.
+
+use super::ir::{BlockId, IrFunc};
+
+/// Reverse postorder of reachable blocks from the entry.
+pub fn reverse_postorder(func: &IrFunc) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post: Vec<BlockId> = Vec::with_capacity(n);
+    // Iterative DFS with an explicit phase marker.
+    let mut stack: Vec<(BlockId, bool)> = vec![(0, false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            post.push(b);
+            continue;
+        }
+        if visited[b as usize] {
+            continue;
+        }
+        visited[b as usize] = true;
+        stack.push((b, true));
+        for succ in func.blocks[b as usize].term.successors() {
+            if !visited[succ as usize] {
+                stack.push((succ, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate-dominator tree.
+#[derive(Debug)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of `b`; `idom[0] == 0`. Blocks
+    /// unreachable from the entry have `u32::MAX`.
+    pub idom: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Computes dominators using the iterative CHK algorithm, with handler
+    /// edges included (via [`IrFunc::predecessors`]) so exceptional control
+    /// flow is modeled conservatively.
+    pub fn compute(func: &IrFunc) -> Dominators {
+        let n = func.blocks.len();
+        let rpo = reverse_postorder(func);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b as usize] = i;
+        }
+        let preds = func.predecessors();
+        let mut idom: Vec<BlockId> = vec![u32::MAX; n];
+        idom[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b as usize] {
+                    if idom[p as usize] == u32::MAX {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b as usize] != ni {
+                        idom[b as usize] = ni;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b as usize] == u32::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            cur = self.idom[cur as usize];
+        }
+    }
+}
+
+fn intersect(idom: &[BlockId], rpo_index: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+    while a != b {
+        while rpo_index[a as usize] > rpo_index[b as usize] {
+            a = idom[a as usize];
+        }
+        while rpo_index[b as usize] > rpo_index[a as usize] {
+            b = idom[b as usize];
+        }
+    }
+    a
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    pub header: BlockId,
+    /// Blocks in the loop (including the header).
+    pub blocks: Vec<BlockId>,
+    /// Parent loop index in the forest, if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 1).
+    pub depth: usize,
+}
+
+/// The natural-loop forest of a function.
+#[derive(Debug, Default)]
+pub struct LoopForest {
+    pub loops: Vec<Loop>,
+    /// Innermost loop index per block (`usize::MAX` = not in a loop).
+    pub innermost: Vec<usize>,
+}
+
+impl LoopForest {
+    /// Detects natural loops from back-edges `u -> v` where `v` dominates
+    /// `u`, merging loops that share a header.
+    pub fn compute(func: &IrFunc) -> LoopForest {
+        let doms = Dominators::compute(func);
+        let preds = func.predecessors();
+        let n = func.blocks.len();
+        // Collect loop bodies per header.
+        let mut header_blocks: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (u, block) in func.blocks.iter().enumerate() {
+            for v in block.term.successors() {
+                if doms.dominates(v, u as BlockId) {
+                    // Natural loop of back-edge u -> v.
+                    let mut body = vec![v];
+                    let mut stack = vec![u as BlockId];
+                    while let Some(x) = stack.pop() {
+                        if body.contains(&x) {
+                            continue;
+                        }
+                        body.push(x);
+                        for &p in &preds[x as usize] {
+                            stack.push(p);
+                        }
+                    }
+                    match header_blocks.iter_mut().find(|(h, _)| *h == v) {
+                        Some((_, existing)) => {
+                            for b in body {
+                                if !existing.contains(&b) {
+                                    existing.push(b);
+                                }
+                            }
+                        }
+                        None => header_blocks.push((v, body)),
+                    }
+                }
+            }
+        }
+        // Order loops by body size descending so parents precede children.
+        header_blocks.sort_by_key(|(_, body)| std::cmp::Reverse(body.len()));
+        let mut forest = LoopForest { loops: Vec::new(), innermost: vec![usize::MAX; n] };
+        for (header, blocks) in header_blocks {
+            // Parent = the smallest existing loop that contains our header
+            // (loops are processed largest-first).
+            let parent = forest
+                .loops
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.blocks.contains(&header))
+                .min_by_key(|(_, l)| l.blocks.len())
+                .map(|(i, _)| i);
+            let depth = parent.map(|p| forest.loops[p].depth + 1).unwrap_or(1);
+            forest.loops.push(Loop { header, blocks, parent, depth });
+        }
+        // Innermost loop per block = deepest loop containing it.
+        for (i, l) in forest.loops.iter().enumerate() {
+            for &b in &l.blocks {
+                let cur = forest.innermost[b as usize];
+                if cur == usize::MAX || forest.loops[cur].depth < l.depth {
+                    forest.innermost[b as usize] = i;
+                }
+            }
+        }
+        forest
+    }
+
+    /// Loop depth of a block (0 = not in any loop).
+    pub fn depth(&self, block: BlockId) -> usize {
+        match self.innermost.get(block as usize) {
+            Some(&idx) if idx != usize::MAX => self.loops[idx].depth,
+            _ => 0,
+        }
+    }
+
+    /// Deepest loop nesting in the function.
+    pub fn max_depth(&self) -> usize {
+        self.loops.iter().map(|l| l.depth).max().unwrap_or(0)
+    }
+
+    /// Indices of the direct child loops of loop `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.parent == Some(i))
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Whether `block` belongs to loop `i`.
+    pub fn contains(&self, i: usize, block: BlockId) -> bool {
+        self.loops[i].blocks.contains(&block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Tier;
+    use crate::events::DeoptReason;
+    use crate::jit::ir::*;
+    use cse_bytecode::MethodId;
+
+    /// Builds a diamond-with-loop CFG:
+    /// 0 -> 1; 1 -> 2 (loop header); 2 -> 3, 4; 3 -> 2 (back edge);
+    /// 4 -> 5 (exit).
+    fn looped_func() -> IrFunc {
+        let block = |term: Term| Block { insts: vec![], term };
+        IrFunc {
+            method: MethodId(0),
+            tier: Tier::T2,
+            blocks: vec![
+                block(Term::Jump(1)),
+                block(Term::Jump(2)),
+                block(Term::Branch { cond: 0, if_true: 3, if_false: 4 }),
+                block(Term::Jump(2)),
+                block(Term::Jump(5)),
+                block(Term::Return(None)),
+            ],
+            num_regs: 1,
+            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            handlers: vec![],
+            osr_entry: None,
+            anchor_limit_per_frame: vec![(0, 1)],
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let func = looped_func();
+        let rpo = reverse_postorder(&func);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 6);
+    }
+
+    #[test]
+    fn dominators_of_looped_cfg() {
+        let func = looped_func();
+        let doms = Dominators::compute(&func);
+        assert!(doms.dominates(0, 5));
+        assert!(doms.dominates(2, 3));
+        assert!(doms.dominates(2, 4));
+        assert!(!doms.dominates(3, 4));
+        assert_eq!(doms.idom[3], 2);
+        assert_eq!(doms.idom[5], 4);
+    }
+
+    #[test]
+    fn loop_forest_finds_the_loop() {
+        let func = looped_func();
+        let forest = LoopForest::compute(&func);
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].header, 2);
+        assert_eq!(forest.depth(2), 1);
+        assert_eq!(forest.depth(3), 1);
+        assert_eq!(forest.depth(0), 0);
+        assert_eq!(forest.depth(5), 0);
+        assert_eq!(forest.max_depth(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let block = |term: Term| Block { insts: vec![], term };
+        // 0 -> 1 (outer header); 1 -> 2 (inner header); 2 -> 2? no:
+        // 2 -> 3; 3 -> 2 (inner back); 3 -> handled via branch; use:
+        // 1 -> 2; 2 -> branch(3, 4); 3 -> 2 (inner back); 4 -> branch(1, 5).
+        let func = IrFunc {
+            method: MethodId(0),
+            tier: Tier::T2,
+            blocks: vec![
+                block(Term::Jump(1)),
+                block(Term::Jump(2)),
+                block(Term::Branch { cond: 0, if_true: 3, if_false: 4 }),
+                block(Term::Jump(2)),
+                block(Term::Branch { cond: 0, if_true: 1, if_false: 5 }),
+                block(Term::Return(None)),
+            ],
+            num_regs: 1,
+            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            handlers: vec![],
+            osr_entry: None,
+            anchor_limit_per_frame: vec![(0, 1)],
+        };
+        let forest = LoopForest::compute(&func);
+        assert_eq!(forest.loops.len(), 2);
+        assert_eq!(forest.max_depth(), 2);
+        let inner = forest.loops.iter().find(|l| l.header == 2).unwrap();
+        assert_eq!(inner.depth, 2);
+        let outer = forest.loops.iter().find(|l| l.header == 1).unwrap();
+        assert_eq!(outer.depth, 1);
+        // Trap terminators should not break any of this.
+        let _ = DeoptReason::BranchSpeculation;
+    }
+}

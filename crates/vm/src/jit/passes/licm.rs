@@ -1,0 +1,274 @@
+//! Loop-invariant code motion.
+//!
+//! Correct behavior: pure, non-throwing, single-assignment instructions
+//! whose operands are defined outside the loop hoist into a freshly
+//! created preheader. Throwing operations (including field loads, which
+//! may NPE) never hoist — except under the injected
+//! [`BugId::HsLicmAliasedLoad`], which hoists a field load out of a loop
+//! whose stores to the same field all sit inside `try` regions (the buggy
+//! alias check ignores exceptional control flow), yielding stale reads.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::exec::CrashInfo;
+use crate::faults::BugId;
+use crate::jit::cfg::LoopForest;
+use crate::jit::ir::*;
+use crate::jit::CompileCtx;
+
+/// Runs LICM over every loop; the forest is re-discovered after each
+/// preheader insertion (which invalidates block ids' loop membership).
+pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
+    let mut processed: HashSet<BlockId> = HashSet::new();
+    loop {
+        let forest = LoopForest::compute(func);
+        let next = forest
+            .loops
+            .iter()
+            .filter(|l| !processed.contains(&l.header))
+            .max_by_key(|l| l.depth)
+            .map(|l| (l.header, l.blocks.clone()));
+        let Some((header, blocks)) = next else {
+            return Ok(());
+        };
+        processed.insert(header);
+        // Headers that double as exception-handler targets are left alone:
+        // the handler edge would bypass a preheader.
+        if func.handlers.iter().any(|h| h.target == header) {
+            continue;
+        }
+        hoist_loop(ctx, func, &blocks, header);
+    }
+}
+
+fn hoist_loop(ctx: &CompileCtx<'_>, func: &mut IrFunc, loop_blocks: &[BlockId], header: BlockId) {
+    // Registers written anywhere inside the loop.
+    let mut written: HashSet<Reg> = HashSet::new();
+    // Memory facts needed by the (buggy) field-load hoist.
+    let mut loop_has_call = false;
+    // field index -> has a store *outside* any try region / *inside* one.
+    let mut field_store_plain: HashSet<u32> = HashSet::new();
+    let mut field_store_in_try: HashSet<u32> = HashSet::new();
+    for &b in loop_blocks {
+        for inst in &func.blocks[b as usize].insts {
+            if let Some(dst) = inst.dst {
+                written.insert(dst);
+            }
+            match &inst.op {
+                Op::Call { .. } => loop_has_call = true,
+                Op::PutField { field, .. } => {
+                    let covered = func.handlers.iter().any(|h| {
+                        h.frame == inst.frame && inst.bc_pc >= h.start_bc && inst.bc_pc < h.end_bc
+                    });
+                    if covered {
+                        field_store_in_try.insert(*field);
+                    } else {
+                        field_store_plain.insert(*field);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Global def counts (single-assignment check).
+    let mut def_count: HashMap<Reg, u32> = HashMap::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            if let Some(dst) = inst.dst {
+                *def_count.entry(dst).or_default() += 1;
+            }
+        }
+    }
+    let is_anchor =
+        |r: Reg, anchors: &[(Reg, Reg)]| anchors.iter().any(|&(lo, hi)| r >= lo && r < hi);
+    let alias_bug = ctx.faults.active(BugId::HsLicmAliasedLoad) && ctx.optimizing();
+    let anchors = func.anchor_limit_per_frame.clone();
+
+    let mut hoisted: Vec<Inst> = Vec::new();
+    for &b in loop_blocks {
+        let block = &mut func.blocks[b as usize];
+        let mut kept: Vec<Inst> = Vec::with_capacity(block.insts.len());
+        for inst in block.insts.drain(..) {
+            let hoistable = match inst.dst {
+                Some(dst) => {
+                    let single = def_count.get(&dst).copied().unwrap_or(0) == 1;
+                    let invariant = inst.op.sources().iter().all(|s| !written.contains(s));
+                    let movable = if inst.op.is_pure() {
+                        true
+                    } else if let Op::GetField { field, .. } = &inst.op {
+                        // The injected alias bug: stores hidden inside try
+                        // regions are ignored by the alias check.
+                        alias_bug
+                            && !loop_has_call
+                            && field_store_in_try.contains(field)
+                            && !field_store_plain.contains(field)
+                    } else {
+                        false
+                    };
+                    single && invariant && movable && !is_anchor(dst, &anchors)
+                }
+                None => false,
+            };
+            if hoistable {
+                hoisted.push(inst);
+            } else {
+                kept.push(inst);
+            }
+        }
+        block.insts = kept;
+    }
+    if hoisted.is_empty() {
+        return;
+    }
+    insert_preheader(func, header, loop_blocks, hoisted);
+}
+
+/// Creates a preheader block in front of `header`, retargeting all
+/// non-loop predecessors to it, and fills it with `insts`.
+fn insert_preheader(func: &mut IrFunc, header: BlockId, loop_blocks: &[BlockId], insts: Vec<Inst>) {
+    let pre = func.blocks.len() as BlockId;
+    func.blocks.push(Block { insts, term: Term::Jump(header) });
+    for b in 0..(func.blocks.len() - 1) as u32 {
+        if loop_blocks.contains(&b) {
+            continue;
+        }
+        match &mut func.blocks[b as usize].term {
+            Term::Jump(t) if *t == header => *t = pre,
+            Term::Branch { if_true, if_false, .. } => {
+                if *if_true == header {
+                    *if_true = pre;
+                }
+                if *if_false == header {
+                    *if_false = pre;
+                }
+            }
+            Term::Switch { cases, default, .. } => {
+                for (_, t) in cases.iter_mut() {
+                    if *t == header {
+                        *t = pre;
+                    }
+                }
+                if *default == header {
+                    *default = pre;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Tier, VmKind};
+    use crate::faults::FaultInjector;
+    use crate::profile::MethodProfile;
+    use cse_bytecode::{BProgram, MethodId};
+
+    fn tiny_program() -> BProgram {
+        let p = cse_lang::parse_and_check("class T { static void main() { } }").unwrap();
+        cse_bytecode::compile(&p).unwrap()
+    }
+
+    fn ctx<'a>(
+        program: &'a BProgram,
+        profiles: &'a [MethodProfile],
+        faults: &'a FaultInjector,
+    ) -> CompileCtx<'a> {
+        CompileCtx {
+            program,
+            profiles,
+            faults,
+            kind: VmKind::HotSpotLike,
+            tier: Tier::T2,
+            speculate: false,
+            inline_limit: 48,
+            has_osr_code: false,
+        }
+    }
+
+    fn inst(dst: Reg, op: Op) -> Inst {
+        Inst { dst: Some(dst), op, frame: 0, bc_pc: 5 }
+    }
+
+    /// CFG: 0 (entry) -> 1 (header) -> {2 (body) -> 1, 3 (exit)}.
+    fn loop_func(body: Vec<Inst>) -> IrFunc {
+        IrFunc {
+            method: MethodId(0),
+            tier: Tier::T2,
+            blocks: vec![
+                Block { insts: vec![], term: Term::Jump(1) },
+                Block { insts: vec![], term: Term::Branch { cond: 0, if_true: 2, if_false: 3 } },
+                Block { insts: body, term: Term::Jump(1) },
+                Block { insts: vec![], term: Term::Return(None) },
+            ],
+            num_regs: 32,
+            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 3, parent: None }],
+            handlers: vec![],
+            osr_entry: None,
+            anchor_limit_per_frame: vec![(0, 3)],
+        }
+    }
+
+    #[test]
+    fn hoists_invariant_pure_expression() {
+        let program = tiny_program();
+        let profiles = vec![MethodProfile::default(); program.methods.len()];
+        let faults = FaultInjector::none();
+        let c = ctx(&program, &profiles, &faults);
+        let mut f = loop_func(vec![inst(10, Op::BinI(BinKind::Add, 1, 2))]);
+        run(&c, &mut f).unwrap();
+        assert!(f.blocks[2].insts.is_empty(), "invariant add should move out");
+        let pre = &f.blocks[4];
+        assert_eq!(pre.insts.len(), 1);
+        assert_eq!(pre.term, Term::Jump(1));
+        // Entry now routes through the preheader.
+        assert_eq!(f.blocks[0].term, Term::Jump(4));
+        // The back edge still targets the header directly.
+        assert_eq!(f.blocks[2].term, Term::Jump(1));
+    }
+
+    #[test]
+    fn keeps_variant_and_throwing_instructions() {
+        let program = tiny_program();
+        let profiles = vec![MethodProfile::default(); program.methods.len()];
+        let faults = FaultInjector::none();
+        let c = ctx(&program, &profiles, &faults);
+        let mut f = loop_func(vec![
+            inst(10, Op::BinI(BinKind::Add, 1, 10)), // self-dependent: variant
+            inst(11, Op::GetField { obj: 1, field: 0 }), // throwing: never hoisted
+            inst(12, Op::BinI(BinKind::Div, 1, 2)),  // may throw
+        ]);
+        run(&c, &mut f).unwrap();
+        assert_eq!(f.blocks[2].insts.len(), 3);
+    }
+
+    #[test]
+    fn injected_alias_bug_hoists_field_load_over_try_store() {
+        let program = tiny_program();
+        let profiles = vec![MethodProfile::default(); program.methods.len()];
+        let faults = FaultInjector::with([BugId::HsLicmAliasedLoad]);
+        let c = ctx(&program, &profiles, &faults);
+        let store = Inst {
+            dst: None,
+            op: Op::PutField { obj: 1, field: 0, val: 2 },
+            frame: 0,
+            bc_pc: 7,
+        };
+        let mut f = loop_func(vec![inst(10, Op::GetField { obj: 1, field: 0 }), store.clone()]);
+        // The store at bc 7 sits inside a try region.
+        f.handlers.push(IrHandler { frame: 0, start_bc: 6, end_bc: 9, target: 3, save_reg: None });
+        run(&c, &mut f).unwrap();
+        assert!(
+            f.blocks[2].insts.iter().all(|i| !matches!(i.op, Op::GetField { .. })),
+            "buggy pass hoists the load"
+        );
+        // Without the bug the load stays put.
+        let faults = FaultInjector::none();
+        let c = ctx(&program, &profiles, &faults);
+        let mut f = loop_func(vec![inst(10, Op::GetField { obj: 1, field: 0 }), store]);
+        f.handlers.push(IrHandler { frame: 0, start_bc: 6, end_bc: 9, target: 3, save_reg: None });
+        run(&c, &mut f).unwrap();
+        assert!(f.blocks[2].insts.iter().any(|i| matches!(i.op, Op::GetField { .. })));
+    }
+}

@@ -1,0 +1,85 @@
+//! The optimization pass pipelines.
+//!
+//! Pass order follows the profile descriptions in [`super`]: cheap
+//! cleanups first (the IR builder emits copy-heavy code by design), then
+//! value numbering, code motion, loop analyses, register allocation, and
+//! code-generation lowering checks, with dead-code elimination last.
+//! Passes host the trigger logic of the injected bugs whose component
+//! they implement.
+
+pub mod codegen;
+pub mod constfold;
+pub mod copyprop;
+pub mod dce;
+pub mod gcm;
+pub mod gvn;
+pub mod licm;
+pub mod loopopt;
+pub mod regalloc;
+pub mod vp;
+
+use super::ir::IrFunc;
+use super::CompileCtx;
+use crate::config::VmKind;
+use crate::exec::CrashInfo;
+
+/// Runs the pipeline for `ctx.kind` / `ctx.tier` over `func` in place.
+pub fn run_pipeline(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
+    match (ctx.kind, ctx.optimizing()) {
+        (VmKind::HotSpotLike, false) => {
+            // C1: quick tier.
+            copyprop::run(func);
+            constfold::run(ctx, func)?;
+            gvn::run_local(ctx, func)?;
+            dce::run(func);
+        }
+        (VmKind::HotSpotLike, true) => {
+            // C2: optimizing tier. Cleanup passes run twice: value
+            // numbering introduces copies that expose further local CSE
+            // (classic iterate-to-fixpoint, bounded to two rounds).
+            copyprop::run(func);
+            constfold::run(ctx, func)?;
+            gvn::run_local(ctx, func)?;
+            copyprop::run(func);
+            gvn::run_local(ctx, func)?;
+            gvn::run(ctx, func)?;
+            licm::run(ctx, func)?;
+            gcm::run(ctx, func)?;
+            loopopt::run(ctx, func)?;
+            regalloc::run(ctx, func)?;
+            codegen::run(ctx, func)?;
+            dce::run(func);
+        }
+        (VmKind::OpenJ9Like, false) => {
+            copyprop::run(func);
+            vp::run_local(ctx, func)?;
+            gvn::run_local(ctx, func)?;
+            dce::run(func);
+        }
+        (VmKind::OpenJ9Like, true) => {
+            copyprop::run(func);
+            vp::run_local(ctx, func)?;
+            vp::run_global(ctx, func)?;
+            constfold::run(ctx, func)?;
+            gvn::run_local(ctx, func)?;
+            copyprop::run(func);
+            gvn::run_local(ctx, func)?;
+            gvn::run(ctx, func)?;
+            licm::run(ctx, func)?;
+            loopopt::run(ctx, func)?;
+            regalloc::run(ctx, func)?;
+            codegen::run(ctx, func)?;
+            dce::run(func);
+        }
+        (VmKind::ArtLike, _) => {
+            // The single "OptimizingCompiler" tier.
+            copyprop::run(func);
+            constfold::run(ctx, func)?;
+            gvn::run_local(ctx, func)?;
+            licm::run(ctx, func)?;
+            codegen::run(ctx, func)?;
+            dce::run(func);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Register allocation (pressure analysis).
+//!
+//! The evaluator executes virtual registers directly, so "allocation" here
+//! is the liveness/pressure analysis a linear-scan allocator would run —
+//! plus the pressure-triggered injected assertions
+//! ([`BugId::HsRegAllocPressure`], [`BugId::J9RegAllocLongPressure`]).
+
+use std::collections::HashSet;
+
+use crate::exec::CrashInfo;
+use crate::faults::BugId;
+use crate::jit::ir::*;
+use crate::jit::CompileCtx;
+
+/// Computes maximum register pressure and fires pressure assertions.
+pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
+    let pressure = max_pressure(func);
+    if ctx.faults.active(BugId::HsRegAllocPressure) && pressure > 40 {
+        return Err(ctx.crash(
+            BugId::HsRegAllocPressure,
+            format!("register allocator: live range budget exceeded ({pressure})"),
+        ));
+    }
+    if ctx.faults.active(BugId::J9RegAllocLongPressure) && pressure > 34 {
+        let has_long = func
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.op, Op::BinL(..)));
+        if has_long {
+            return Err(ctx.crash(
+                BugId::J9RegAllocLongPressure,
+                format!("register allocator: GPR pair pressure {pressure}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Backward liveness analysis; returns the maximum live-set size observed
+/// at any program point.
+pub fn max_pressure(func: &IrFunc) -> usize {
+    let n = func.blocks.len();
+    let preds = func.predecessors();
+    let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out: HashSet<Reg> = HashSet::new();
+            for succ in func.blocks[b].term.successors() {
+                out.extend(live_in[succ as usize].iter().copied());
+            }
+            let mut live = out.clone();
+            for src in func.blocks[b].term.sources() {
+                live.insert(src);
+            }
+            for inst in func.blocks[b].insts.iter().rev() {
+                if let Some(dst) = inst.dst {
+                    live.remove(&dst);
+                }
+                for src in inst.op.sources() {
+                    live.insert(src);
+                }
+            }
+            if live != live_in[b] || out != live_out[b] {
+                live_in[b] = live;
+                live_out[b] = out;
+                changed = true;
+                // Propagate to predecessors next sweep.
+                let _ = &preds;
+            }
+        }
+    }
+    // Pressure: walk each block once more, tracking the running live set.
+    let mut max = 0usize;
+    for (b, out) in live_out.iter().enumerate() {
+        let mut live = out.clone();
+        max = max.max(live.len());
+        for inst in func.blocks[b].insts.iter().rev() {
+            if let Some(dst) = inst.dst {
+                live.remove(&dst);
+            }
+            for src in inst.op.sources() {
+                live.insert(src);
+            }
+            max = max.max(live.len());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Tier;
+    use cse_bytecode::MethodId;
+
+    #[test]
+    fn pressure_counts_simultaneously_live_values() {
+        // r4..r9 defined then all summed: pressure peaks at 6.
+        let mut insts: Vec<Inst> = (4..10)
+            .map(|r| Inst { dst: Some(r), op: Op::ConstI(r as i32), frame: 0, bc_pc: 0 })
+            .collect();
+        let mut acc = 4u32;
+        for r in 5..10u32 {
+            insts.push(Inst {
+                dst: Some(10 + r),
+                op: Op::BinI(BinKind::Add, acc, r),
+                frame: 0,
+                bc_pc: 0,
+            });
+            acc = 10 + r;
+        }
+        let func = IrFunc {
+            method: MethodId(0),
+            tier: Tier::T2,
+            blocks: vec![Block { insts, term: Term::Return(Some(acc)) }],
+            num_regs: 32,
+            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            handlers: vec![],
+            osr_entry: None,
+            anchor_limit_per_frame: vec![(0, 1)],
+        };
+        assert_eq!(max_pressure(&func), 6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-method profiling state — the paper's counter set `C_m`
+//! (Definition 3.2) plus the branch profiles that drive speculation.
+
+use std::collections::HashMap;
+
+use crate::config::Tier;
+
+/// Runtime profile of one method.
+#[derive(Debug, Clone, Default)]
+pub struct MethodProfile {
+    /// The method counter `c_0`.
+    pub invocations: u64,
+    /// Back-edge counters `c_1 .. c_M`, indexed like
+    /// `BMethod::loop_headers`.
+    pub backedges: Vec<u64>,
+    /// Per-branch (bytecode pc) taken/not-taken counts gathered by the
+    /// interpreter; tier-2 compilation speculates on zero entries.
+    pub branches: HashMap<u32, BranchProfile>,
+    /// Per-switch-arm hit counts: key is (pc, arm index), where
+    /// `usize::MAX` is the default arm.
+    pub switch_hits: HashMap<(u32, usize), u64>,
+    /// Current compiled tier (`Tier::INTERP` when interpreted).
+    pub tier: Tier,
+    /// De-optimizations taken so far.
+    pub deopts: u32,
+    /// Permanently banned from compilation (too many deopts).
+    pub compile_banned: bool,
+    /// Bytecode pcs whose speculation already failed once (the trap's
+    /// resume target): recompilations never re-speculate these sites,
+    /// like HotSpot's per-method trap history.
+    pub no_speculate: std::collections::HashSet<u32>,
+}
+
+/// Taken / not-taken counts for a conditional branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Times the condition evaluated to `true`.
+    pub taken: u64,
+    /// Times the condition evaluated to `false`.
+    pub not_taken: u64,
+}
+
+impl MethodProfile {
+    /// Records a conditional-branch outcome.
+    pub fn record_branch(&mut self, pc: u32, cond: bool) {
+        let entry = self.branches.entry(pc).or_default();
+        if cond {
+            entry.taken += 1;
+        } else {
+            entry.not_taken += 1;
+        }
+    }
+
+    /// Records which switch arm was selected.
+    pub fn record_switch(&mut self, pc: u32, arm: usize) {
+        *self.switch_hits.entry((pc, arm)).or_default() += 1;
+    }
+
+    /// The branch profile at a pc, if the interpreter ever saw it.
+    pub fn branch(&self, pc: u32) -> Option<BranchProfile> {
+        self.branches.get(&pc).copied()
+    }
+
+    /// Hit count of a switch arm.
+    pub fn switch_arm_hits(&self, pc: u32, arm: usize) -> u64 {
+        self.switch_hits.get(&(pc, arm)).copied().unwrap_or(0)
+    }
+
+    /// Resets counters after a de-optimization: the method re-warms from
+    /// the interpreter (the paper's "cooled down by uncommon traps").
+    pub fn cool_down(&mut self, max_deopts: u32) {
+        self.invocations = 0;
+        for counter in &mut self.backedges {
+            *counter = 0;
+        }
+        self.tier = Tier::INTERP;
+        self.deopts += 1;
+        if self.deopts >= max_deopts {
+            self.compile_banned = true;
+        }
+    }
+
+    /// The temperature of the method right now: the maximum band any of
+    /// its counters reached given the tier thresholds (Definition 3.2,
+    /// `τ(m) = max τ(c)`), capped by what has actually been compiled.
+    pub fn temperature(&self) -> Tier {
+        self.tier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_profiles_accumulate() {
+        let mut p = MethodProfile::default();
+        p.record_branch(4, true);
+        p.record_branch(4, true);
+        p.record_branch(4, false);
+        assert_eq!(p.branch(4), Some(BranchProfile { taken: 2, not_taken: 1 }));
+        assert_eq!(p.branch(5), None);
+    }
+
+    #[test]
+    fn switch_profiles_accumulate() {
+        let mut p = MethodProfile::default();
+        p.record_switch(10, 0);
+        p.record_switch(10, usize::MAX);
+        p.record_switch(10, usize::MAX);
+        assert_eq!(p.switch_arm_hits(10, 0), 1);
+        assert_eq!(p.switch_arm_hits(10, usize::MAX), 2);
+        assert_eq!(p.switch_arm_hits(10, 3), 0);
+    }
+
+    #[test]
+    fn cool_down_resets_and_bans() {
+        let mut p = MethodProfile { invocations: 500, backedges: vec![9, 9], tier: Tier::T2, ..Default::default() };
+        p.cool_down(2);
+        assert_eq!(p.invocations, 0);
+        assert_eq!(p.backedges, vec![0, 0]);
+        assert_eq!(p.tier, Tier::INTERP);
+        assert!(!p.compile_banned);
+        p.cool_down(2);
+        assert!(p.compile_banned);
+    }
+}

@@ -1,0 +1,120 @@
+//! Runtime values.
+
+use std::rc::Rc;
+
+/// A dynamically-tagged runtime value.
+///
+/// `byte` and `boolean` values live in the `I` variant (sign-extended /
+/// 0-or-1), mirroring how the JVM's operand stack works. Strings are
+/// immutable and live outside the garbage-collected heap; `Null` stands for
+/// both null object references and null strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    I(i32),
+    L(i64),
+    S(Rc<str>),
+    /// An object or array reference: an index into the VM heap.
+    Ref(u32),
+    Null,
+}
+
+impl Value {
+    /// The `int` payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not an `I`; verified bytecode never does.
+    pub fn as_i(&self) -> i32 {
+        match self {
+            Value::I(v) => *v,
+            other => panic!("expected int value, found {other:?}"),
+        }
+    }
+
+    /// The `long` payload (see [`Value::as_i`] for the panic contract).
+    pub fn as_l(&self) -> i64 {
+        match self {
+            Value::L(v) => *v,
+            other => panic!("expected long value, found {other:?}"),
+        }
+    }
+
+    /// The boolean payload (an `I` of 0 or 1).
+    pub fn as_bool(&self) -> bool {
+        self.as_i() != 0
+    }
+
+    /// The string payload, or `None` for `Null`.
+    pub fn as_s(&self) -> Option<&Rc<str>> {
+        match self {
+            Value::S(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the null value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Reference identity for `==`/`!=` on reference-typed operands.
+    pub fn ref_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            // A string is only ever identity-compared against null (the
+            // front end rejects `Str == Str`).
+            _ => false,
+        }
+    }
+
+    /// The default value for a static type.
+    pub fn default_of(ty: &cse_lang::Ty) -> Value {
+        use cse_lang::Ty;
+        match ty {
+            Ty::Int | Ty::Byte | Ty::Bool => Value::I(0),
+            Ty::Long => Value::L(0),
+            _ => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_lang::Ty;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I(7).as_i(), 7);
+        assert_eq!(Value::L(9).as_l(), 9);
+        assert!(Value::I(1).as_bool());
+        assert!(!Value::I(0).as_bool());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn ref_identity() {
+        assert!(Value::Null.ref_eq(&Value::Null));
+        assert!(Value::Ref(3).ref_eq(&Value::Ref(3)));
+        assert!(!Value::Ref(3).ref_eq(&Value::Ref(4)));
+        assert!(!Value::S("x".into()).ref_eq(&Value::Null));
+        assert!(!Value::Null.ref_eq(&Value::Ref(0)));
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(Value::default_of(&Ty::Int), Value::I(0));
+        assert_eq!(Value::default_of(&Ty::Byte), Value::I(0));
+        assert_eq!(Value::default_of(&Ty::Long), Value::L(0));
+        assert_eq!(Value::default_of(&Ty::Bool), Value::I(0));
+        assert_eq!(Value::default_of(&Ty::Str), Value::Null);
+        assert_eq!(Value::default_of(&Ty::Int.array_of()), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn as_i_panics_on_wrong_tag() {
+        let _ = Value::L(1).as_i();
+    }
+}

@@ -1,0 +1,110 @@
+//! Every statement-skeleton shape of the mutation corpus, instantiated
+//! inside a hot method, must behave identically under the interpreter and
+//! every JIT profile — a targeted pass-soundness sweep over exactly the
+//! code shapes Artemis injects.
+
+use cse_vm::{Outcome, Vm, VmConfig, VmKind};
+
+/// Wraps a corpus-like statement sequence in a hot method.
+fn harness(body: &str) -> String {
+    format!(
+        r#"
+        class T {{
+            static long sink = 0L;
+            static void work(int x) {{
+                {body}
+            }}
+            static void main() {{
+                for (int i = 0; i < 4000; i++) {{
+                    work(i);
+                }}
+                println(T.sink);
+            }}
+        }}
+        "#
+    )
+}
+
+/// Corpus samples with results folded into `sink` so the oracle sees the
+/// skeleton's values (holes replaced by parameter-derived expressions).
+const BODIES: &[&str] = &[
+    "int a = x; a = a * 31 + 7; a ^= a >>> 7; T.sink += a;",
+    "long l = (long) x; l = l * 1103515245L + 12345L; T.sink ^= l;",
+    "byte b = (byte) x; b += 2; b = (byte) (b * 3); T.sink += b;",
+    "boolean p = x > 100; boolean q = !p || x % 3 == 0; if (q) { T.sink += 1; }",
+    "int s = 0; for (int i = 0; i < 7; i++) { s += i * x; } T.sink += s;",
+    "int a = x & 7; int r = 0; switch (a) { case 0: case 1: r = 10; break; case 2: r = 20; default: r += 5; } T.sink += r;",
+    "int[] arr = new int[] { x, x + 1, x + 2 }; T.sink += arr[0] + arr[2];",
+    "int[] arr = new int[5]; for (int i = 0; i < arr.length; i++) { arr[i] = i * x; } T.sink += arr[4];",
+    "int a = x; int d = x | 1; a = a / d + a % d; T.sink += a;",
+    "int a = x; try { a = 1000 / (a & 3); } catch { a = -1; } T.sink += a;",
+    "long l = (long) x; int i = (int) (l >> 3); byte b = (byte) i; T.sink += b;",
+    "int v = x; int r = 0; for (int i = 0; i < 8; i++) { r = (r << 1) | (v & 1); v >>>= 1; } T.sink += r;",
+    "int a = x; for (int w = -6; w < 5; w += 4) { a += 2; } T.sink += a & 1023;",
+    "int[][] m = new int[2][3]; m[1][2] = x; T.sink += m[1][2] + m[0][0];",
+    "int a = x; if (a % 2 == 0) { a /= 2; } else { a = 3 * a + 1; } T.sink += a;",
+];
+
+#[test]
+fn hot_skeletons_agree_across_engines() {
+    for (i, body) in BODIES.iter().enumerate() {
+        let source = harness(body);
+        let program = cse_lang::parse_and_check(&source)
+            .unwrap_or_else(|e| panic!("skeleton {i} invalid: {e}"));
+        let bytecode = cse_bytecode::compile(&program).unwrap();
+        cse_bytecode::verify::verify_program(&bytecode).unwrap();
+        let reference =
+            Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike));
+        assert!(
+            matches!(reference.outcome, Outcome::Completed { .. }),
+            "skeleton {i} did not complete"
+        );
+        for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+            let tiered = Vm::run_program(&bytecode, VmConfig::correct(kind));
+            assert_eq!(
+                tiered.observable(),
+                reference.observable(),
+                "skeleton {i} diverged on {kind}: {body}"
+            );
+            assert!(
+                tiered.stats.compilations + tiered.stats.osr_compilations > 0,
+                "skeleton {i} never heated on {kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_plans_pin_execution_modes() {
+    use cse_vm::{ExecMode, ForcedPlan, Tier, TraceEvent};
+    let program = cse_lang::parse_and_check(
+        r#"
+        class T {
+            static int f() { return 7; }
+            static void main() { println(f()); println(f()); }
+        }
+        "#,
+    )
+    .unwrap();
+    let bytecode = cse_bytecode::compile(&program).unwrap();
+    let f = bytecode.find_method("T", "f").unwrap();
+    // First call compiled, second interpreted.
+    let mut plan = ForcedPlan::all_interpreted();
+    plan.set(f, 0, ExecMode::Compiled(Tier::T2));
+    let mut config = VmConfig::correct(VmKind::HotSpotLike);
+    config.plan = Some(plan);
+    config.record_method_entries = true;
+    let result = Vm::run_program(&bytecode, config);
+    assert_eq!(result.output, "7\n7\n");
+    let entries: Vec<(u64, Tier)> = result
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::MethodEntry { method, tier, invocation } if *method == f => {
+                Some((*invocation, *tier))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(entries, vec![(0, Tier::T2), (1, Tier::INTERP)]);
+}

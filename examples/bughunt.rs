@@ -1,0 +1,53 @@
+//! Bug hunt: a small fuzzing campaign against the OpenJ9-like VM profile,
+//! followed by automatic reduction of the first reproducer — the paper's
+//! full workflow (JavaFuzzer seeds → Artemis → Perses-style reduction).
+//!
+//! ```sh
+//! cargo run --release --example bughunt
+//! ```
+
+use artemis_cse::core::campaign::{run_campaign, CampaignConfig};
+use artemis_cse::core::validate::compile_checked;
+use artemis_cse::vm::{Outcome, Vm, VmConfig, VmKind};
+
+fn main() {
+    let seeds = std::env::var("CSE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(40);
+    println!("hunting with {seeds} seeds x 8 mutants against the OpenJ9-like VM ...\n");
+    let config = CampaignConfig::for_kind(VmKind::OpenJ9Like, seeds);
+    let result = run_campaign(&config);
+    println!(
+        "{} unique bugs from {} mutants ({} duplicates, {:.1?} wall):",
+        result.bugs.len(),
+        result.totals.mutants,
+        result.duplicates(),
+        result.totals.wall
+    );
+    for evidence in result.bugs.values() {
+        println!(
+            "  {:?}  [{:?} in {}]  first seen at seed {}",
+            evidence.bug, evidence.symptom, evidence.component, evidence.first_seed
+        );
+    }
+    let Some(evidence) = result.bugs.values().next() else {
+        println!("no bugs found at this campaign size; raise CSE_SEEDS");
+        return;
+    };
+
+    // Reduce the first reproducer while it still exposes its bug.
+    println!("\nreducing the reproducer for {:?} ...", evidence.bug);
+    let reproducer = artemis_cse::lang::parse_and_check(&evidence.reproducer)
+        .expect("stored reproducers re-parse");
+    let vm = VmConfig::for_kind(VmKind::OpenJ9Like);
+    let bug = evidence.bug;
+    let before = evidence.reproducer.lines().count();
+    let reduced = artemis_cse::reduce::reduce(&reproducer, &mut |candidate| {
+        let bytecode = compile_checked(candidate);
+        let run = Vm::run_program(&bytecode, vm.clone());
+        matches!(&run.outcome, Outcome::Crash(info) if info.bug == bug)
+    });
+    let reduced_source = artemis_cse::lang::pretty::print(&reduced);
+    println!(
+        "reduced from {before} to {} lines:\n\n{reduced_source}",
+        reduced_source.lines().count()
+    );
+}

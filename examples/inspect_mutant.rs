@@ -1,0 +1,43 @@
+//! Inspect what JoNM actually does to a program: print a seed and one
+//! mutant side by side, then show how the mutant's execution heats the
+//! VM (compilations, OSR entries, de-optimizations) while the seed stays
+//! cold.
+//!
+//! ```sh
+//! cargo run --release --example inspect_mutant
+//! ```
+
+use artemis_cse::core::mutate::Artemis;
+use artemis_cse::core::synth::SynthParams;
+use artemis_cse::core::validate::compile_checked;
+use artemis_cse::vm::{Vm, VmConfig, VmKind};
+
+fn main() {
+    let seed = artemis_cse::fuzz::generate(12, &artemis_cse::fuzz::FuzzConfig::default());
+    let mut artemis = Artemis::new(4, SynthParams::for_kind(VmKind::HotSpotLike));
+    let (mutant, applied) = artemis.jonm(&seed);
+
+    println!("=== seed ===\n{}", artemis_cse::lang::pretty::print(&seed));
+    println!("=== mutant (mutations: {applied:?}) ===\n{}", artemis_cse::lang::pretty::print(&mutant));
+
+    let vm = VmConfig::correct(VmKind::HotSpotLike);
+    let seed_run = Vm::run_program(&compile_checked(&seed), vm.clone());
+    let mutant_run = Vm::run_program(&compile_checked(&mutant), vm);
+    println!("=== temperatures ===");
+    println!(
+        "seed  : {} JIT compiles, {} OSR compiles, {} deopts, {} ops",
+        seed_run.stats.compilations,
+        seed_run.stats.osr_compilations,
+        seed_run.stats.deopts,
+        seed_run.stats.total_ops()
+    );
+    println!(
+        "mutant: {} JIT compiles, {} OSR compiles, {} deopts, {} ops",
+        mutant_run.stats.compilations,
+        mutant_run.stats.osr_compilations,
+        mutant_run.stats.deopts,
+        mutant_run.stats.total_ops()
+    );
+    assert_eq!(seed_run.output, mutant_run.output, "JoNM preserved the output");
+    println!("\noutputs are identical — the mutation only changed *how* the VM ran the code.");
+}

@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the whole Artemis/CSE workspace.
+//!
+//! See [`cse_core`] for the paper's primary contribution (JoNM mutators and
+//! the compilation-space formalization), [`cse_vm`] for the tiered language
+//! virtual machine substrate, and the `examples/` directory for runnable
+//! entry points.
+
+pub use cse_bytecode as bytecode;
+pub use cse_core as core;
+pub use cse_fuzz as fuzz;
+pub use cse_lang as lang;
+pub use cse_reduce as reduce;
+pub use cse_vm as vm;
