@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything here runs offline: the workspace
+# has no registry dependencies, so no network access is needed beyond a
+# stock Rust toolchain.
+#
+#   ./ci.sh          # full gate: fmt, clippy, build, tests
+#   ./ci.sh quick    # skip the release build (debug tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mode="${1:-full}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$mode" != "quick" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1: root crate)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> OK"

@@ -1,39 +1,26 @@
-//! Criterion counterpart of Table 3: JoNM mutation cost, single-run
+//! Timing counterpart of Table 3: JoNM mutation cost, single-run
 //! (parse + boot + mutate) vs large-scale (mutate only).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cse_bench::stopwatch::bench_function;
 use cse_core::mutate::Artemis;
 use cse_core::synth::SynthParams;
 use cse_vm::VmKind;
 
-fn bench_mutation(c: &mut Criterion) {
+fn main() {
     let seed_program = cse_fuzz::generate(11, &cse_fuzz::FuzzConfig::default());
     let source = cse_lang::pretty::print(&seed_program);
 
-    c.bench_function("mutation/single_run_parse_boot_mutate", |b| {
-        let mut n = 0u64;
-        b.iter(|| {
-            n += 1;
-            let seed = cse_lang::parse_and_check(&source).unwrap();
-            let mut artemis = Artemis::new(n, SynthParams::for_kind(VmKind::HotSpotLike));
-            artemis.jonm(&seed)
-        });
-    });
-
-    c.bench_function("mutation/large_scale_mutate_only", |b| {
+    let mut n = 0u64;
+    bench_function("mutation/single_run_parse_boot_mutate", || {
+        n += 1;
         let seed = cse_lang::parse_and_check(&source).unwrap();
-        let mut artemis = Artemis::new(3, SynthParams::for_kind(VmKind::HotSpotLike));
-        b.iter(|| artemis.jonm(&seed));
+        let mut artemis = Artemis::new(n, SynthParams::for_kind(VmKind::HotSpotLike));
+        artemis.jonm(&seed)
     });
 
-    c.bench_function("mutation/parse_and_check_seed", |b| {
-        b.iter_batched(
-            || source.clone(),
-            |s| cse_lang::parse_and_check(&s).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
+    let seed = cse_lang::parse_and_check(&source).unwrap();
+    let mut artemis = Artemis::new(3, SynthParams::for_kind(VmKind::HotSpotLike));
+    bench_function("mutation/large_scale_mutate_only", || artemis.jonm(&seed));
+
+    bench_function("mutation/parse_and_check_seed", || cse_lang::parse_and_check(&source).unwrap());
 }
-
-criterion_group!(benches, bench_mutation);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Cost of exhaustively enumerating a small compilation space (Figure 1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::stopwatch::bench_function;
 use cse_core::space::enumerate_space;
 use cse_vm::{VmConfig, VmKind};
 
-fn bench_space(c: &mut Criterion) {
+fn main() {
     let program = cse_lang::parse_and_check(
         r#"
         class T {
@@ -24,10 +24,5 @@ fn bench_space(c: &mut Criterion) {
         (bytecode.find_method("T", "baz").unwrap(), 0),
     ];
     let config = VmConfig::correct(VmKind::HotSpotLike);
-    c.bench_function("space/enumerate_2^4_choices", |b| {
-        b.iter(|| enumerate_space(&bytecode, &calls, &config));
-    });
+    bench_function("space/enumerate_2^4_choices", || enumerate_space(&bytecode, &calls, &config));
 }
-
-criterion_group!(benches, bench_space);
-criterion_main!(benches);

@@ -1,25 +1,19 @@
 //! End-to-end Algorithm 1 cost: one seed, 8 mutants, both with and
 //! without the reference-interpreter neutrality runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::stopwatch::bench_function;
 use cse_core::validate::{validate, ValidateConfig};
 use cse_vm::{VmConfig, VmKind};
 
-fn bench_validation(c: &mut Criterion) {
+fn main() {
     let seed = cse_fuzz::generate(5, &cse_fuzz::FuzzConfig::default());
-    let mut group = c.benchmark_group("validate");
-    group.sample_size(10);
-    group.bench_function("paper_pipeline_8_mutants", |b| {
+    {
         let mut config = ValidateConfig::paper_defaults(VmConfig::for_kind(VmKind::OpenJ9Like));
         config.verify_neutrality = false;
-        b.iter(|| validate(&seed, &config, 9));
-    });
-    group.bench_function("with_neutrality_verification", |b| {
+        bench_function("validate/paper_pipeline_8_mutants", || validate(&seed, &config, 9));
+    }
+    {
         let config = ValidateConfig::paper_defaults(VmConfig::for_kind(VmKind::OpenJ9Like));
-        b.iter(|| validate(&seed, &config, 9));
-    });
-    group.finish();
+        bench_function("validate/with_neutrality_verification", || validate(&seed, &config, 9));
+    }
 }
-
-criterion_group!(benches, bench_validation);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! be slower than interpretation (our JIT "speedup" shows up as fewer
 //! executed operations; wall time tracks it).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::stopwatch::bench_function;
 use cse_vm::{Vm, VmConfig, VmKind};
 
 const KERNEL: &str = r#"
@@ -19,27 +19,19 @@ class T {
 }
 "#;
 
-fn bench_vm(c: &mut Criterion) {
+fn main() {
     let program = cse_lang::parse_and_check(KERNEL).unwrap();
     let bytecode = cse_bytecode::compile(&program).unwrap();
-    let mut group = c.benchmark_group("vm_throughput");
-    group.sample_size(20);
-    group.bench_function("interpreter_only", |b| {
-        b.iter(|| Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike)));
+    bench_function("vm_throughput/interpreter_only", || {
+        Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike))
     });
-    group.bench_function("tiered_jit", |b| {
-        b.iter(|| Vm::run_program(&bytecode, VmConfig::correct(VmKind::HotSpotLike)));
+    bench_function("vm_throughput/tiered_jit", || {
+        Vm::run_program(&bytecode, VmConfig::correct(VmKind::HotSpotLike))
     });
-    group.bench_function("force_compile_all", |b| {
-        b.iter(|| {
-            Vm::run_program(
-                &bytecode,
-                VmConfig::force_compile_all(VmKind::HotSpotLike).with_faults(Default::default()),
-            )
-        });
+    bench_function("vm_throughput/force_compile_all", || {
+        Vm::run_program(
+            &bytecode,
+            VmConfig::force_compile_all(VmKind::HotSpotLike).with_faults(Default::default()),
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_vm);
-criterion_main!(benches);

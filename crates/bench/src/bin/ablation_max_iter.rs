@@ -8,7 +8,10 @@ use cse_vm::{VmConfig, VmKind};
 fn main() {
     let seeds = campaign_seeds(120);
     println!("Ablation: MAX_ITER sweep (OpenJ9-like, {seeds} seeds)\n");
-    println!("{:>8} {:>12} {:>14} {:>16}", "MAX_ITER", "seeds w/bug", "VM invocations", "bugs/invocation");
+    println!(
+        "{:>8} {:>12} {:>14} {:>16}",
+        "MAX_ITER", "seeds w/bug", "VM invocations", "bugs/invocation"
+    );
     for max_iter in [1usize, 2, 4, 8, 16, 32] {
         let mut hits = 0u64;
         let mut invocations = 0u64;

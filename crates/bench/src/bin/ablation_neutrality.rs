@@ -10,14 +10,13 @@ use cse_core::mutate::Artemis;
 use cse_core::synth::SynthParams;
 use cse_core::validate::compile_checked;
 use cse_lang::ast::{Expr, Stmt};
+use cse_rng::Rng64;
 use cse_vm::{Outcome, Vm, VmConfig, VmKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A deliberately non-neutral mutator: flips one integer literal.
 fn non_neutral_mutate(seed: &cse_lang::Program, rng_seed: u64) -> cse_lang::Program {
     let mut mutant = seed.clone();
-    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut rng = Rng64::seed_from_u64(rng_seed);
     let points = cse_lang::scope::collect_points(&mutant);
     for info in points {
         let stmts = cse_lang::scope::stmts_at_mut(&mut mutant, &info.point);

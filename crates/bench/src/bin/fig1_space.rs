@@ -32,7 +32,10 @@ fn main() {
     println!("(I = interpreted, C = compiled at the top tier)\n");
     let config = VmConfig::correct(VmKind::HotSpotLike);
     let points = enumerate_space(&bytecode, &calls, &config);
-    println!("{:>3}  {:>4} {:>4} {:>4} {:>4}  {:>7}  trace", "#", "main", "foo", "bar", "baz", "output");
+    println!(
+        "{:>3}  {:>4} {:>4} {:>4} {:>4}  {:>7}  trace",
+        "#", "main", "foo", "bar", "baz", "output"
+    );
     for (i, point) in points.iter().enumerate() {
         let marks: Vec<&str> = point.choices.iter().map(|&c| if c { "C" } else { "I" }).collect();
         let trace = JitTrace::from_events(&point.result.events);
@@ -74,9 +77,8 @@ fn main() {
         (buggy_bytecode.find_method("T", "foo").unwrap(), 0),
         (buggy_bytecode.find_method("T", "baz").unwrap(), 0),
     ];
-    let buggy_vm = VmConfig::correct(VmKind::HotSpotLike).with_faults(
-        cse_vm::FaultInjector::with([cse_vm::BugId::HsConstPropRemSign]),
-    );
+    let buggy_vm = VmConfig::correct(VmKind::HotSpotLike)
+        .with_faults(cse_vm::FaultInjector::with([cse_vm::BugId::HsConstPropRemSign]));
     let points = enumerate_space(&buggy_bytecode, &calls, &buggy_vm);
     for (i, point) in points.iter().enumerate() {
         let marks: Vec<&str> = point.choices.iter().map(|&c| if c { "C" } else { "I" }).collect();

@@ -60,10 +60,7 @@ fn main() {
         }
     }
 
-    assert_ne!(
-        seed_run.output, mutant_run.output,
-        "the mutant must expose the mis-compilation"
-    );
+    assert_ne!(seed_run.output, mutant_run.output, "the mutant must expose the mis-compilation");
     println!(
         "\n=> DISCREPANCY: seed printed {:?}, mutant printed {:?}.",
         seed_run.output.trim().replace('\n', " "),

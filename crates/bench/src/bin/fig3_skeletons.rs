@@ -1,11 +1,10 @@
 //! Figure 3 — the loop skeletons of the LI, SW, and MI mutators, plus one
 //! live instantiation of each produced by the synthesis engine.
 
+use cse_core::synth::{Synth, SynthParams};
 use cse_lang::scope::VarInfo;
 use cse_lang::Ty;
-use cse_core::synth::{Synth, SynthParams};
 use cse_vm::VmKind;
-use rand::SeedableRng;
 
 const LI: &str = r#"for (int i = min(MIN, <expr>); i < max(MAX, <expr>); i += STEP) {
     <stmts>;
@@ -34,7 +33,7 @@ fn main() {
 
     println!("--- a live LI instantiation (MIN/MAX/STEP from the HotSpot profile) ---\n");
     let params = SynthParams::for_kind(VmKind::HotSpotLike);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = cse_rng::Rng64::seed_from_u64(42);
     let mut counter = 0u64;
     let mut synth = Synth { rng: &mut rng, params: &params, counter: &mut counter };
     let vars = vec![

@@ -5,17 +5,19 @@
 //! (ground-truth-deduplicated) bugs, duplicates, and the symptom split
 //! (mis-compilation / crash / performance). Scale with `CSE_SEEDS`.
 
-use cse_bench::{campaign_seeds, row, ALL_KINDS};
+use cse_bench::{campaign_seeds, row, supervisor_from_env, ALL_KINDS};
 use cse_core::campaign::{run_campaign, CampaignConfig, CampaignResult};
 use cse_vm::Symptom;
 
 fn main() {
     let seeds = campaign_seeds(400);
     println!("Table 1: statistics of found JIT-compiler bugs");
-    println!("({seeds} seeds x 8 mutants per VM; override with CSE_SEEDS)\n");
+    println!("({seeds} seeds x 8 mutants per VM; override with CSE_SEEDS;");
+    println!(" supervision via CSE_CHECKPOINT_DIR / CSE_QUARANTINE_DIR / CSE_DEADLINE_SECS)\n");
     let mut results: Vec<(String, CampaignResult)> = Vec::new();
     for kind in ALL_KINDS {
-        let config = CampaignConfig::for_kind(kind, seeds);
+        let mut config = CampaignConfig::for_kind(kind, seeds);
+        config.supervisor = supervisor_from_env(&kind.to_string());
         let result = run_campaign(&config);
         results.push((kind.to_string(), result));
     }
@@ -48,21 +50,32 @@ fn main() {
         ("Crash", Symptom::Crash),
         ("Performance", Symptom::Performance),
     ] {
-        print_row(
-            label,
-            total(&|r| r.bugs.values().filter(|e| e.symptom == symptom).count()),
-        );
+        print_row(label, total(&|r| r.bugs.values().filter(|e| e.symptom == symptom).count()));
     }
     println!();
     for (name, result) in &results {
         println!(
-            "{name}: {} seeds with discrepancies, {} mutants, {} discarded, {} VM invocations, {:.1?} wall",
+            "{name}: {} seeds with discrepancies, {} mutants ({} completed, {} discarded), \
+             {} VM invocations, {:.1?} wall{}",
             result.cse_seeds.len(),
             result.totals.mutants,
+            result.totals.completed,
             result.totals.discarded,
             result.totals.vm_invocations,
             result.totals.wall,
+            if result.totals.partial { "  [PARTIAL — resume from checkpoint]" } else { "" },
         );
+        if !result.incidents.is_empty() {
+            println!("  {} harness incident(s) contained:", result.incidents.len());
+            for incident in &result.incidents {
+                println!(
+                    "    seed {} [{}]: {}",
+                    incident.seed,
+                    incident.phase,
+                    incident.payload.lines().next().unwrap_or("")
+                );
+            }
+        }
         assert_eq!(
             result.totals.neutrality_violations, 0,
             "JoNM produced a non-neutral mutant — harness bug"
@@ -70,7 +83,10 @@ fn main() {
         for evidence in result.bugs.values() {
             println!(
                 "  {:?} [{:?}, {}] first at seed {} x{}",
-                evidence.bug, evidence.symptom, evidence.component, evidence.first_seed,
+                evidence.bug,
+                evidence.symptom,
+                evidence.component,
+                evidence.first_seed,
                 evidence.occurrences
             );
         }

@@ -30,17 +30,15 @@ fn main() {
     let fuzz = cse_fuzz::FuzzConfig::default();
     // Pre-render seed sources: single-run mode starts from source text,
     // exactly like invoking the tool afresh per mutant.
-    let sources: Vec<String> = (0..n)
-        .map(|i| cse_lang::pretty::print(&cse_fuzz::generate(i as u64, &fuzz)))
-        .collect();
+    let sources: Vec<String> =
+        (0..n).map(|i| cse_lang::pretty::print(&cse_fuzz::generate(i as u64, &fuzz))).collect();
 
     // Single-run: parse + check + boot + one mutation, per mutant.
     let mut single: Vec<f64> = Vec::with_capacity(n);
     for (i, source) in sources.iter().enumerate() {
         let start = Instant::now();
         let seed = cse_lang::parse_and_check(source).expect("seed re-parses");
-        let mut artemis =
-            Artemis::new(i as u64, SynthParams::for_kind(VmKind::HotSpotLike));
+        let mut artemis = Artemis::new(i as u64, SynthParams::for_kind(VmKind::HotSpotLike));
         let (mutant, _) = artemis.jonm(&seed);
         std::hint::black_box(&mutant);
         single.push(start.elapsed().as_secs_f64() * 1e3);

@@ -22,6 +22,7 @@ fn main() {
     let start = Instant::now();
     let mut mutants = 0u64;
     let mut vm_invocations = 0u64;
+    let mut incidents = 0u64;
     let mut cse_hits = 0u64;
     let mut trad_hits = 0u64;
     let mut both = 0u64;
@@ -34,6 +35,7 @@ fn main() {
         let outcome = validate(&seed, &config, seed_value);
         mutants += outcome.mutants_run as u64;
         vm_invocations += outcome.vm_invocations as u64;
+        incidents += outcome.incidents.len() as u64;
         let tra = baseline::traditional(&seed, &vm);
         vm_invocations += tra.vm_invocations as u64;
         let cse_found = outcome.found_bug();
@@ -48,10 +50,7 @@ fn main() {
         }
     }
     let wall = start.elapsed();
-    println!(
-        "{:>8} {:>9} {:>6} {:>6} {:>6}",
-        "#Seeds", "#Mutants", "CSE", "Tra.", "Both"
-    );
+    println!("{:>8} {:>9} {:>6} {:>6} {:>6}", "#Seeds", "#Mutants", "CSE", "Tra.", "Both");
     println!("{seeds:>8} {mutants:>9} {cse_hits:>6} {trad_hits:>6} {both:>6}");
     let cse_only = cse_hits.saturating_sub(both);
     if cse_hits > 0 {
@@ -70,4 +69,7 @@ fn main() {
         seeds as f64 / wall.as_secs_f64(),
         mutants as f64 / wall.as_secs_f64()
     );
+    if incidents > 0 {
+        println!("\n{incidents} harness incident(s) contained (see validate::ValidationOutcome)");
+    }
 }

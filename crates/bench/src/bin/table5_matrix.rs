@@ -50,10 +50,8 @@ fn main() {
     for seed_value in 0..sample {
         let seed = cse_fuzz::generate(seed_value, &fuzz);
         let seed_bc = compile_checked(&seed);
-        let reference =
-            Vm::run_program(&seed_bc, VmConfig::interpreter_only(VmKind::HotSpotLike));
-        let mut artemis =
-            Artemis::new(seed_value, SynthParams::for_kind(VmKind::HotSpotLike));
+        let reference = Vm::run_program(&seed_bc, VmConfig::interpreter_only(VmKind::HotSpotLike));
+        let mut artemis = Artemis::new(seed_value, SynthParams::for_kind(VmKind::HotSpotLike));
         let mut traces: Vec<JitTrace> = Vec::new();
         for _ in 0..4 {
             let (mutant, applied) = artemis.jonm(&seed);
@@ -70,11 +68,7 @@ fn main() {
             if matches!(run.outcome, cse_vm::Outcome::Timeout) {
                 continue;
             }
-            assert_eq!(
-                run.observable(),
-                reference.observable(),
-                "mutant must preserve semantics"
-            );
+            assert_eq!(run.observable(), reference.observable(), "mutant must preserve semantics");
             // Space exploration: distinct JIT-traces under the tiered VM.
             let tiered = Vm::run_program(&bc, VmConfig::correct(VmKind::HotSpotLike));
             traces.push(JitTrace::from_events(&tiered.events));

@@ -8,6 +8,31 @@
 
 use cse_vm::VmKind;
 
+pub mod stopwatch;
+
+/// Supervision settings from the environment, shared by the table
+/// binaries: `CSE_CHECKPOINT_DIR` (checkpoint per profile, resume on
+/// restart), `CSE_QUARANTINE_DIR` (crash/panic repro files), and
+/// `CSE_DEADLINE_SECS` (global wall-clock budget; expired campaigns
+/// print partial totals and resume from their checkpoint next run).
+pub fn supervisor_from_env(profile: &str) -> cse_core::SupervisorConfig {
+    let mut sup = cse_core::SupervisorConfig::default();
+    if let Ok(dir) = std::env::var("CSE_CHECKPOINT_DIR") {
+        sup.checkpoint_path =
+            Some(std::path::Path::new(&dir).join(format!("{profile}.checkpoint")));
+        sup.checkpoint_every = 16;
+    }
+    if let Ok(dir) = std::env::var("CSE_QUARANTINE_DIR") {
+        sup.quarantine_dir = Some(std::path::Path::new(&dir).join(profile));
+    }
+    if let Ok(secs) = std::env::var("CSE_DEADLINE_SECS") {
+        if let Ok(secs) = secs.parse() {
+            sup.deadline = Some(std::time::Duration::from_secs(secs));
+        }
+    }
+    sup
+}
+
 /// Seeds per campaign (override with `CSE_SEEDS`).
 pub fn campaign_seeds(default: u64) -> u64 {
     std::env::var("CSE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -106,6 +131,35 @@ class T {
 }
 "#;
 
+/// A deterministic exhibit for the performance-bug class
+/// ([`cse_vm::BugId::HsPerfQuadraticLoop`]): a nested loop with a switch,
+/// hot enough for tier 2. On the buggy VM the "optimized" code re-does
+/// quadratic work; the paper's single performance bug ("the process is
+/// killed on Ubuntu / noticeably slow") maps onto a Timeout outcome or an
+/// operation-count blowup.
+pub const PERF_EXHIBIT: &str = r#"
+class T {
+    static long sink = 0L;
+    static void churn(int x) {
+        for (int i = 0; i < 12; i++) {
+            for (int j = 0; j < 10; j++) {
+                switch ((i + j + x) % 5) {
+                    case 0: T.sink += 1; break;
+                    case 1: T.sink ^= 3; break;
+                    default: T.sink -= 1;
+                }
+            }
+        }
+    }
+    static void main() {
+        for (int r = 0; r < 12000; r++) {
+            churn(r);
+        }
+        println(T.sink);
+    }
+}
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,32 +228,3 @@ mod tests {
         assert_eq!(seed_run.output, fixed_run.output);
     }
 }
-
-/// A deterministic exhibit for the performance-bug class
-/// ([`cse_vm::BugId::HsPerfQuadraticLoop`]): a nested loop with a switch,
-/// hot enough for tier 2. On the buggy VM the "optimized" code re-does
-/// quadratic work; the paper's single performance bug ("the process is
-/// killed on Ubuntu / noticeably slow") maps onto a Timeout outcome or an
-/// operation-count blowup.
-pub const PERF_EXHIBIT: &str = r#"
-class T {
-    static long sink = 0L;
-    static void churn(int x) {
-        for (int i = 0; i < 12; i++) {
-            for (int j = 0; j < 10; j++) {
-                switch ((i + j + x) % 5) {
-                    case 0: T.sink += 1; break;
-                    case 1: T.sink ^= 3; break;
-                    default: T.sink -= 1;
-                }
-            }
-        }
-    }
-    static void main() {
-        for (int r = 0; r < 12000; r++) {
-            churn(r);
-        }
-        println(T.sink);
-    }
-}
-"#;

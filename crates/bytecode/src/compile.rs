@@ -130,11 +130,11 @@ impl Layout {
                 });
             }
         }
-        let (entry_class, _) = program
-            .entry()
-            .ok_or_else(|| FrontError::msg("program has no entry point"))?;
+        let (entry_class, _) =
+            program.entry().ok_or_else(|| FrontError::msg("program has no entry point"))?;
         layout.entry = layout.method_ids[&(entry_class.name.clone(), "main".to_string())];
-        if program.classes.iter().any(|c| c.fields.iter().any(|f| f.is_static && f.init.is_some())) {
+        if program.classes.iter().any(|c| c.fields.iter().any(|f| f.is_static && f.init.is_some()))
+        {
             let id = MethodId(layout.methods.len() as u32);
             layout.clinit = Some(id);
             let entry_class_id = layout.class_ids[&entry_class.name];
@@ -184,7 +184,8 @@ impl Layout {
                         ctx.emit(Insn::Load(0));
                         let ty = ctx.expr(init)?;
                         ctx.coerce(&ty, &field.ty);
-                        let slot = &ctx.layout.field_slots[&(class.name.clone(), field.name.clone())];
+                        let slot =
+                            &ctx.layout.field_slots[&(class.name.clone(), field.name.clone())];
                         let index = slot.index;
                         ctx.emit(Insn::PutField { field: index });
                     }
@@ -207,7 +208,8 @@ impl Layout {
                         let ty = ctx.expr(init)?;
                         ctx.coerce(&ty, &field.ty);
                         let class_id = ctx.layout.class_ids[&class.name];
-                        let index = ctx.layout.field_slots[&(class.name.clone(), field.name.clone())].index;
+                        let index =
+                            ctx.layout.field_slots[&(class.name.clone(), field.name.clone())].index;
                         ctx.emit(Insn::PutStatic { class: class_id, field: index });
                     }
                 }
@@ -234,7 +236,8 @@ impl Layout {
         method: &MethodDecl,
     ) -> Result<CompiledBody, FrontError> {
         let this_class = if method.is_static { None } else { Some(class.name.as_str()) };
-        let mut ctx = MethodCtx::new(self, method.is_static, &method.params, this_class, method.ret.clone());
+        let mut ctx =
+            MethodCtx::new(self, method.is_static, &method.params, this_class, method.ret.clone());
         ctx.block(&method.body)?;
         // Pad the method end when control can fall off it, or when an
         // (unreachable) branch was patched to one-past-the-end — e.g. the
@@ -388,11 +391,10 @@ impl<'l> MethodCtx<'l> {
     // ----- type plumbing ----------------------------------------------------
 
     fn field_slot(&self, class: &str, field: &str) -> Result<(u32, bool, Ty), FrontError> {
-        let slot = self
-            .layout
-            .field_slots
-            .get(&(class.to_string(), field.to_string()))
-            .ok_or_else(|| FrontError::msg(format!("internal: unknown field `{class}.{field}`")))?;
+        let slot =
+            self.layout.field_slots.get(&(class.to_string(), field.to_string())).ok_or_else(
+                || FrontError::msg(format!("internal: unknown field `{class}.{field}`")),
+            )?;
         Ok((slot.index, slot.is_static, slot.ty.clone()))
     }
 
@@ -478,7 +480,11 @@ impl<'l> MethodCtx<'l> {
                 let cond_pc = self.pc();
                 self.expr(cond)?;
                 let to_end = self.emit_patch(Insn::JumpIfFalse(0));
-                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.frames.push(Frame {
+                    is_loop: true,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
                 self.block(body)?;
                 self.emit(Insn::Jump(cond_pc));
                 let end = self.pc();
@@ -490,7 +496,11 @@ impl<'l> MethodCtx<'l> {
             }
             Stmt::DoWhile { body, cond } => {
                 let body_pc = self.pc();
-                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.frames.push(Frame {
+                    is_loop: true,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
                 self.block(body)?;
                 let cond_pc = self.pc();
                 self.expr(cond)?;
@@ -514,7 +524,11 @@ impl<'l> MethodCtx<'l> {
                     }
                     None => None,
                 };
-                self.frames.push(Frame { is_loop: true, break_patches: vec![], continue_patches: vec![] });
+                self.frames.push(Frame {
+                    is_loop: true,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
                 self.block(body)?;
                 let step_pc = self.pc();
                 if let Some(step) = step {
@@ -534,7 +548,11 @@ impl<'l> MethodCtx<'l> {
             Stmt::Switch { scrutinee, cases } => {
                 self.expr(scrutinee)?;
                 let switch_at = self.emit_patch(Insn::TableSwitch { cases: vec![], default: 0 });
-                self.frames.push(Frame { is_loop: false, break_patches: vec![], continue_patches: vec![] });
+                self.frames.push(Frame {
+                    is_loop: false,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
                 let mut case_targets: Vec<(Vec<i32>, u32)> = Vec::new();
                 let mut default_target: Option<u32> = None;
                 for case in cases {
@@ -602,7 +620,9 @@ impl<'l> MethodCtx<'l> {
                 Ok(())
             }
             Stmt::Block(block) => self.block(block),
-            Stmt::Try { body, catch, finally } => self.try_stmt(body, catch.as_ref(), finally.as_ref()),
+            Stmt::Try { body, catch, finally } => {
+                self.try_stmt(body, catch.as_ref(), finally.as_ref())
+            }
             Stmt::Throw(code) => {
                 let ty = self.expr(code)?;
                 self.coerce(&ty, &Ty::Int);
@@ -1396,8 +1416,14 @@ impl MethodCtx<'_> {
                 }
             },
             Expr::Binary { op, lhs, rhs } => match op {
-                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-                | BinOp::LAnd | BinOp::LOr => Ty::Bool,
+                BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::LAnd
+                | BinOp::LOr => Ty::Bool,
                 BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
                     if self.type_of(lhs)? == Ty::Long {
                         Ty::Long
@@ -1538,7 +1564,8 @@ mod tests {
             "#,
         );
         let f = p.method(p.find_method("T", "f").unwrap());
-        let has_switch = f.code.iter().any(|i| matches!(i, Insn::TableSwitch { cases, .. } if cases.len() == 3));
+        let has_switch =
+            f.code.iter().any(|i| matches!(i, Insn::TableSwitch { cases, .. } if cases.len() == 3));
         assert!(has_switch);
     }
 
@@ -1580,9 +1607,7 @@ mod tests {
 
     #[test]
     fn string_concat_lowers_to_sconcat() {
-        let p = compile_src(
-            r#"class T { static void main() { println("x=" + 1 + true + 2L); } }"#,
-        );
+        let p = compile_src(r#"class T { static void main() { println("x=" + 1 + true + 2L); } }"#);
         let main = p.method(p.entry);
         assert!(main.code.iter().filter(|i| matches!(i, Insn::SConcat)).count() >= 3);
         assert!(main.code.contains(&Insn::I2S));
@@ -1678,9 +1703,8 @@ mod tests {
 
     #[test]
     fn mute_unmute_emit_insns() {
-        let p = compile_src(
-            r#"class T { static void main() { __mute(); println(1); __unmute(); } }"#,
-        );
+        let p =
+            compile_src(r#"class T { static void main() { __mute(); println(1); __unmute(); } }"#);
         let main = p.method(p.entry);
         assert!(main.code.contains(&Insn::Mute));
         assert!(main.code.contains(&Insn::Unmute));

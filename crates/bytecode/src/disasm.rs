@@ -35,10 +35,7 @@ pub fn disasm_method(program: &BProgram, id: MethodId, method: &BMethod) -> Stri
             handler.start,
             handler.end,
             handler.target,
-            handler
-                .save_slot
-                .map(|s| format!(" (save {s})"))
-                .unwrap_or_default()
+            handler.save_slot.map(|s| format!(" (save {s})")).unwrap_or_default()
         ));
     }
     out

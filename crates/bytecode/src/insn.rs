@@ -100,10 +100,20 @@ pub enum Insn {
     Dup2,
 
     // Fields.
-    GetStatic { class: crate::program::ClassId, field: u32 },
-    PutStatic { class: crate::program::ClassId, field: u32 },
-    GetField { field: u32 },
-    PutField { field: u32 },
+    GetStatic {
+        class: crate::program::ClassId,
+        field: u32,
+    },
+    PutStatic {
+        class: crate::program::ClassId,
+        field: u32,
+    },
+    GetField {
+        field: u32,
+    },
+    PutField {
+        field: u32,
+    },
 
     // Allocation.
     NewObject(crate::program::ClassId),
@@ -111,7 +121,10 @@ pub enum Insn {
     NewArray(ArrKind),
     /// Pops `dims` lengths (outermost first on the bottom), allocates a
     /// rectangular nested array whose innermost elements have `kind`.
-    NewMultiArray { kind: ArrKind, dims: u8 },
+    NewMultiArray {
+        kind: ArrKind,
+        dims: u8,
+    },
 
     // Arrays.
     ArrLoad(ArrKind),
@@ -172,7 +185,10 @@ pub enum Insn {
     JumpIfTrue(u32),
     JumpIfFalse(u32),
     /// Dense or sparse switch: pairs of (label, target), plus default.
-    TableSwitch { cases: Vec<(i32, u32)>, default: u32 },
+    TableSwitch {
+        cases: Vec<(i32, u32)>,
+        default: u32,
+    },
 
     // Calls.
     InvokeStatic(crate::program::MethodId),

@@ -27,6 +27,4 @@ pub mod verify;
 
 pub use compile::compile;
 pub use insn::{ArrKind, CmpOp, Insn, PrintKind};
-pub use program::{
-    BClass, BMethod, BProgram, ClassId, ExcKind, FieldId, Handler, MethodId, StrId,
-};
+pub use program::{BClass, BMethod, BProgram, ClassId, ExcKind, FieldId, Handler, MethodId, StrId};

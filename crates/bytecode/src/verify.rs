@@ -171,7 +171,10 @@ impl Verifier<'_> {
                         let mut changed = false;
                         for (a, b) in existing.iter().zip(&stack) {
                             let m = a.merge(*b).ok_or_else(|| {
-                                self.err(pc, format!("stack type mismatch at {succ}: {a:?} vs {b:?}"))
+                                self.err(
+                                    pc,
+                                    format!("stack type mismatch at {succ}: {a:?} vs {b:?}"),
+                                )
                             })?;
                             if m != *a {
                                 changed = true;
@@ -329,8 +332,17 @@ impl Verifier<'_> {
                 self.pop_ref(pc, stack)?;
                 stack.push(I);
             }
-            Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IDiv | Insn::IRem | Insn::IShl
-            | Insn::IShr | Insn::IUshr | Insn::IAnd | Insn::IOr | Insn::IXor => {
+            Insn::IAdd
+            | Insn::ISub
+            | Insn::IMul
+            | Insn::IDiv
+            | Insn::IRem
+            | Insn::IShl
+            | Insn::IShr
+            | Insn::IUshr
+            | Insn::IAnd
+            | Insn::IOr
+            | Insn::IXor => {
                 self.pop_expect(pc, stack, I)?;
                 self.pop_expect(pc, stack, I)?;
                 stack.push(I);
@@ -339,8 +351,14 @@ impl Verifier<'_> {
                 self.pop_expect(pc, stack, I)?;
                 stack.push(I);
             }
-            Insn::LAdd | Insn::LSub | Insn::LMul | Insn::LDiv | Insn::LRem | Insn::LAnd
-            | Insn::LOr | Insn::LXor => {
+            Insn::LAdd
+            | Insn::LSub
+            | Insn::LMul
+            | Insn::LDiv
+            | Insn::LRem
+            | Insn::LAnd
+            | Insn::LOr
+            | Insn::LXor => {
                 self.pop_expect(pc, stack, L)?;
                 self.pop_expect(pc, stack, L)?;
                 stack.push(L);

@@ -9,11 +9,10 @@
 //!   paper tried for a week without interesting findings, §3.2).
 
 use cse_lang::Program;
-use cse_vm::{BugId, Outcome, Vm, VmConfig};
+use cse_rng::Rng64;
 #[cfg(test)]
 use cse_vm::VmKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cse_vm::{BugId, Outcome, Vm, VmConfig};
 
 use crate::validate::compile_checked;
 
@@ -51,9 +50,14 @@ pub fn traditional(seed: &Program, vm: &VmConfig) -> BaselineOutcome {
 
 /// JOpFuzzer-style option fuzzing: `option_sets` random threshold
 /// configurations, outputs cross-compared against the default run.
-pub fn option_fuzz(seed: &Program, vm: &VmConfig, option_sets: usize, rng_seed: u64) -> BaselineOutcome {
+pub fn option_fuzz(
+    seed: &Program,
+    vm: &VmConfig,
+    option_sets: usize,
+    rng_seed: u64,
+) -> BaselineOutcome {
     let bytecode = compile_checked(seed);
-    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut rng = Rng64::seed_from_u64(rng_seed);
     let reference = Vm::run_program(&bytecode, vm.clone());
     let mut vm_invocations = 1;
     if matches!(reference.outcome, Outcome::Timeout) {

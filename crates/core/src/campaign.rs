@@ -5,13 +5,24 @@
 //! same seeds (the §4.3 comparative study), and aggregates per-bug
 //! statistics with ground-truth deduplication (Table 1's
 //! Reported/Duplicate split).
+//!
+//! The driver is crash-isolated: every VM invocation inside validation
+//! goes through the panic barrier, contained failures surface as
+//! [`HarnessIncident`]s on the result instead of tearing the campaign
+//! down, and — when supervision is configured — campaign state is
+//! checkpointed so a killed campaign resumes exactly where it stopped
+//! and produces a bit-identical [`CampaignResult`] (see
+//! [`CampaignResult::digest`]). Crashing and panicking inputs are
+//! persisted to a quarantine directory as self-contained repro files.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use cse_vm::supervise::contain_panics;
 use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
 use crate::baseline;
+use crate::supervisor::{self, HarnessIncident, IncidentPhase, SupervisorConfig};
 use crate::validate::{self, DiscrepancyKind, ValidateConfig};
 
 /// Campaign settings.
@@ -28,6 +39,10 @@ pub struct CampaignConfig {
     pub run_traditional: bool,
     /// Seed-generator settings.
     pub fuzz: cse_fuzz::FuzzConfig,
+    /// Supervision: checkpointing, quarantine, deadline. The default is
+    /// fully passive (no checkpoints, no quarantine, no deadline) —
+    /// panic containment inside validation is always on.
+    pub supervisor: SupervisorConfig,
 }
 
 impl CampaignConfig {
@@ -40,6 +55,7 @@ impl CampaignConfig {
             max_iter: 8,
             run_traditional: false,
             fuzz: cse_fuzz::FuzzConfig::default(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -59,19 +75,33 @@ pub struct BugEvidence {
     pub reproducer: String,
 }
 
-/// Campaign totals.
+/// Campaign totals. The mutant counters satisfy
+/// `mutants = completed + discarded` (see
+/// [`crate::validate::ValidationOutcome`] for the per-seed invariant
+/// these aggregate).
 #[derive(Debug, Clone, Default)]
 pub struct CampaignTotals {
     pub seeds: u64,
     pub mutants: u64,
+    /// Mutants that ran to a full oracle verdict.
+    pub completed: u64,
     pub vm_invocations: u64,
+    /// Mutants that ran but yielded no verdict.
     pub discarded: u64,
+    /// Seeds whose own run timed out or panicked (no mutants attempted).
+    pub seeds_discarded: u64,
+    /// Mutants quarantined for failing compilation (mutator bugs).
+    pub mutant_compile_failures: u64,
     pub neutrality_violations: u64,
+    /// True when the campaign stopped before exhausting its seed range
+    /// (deadline expiry or a simulated kill); resume from the checkpoint
+    /// to finish it.
+    pub partial: bool,
     pub wall: Duration,
 }
 
 /// The result of a campaign.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignResult {
     /// Ground-truth-deduplicated bugs, keyed by id.
     pub bugs: BTreeMap<BugId, BugEvidence>,
@@ -81,6 +111,8 @@ pub struct CampaignResult {
     pub cse_seeds: Vec<u64>,
     /// Seeds on which the traditional baseline found a discrepancy.
     pub traditional_seeds: Vec<u64>,
+    /// Contained harness failures, in seed order.
+    pub incidents: Vec<HarnessIncident>,
     pub totals: CampaignTotals,
 }
 
@@ -109,31 +141,113 @@ impl CampaignResult {
     pub fn duplicates(&self) -> usize {
         self.bugs.values().map(|e| e.occurrences.saturating_sub(1)).sum()
     }
+
+    /// Content digest over every deterministic field (everything except
+    /// `totals.wall`). A campaign killed mid-run and resumed from its
+    /// checkpoint produces the same digest as an uninterrupted run.
+    pub fn digest(&self, config: &CampaignConfig) -> u64 {
+        let canonical = supervisor::encode(config, 0, self, 0);
+        // FNV-1a, 64-bit.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
-/// Runs a campaign.
+/// Runs a campaign (resuming from the supervisor's checkpoint when one
+/// exists).
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let start = Instant::now();
+    let sup = &config.supervisor;
     let mut result = CampaignResult::default();
+    // Seed *offset* of the next seed to validate (0-based).
+    let mut next: u64 = 0;
+    if let Some(path) = &sup.checkpoint_path {
+        match supervisor::load_checkpoint(path, config) {
+            Ok(Some(checkpoint)) => {
+                next = checkpoint.next_seed.min(config.seeds);
+                result = checkpoint.result;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // A torn or foreign checkpoint: starting over is always
+                // sound (campaigns are deterministic); resuming into the
+                // wrong campaign never is.
+                eprintln!("warning: ignoring unusable checkpoint {}: {e}", path.display());
+            }
+        }
+    }
+    // Wall time accumulated by previous (killed) invocations.
+    let prior_wall = result.totals.wall;
     let validate_config = ValidateConfig {
         max_iter: config.max_iter,
         vm: config.vm.clone(),
         params: crate::synth::SynthParams::for_kind(config.vm.kind),
         verify_neutrality: true,
     };
-    for i in 0..config.seeds {
-        let seed_value = config.first_seed + i;
+    let mut processed_this_run: u64 = 0;
+    let mut stopped_early = false;
+    while next < config.seeds {
+        if let Some(deadline) = sup.deadline {
+            if start.elapsed() >= deadline {
+                stopped_early = true;
+                break;
+            }
+        }
+        if let Some(stop) = sup.stop_after_seeds {
+            if processed_this_run >= stop {
+                stopped_early = true;
+                break;
+            }
+        }
+        let seed_value = config.first_seed + next;
         let seed_program = cse_fuzz::generate(seed_value, &config.fuzz);
-        let outcome = validate::validate(&seed_program, &validate_config, seed_value);
+        let mut seed_vconfig = validate_config.clone();
+        if let Some(chaos) = sup.chaos {
+            if chaos.panic_on_seed == seed_value {
+                seed_vconfig.vm.chaos_panic_at_ops = Some(chaos.after_ops);
+            }
+        }
+        let mut outcome = validate::validate(&seed_program, &seed_vconfig, seed_value);
+        outcome.check_invariants();
         result.totals.seeds += 1;
         result.totals.mutants += outcome.mutants_run as u64;
+        result.totals.completed += outcome.completed as u64;
         result.totals.vm_invocations += outcome.vm_invocations as u64;
         result.totals.discarded += outcome.discarded as u64;
+        result.totals.seeds_discarded += outcome.seed_discarded as u64;
+        result.totals.mutant_compile_failures += outcome.mutant_compile_failures as u64;
         result.totals.neutrality_violations += outcome.neutrality_violations as u64;
+        for incident in std::mem::take(&mut outcome.incidents) {
+            if let Some(dir) = &sup.quarantine_dir {
+                if let Err(e) = supervisor::quarantine_incident(dir, &incident, &seed_vconfig.vm) {
+                    eprintln!("warning: quarantine write failed: {e}");
+                }
+            }
+            result.incidents.push(incident);
+        }
         if outcome.found_bug() {
             result.cse_seeds.push(seed_value);
         }
         for discrepancy in outcome.discrepancies {
+            if let DiscrepancyKind::Crash(info) = &discrepancy.kind {
+                if let Some(dir) = &sup.quarantine_dir {
+                    if let Err(e) = supervisor::quarantine_crash(
+                        dir,
+                        seed_value,
+                        seed_value,
+                        discrepancy.culprit,
+                        info,
+                        &discrepancy.mutant_source,
+                        &config.vm,
+                    ) {
+                        eprintln!("warning: quarantine write failed: {e}");
+                    }
+                }
+            }
             match discrepancy.culprit {
                 Some(bug) => {
                     let evidence = result.bugs.entry(bug).or_insert_with(|| BugEvidence {
@@ -157,13 +271,43 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             }
         }
         if config.run_traditional {
-            let b = baseline::traditional(&seed_program, &config.vm);
-            result.totals.vm_invocations += b.vm_invocations as u64;
-            if b.discrepancy {
-                result.traditional_seeds.push(seed_value);
+            match contain_panics(|| baseline::traditional(&seed_program, &config.vm)) {
+                Ok(b) => {
+                    result.totals.vm_invocations += b.vm_invocations as u64;
+                    if b.discrepancy {
+                        result.traditional_seeds.push(seed_value);
+                    }
+                }
+                Err(panic) => {
+                    result.incidents.push(HarnessIncident {
+                        phase: IncidentPhase::Baseline,
+                        seed: seed_value,
+                        rng_seed: seed_value,
+                        iteration: None,
+                        payload: panic.payload,
+                        source: Some(cse_lang::pretty::print(&seed_program)),
+                    });
+                }
+            }
+        }
+        next += 1;
+        processed_this_run += 1;
+        if let Some(path) = &sup.checkpoint_path {
+            if processed_this_run.is_multiple_of(sup.cadence()) {
+                result.totals.partial = next < config.seeds;
+                result.totals.wall = prior_wall + start.elapsed();
+                if let Err(e) = supervisor::save_checkpoint(path, config, next, &result) {
+                    eprintln!("warning: checkpoint write failed: {e}");
+                }
             }
         }
     }
-    result.totals.wall = start.elapsed();
+    result.totals.partial = stopped_early && next < config.seeds;
+    result.totals.wall = prior_wall + start.elapsed();
+    if let Some(path) = &sup.checkpoint_path {
+        if let Err(e) = supervisor::save_checkpoint(path, config, next, &result) {
+            eprintln!("warning: checkpoint write failed: {e}");
+        }
+    }
     result
 }

@@ -15,6 +15,8 @@
 //!   baselines (§3.2, §4.3).
 //! * [`campaign`] — multi-seed fuzzing campaigns with Table 1/2-style
 //!   aggregation.
+//! * [`supervisor`] — crash isolation for long campaigns: harness
+//!   incidents, checkpoint/resume, and quarantine of crashing inputs.
 //!
 //! # Examples
 //!
@@ -38,10 +40,12 @@ pub mod campaign;
 pub mod mutate;
 pub mod skeleton;
 pub mod space;
+pub mod supervisor;
 pub mod synth;
 pub mod validate;
 
 pub use mutate::{AppliedMutation, Artemis, Mutator};
+pub use supervisor::{ChaosConfig, HarnessIncident, IncidentPhase, SupervisorConfig};
 pub use synth::SynthParams;
 pub use validate::{Discrepancy, DiscrepancyKind, ValidateConfig, ValidationOutcome};
 
@@ -98,8 +102,7 @@ mod tests {
         let mut total = 0;
         for seed_value in 0..10u64 {
             let seed = cse_fuzz::generate(seed_value, &fuzz);
-            let mut artemis =
-                Artemis::new(seed_value, SynthParams::for_kind(VmKind::HotSpotLike));
+            let mut artemis = Artemis::new(seed_value, SynthParams::for_kind(VmKind::HotSpotLike));
             // The paper runs MAX_ITER mutants per seed precisely because a
             // single mutation can land in code the seed never executes.
             for _ in 0..3 {

@@ -23,8 +23,7 @@ use cse_lang::ast::*;
 use cse_lang::scope::{self, PointInfo, VarInfo};
 use cse_lang::ty::Ty;
 use cse_lang::Program;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cse_rng::Rng64;
 
 use crate::synth::{Synth, SynthParams};
 
@@ -54,22 +53,28 @@ pub struct AppliedMutation {
 
 /// The Artemis mutation engine.
 pub struct Artemis {
-    rng: StdRng,
+    rng: Rng64,
     pub params: SynthParams,
     counter: u64,
     /// Which mutators are enabled (all three by default; ablations
     /// restrict this).
     pub enabled: Vec<Mutator>,
+    /// Chaos knob for supervision tests: after the normal JoNM pass,
+    /// deliberately break semantic neutrality by flipping every integer
+    /// literal assignment. Exercises the harness's neutrality-violation
+    /// detection; never set outside tests.
+    pub chaos_break_neutrality: bool,
 }
 
 impl Artemis {
     /// Creates an engine with a deterministic RNG.
     pub fn new(seed: u64, params: SynthParams) -> Artemis {
         Artemis {
-            rng: StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_c3c3_3c3c),
+            rng: Rng64::seed_from_u64(seed ^ 0xa5a5_5a5a_c3c3_3c3c),
             params,
             counter: 0,
             enabled: Mutator::ALL.to_vec(),
+            chaos_break_neutrality: false,
         }
     }
 
@@ -101,6 +106,12 @@ impl Artemis {
             if let Some(record) = self.apply(&mut mutant, class_idx, method_idx, mutator) {
                 applied.push(record);
             }
+        }
+        if self.chaos_break_neutrality && chaos_flip_literals(&mut mutant) > 0 {
+            applied.push(AppliedMutation {
+                mutator: Mutator::Li,
+                location: "<chaos: literal flip>".to_string(),
+            });
         }
         (mutant, applied)
     }
@@ -150,8 +161,7 @@ impl Artemis {
     /// come from the method's top level. (The paper samples uniformly and
     /// names smarter point selection as future work, §4.5.)
     fn pick_point(&mut self, points: &[PointInfo]) -> PointInfo {
-        let shallow: Vec<&PointInfo> =
-            points.iter().filter(|p| p.point.path.is_empty()).collect();
+        let shallow: Vec<&PointInfo> = points.iter().filter(|p| p.point.path.is_empty()).collect();
         if !shallow.is_empty() && self.rng.gen_bool(0.7) {
             return shallow[self.rng.gen_range(0..shallow.len())].clone();
         }
@@ -201,12 +211,8 @@ impl Artemis {
             let stmts = scope::stmts_at(program, &info.point);
             locals_written(&stmts[info.point.index])
         };
-        let vars: Vec<VarInfo> = info
-            .vars
-            .iter()
-            .filter(|v| !written_by_s.contains(&v.name))
-            .cloned()
-            .collect();
+        let vars: Vec<VarInfo> =
+            info.vars.iter().filter(|v| !written_by_s.contains(&v.name)).cloned().collect();
         let mut reused: Vec<VarInfo> = Vec::new();
         let mut synth = self.synth();
         let exec = synth.fresh_public("ex");
@@ -215,11 +221,8 @@ impl Artemis {
         let before = synth.syn_stmts_pure(&vars, &mut reused);
         let after = synth.syn_stmts(&vars, &mut reused);
         // Assemble the loop body around the wrapped statement.
-        let pre = vec![Stmt::VarDecl {
-            name: exec.clone(),
-            ty: Ty::Bool,
-            init: Expr::BoolLit(false),
-        }];
+        let pre =
+            vec![Stmt::VarDecl { name: exec.clone(), ty: Ty::Bool, init: Expr::BoolLit(false) }];
         // Temporarily detach the wrapped statement from the program.
         let stmts = scope::stmts_at_mut(program, &info.point);
         let wrapped = stmts.remove(info.point.index);
@@ -262,8 +265,7 @@ impl Artemis {
             .filter_map(|site| {
                 let stmts = scope::stmts_at(program, &site);
                 let stmt = &stmts[site.index];
-                find_reusable_call(stmt, &class_name, &target)
-                    .map(|recv| (site, recv))
+                find_reusable_call(stmt, &class_name, &target).map(|recv| (site, recv))
             })
             .collect();
         if sites.is_empty() {
@@ -395,9 +397,7 @@ fn find_reusable_call(stmt: &Stmt, class: &str, target: &MethodDecl) -> Option<E
             {
                 found = Some(Expr::This);
             }
-            Expr::InstCall { recv, method, .. }
-                if !target.is_static && *method == target.name =>
-            {
+            Expr::InstCall { recv, method, .. } if !target.is_static && *method == target.name => {
                 match recv.as_ref() {
                     Expr::This => found = Some(Expr::This),
                     Expr::Local(name) => found = Some(Expr::local(name)),
@@ -464,6 +464,24 @@ fn locals_written(stmt: &Stmt) -> std::collections::HashSet<String> {
     out
 }
 
+/// The deliberate non-neutral mutation behind
+/// [`Artemis::chaos_break_neutrality`]: increments every integer-literal
+/// assignment in the program. Returns how many literals were flipped.
+fn chaos_flip_literals(mutant: &mut Program) -> usize {
+    let mut flipped = 0;
+    let points = scope::collect_points(mutant);
+    for info in points {
+        let stmts = scope::stmts_at_mut(mutant, &info.point);
+        if info.point.index < stmts.len() {
+            if let Stmt::Assign { value: Expr::IntLit(v), .. } = &mut stmts[info.point.index] {
+                *v = v.wrapping_add(1);
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
 /// Whether SW may wrap this statement while preserving semantics: it must
 /// not declare scope the following statements use, must not throw (its
 /// exceptions would be swallowed by the loop's catch-all), and must not
@@ -471,8 +489,13 @@ fn locals_written(stmt: &Stmt) -> std::collections::HashSet<String> {
 pub fn sw_wrappable(stmt: &Stmt) -> bool {
     if matches!(
         stmt,
-        Stmt::VarDecl { .. } | Stmt::Mute | Stmt::Unmute | Stmt::Return(_) | Stmt::Break
-            | Stmt::Continue | Stmt::Throw(_)
+        Stmt::VarDecl { .. }
+            | Stmt::Mute
+            | Stmt::Unmute
+            | Stmt::Return(_)
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::Throw(_)
     ) {
         return false;
     }
@@ -572,10 +595,9 @@ fn has_escaping_jump(stmt: &Stmt, loop_depth: usize, switch_depth: usize) -> boo
                     .map(|b| b.stmts.iter().any(|s| has_escaping_jump(s, loop_depth, switch_depth)))
                     .unwrap_or(false)
         }
-        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => body
-            .stmts
-            .iter()
-            .any(|s| has_escaping_jump(s, loop_depth + 1, switch_depth)),
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            body.stmts.iter().any(|s| has_escaping_jump(s, loop_depth + 1, switch_depth))
+        }
         Stmt::Switch { cases, .. } => cases
             .iter()
             .any(|c| c.body.iter().any(|s| has_escaping_jump(s, loop_depth, switch_depth + 1))),

@@ -120,12 +120,7 @@ pub const CORPUS: &[&str] = &[
 /// Parsed corpus: each entry is the statement list of one skeleton.
 pub fn parsed_corpus() -> &'static Vec<Vec<Stmt>> {
     static PARSED: OnceLock<Vec<Vec<Stmt>>> = OnceLock::new();
-    PARSED.get_or_init(|| {
-        CORPUS
-            .iter()
-            .filter_map(|src| parse_skeleton(src).ok())
-            .collect()
-    })
+    PARSED.get_or_init(|| CORPUS.iter().filter_map(|src| parse_skeleton(src).ok()).collect())
 }
 
 /// Parses one skeleton source into raw (unresolved) statements.

@@ -12,9 +12,7 @@
 //!   (the paper's Figure 1).
 
 use cse_bytecode::{BProgram, MethodId};
-use cse_vm::{
-    ExecutionResult, ExecMode, ForcedPlan, Tier, TraceEvent, Vm, VmConfig,
-};
+use cse_vm::{ExecMode, ExecutionResult, ForcedPlan, Tier, TraceEvent, Vm, VmConfig};
 
 /// Definition 3.2: the temperature band of a single counter value given
 /// the thresholds `Z_1 ≤ … ≤ Z_N`.
@@ -43,7 +41,11 @@ pub fn counter_temperature(counter: u64, thresholds: &[u64]) -> Tier {
 
 /// Definition 3.2: a method's temperature is the maximum over its counter
 /// set `C_m = {c_0, c_1, …, c_M}`.
-pub fn method_temperature(method_counter: u64, backedge_counters: &[u64], thresholds: &[u64]) -> Tier {
+pub fn method_temperature(
+    method_counter: u64,
+    backedge_counters: &[u64],
+    thresholds: &[u64],
+) -> Tier {
     let mut temp = counter_temperature(method_counter, thresholds);
     for &c in backedge_counters {
         temp = temp.max(counter_temperature(c, thresholds));
@@ -95,11 +97,7 @@ impl JitTrace {
                 TraceEvent::Compiled { method, tier, invocation, .. } => {
                     // Extend the live vector of this method if the entry was
                     // recorded; otherwise synthesize a transition vector.
-                    match vectors
-                        .iter_mut()
-                        .rev()
-                        .find(|v| v.method == *method)
-                    {
+                    match vectors.iter_mut().rev().find(|v| v.method == *method) {
                         Some(v) if v.invocation + 1 >= *invocation => v.temps.push(*tier),
                         _ => vectors.push(TemperatureVector {
                             method: *method,

@@ -1,0 +1,705 @@
+//! Campaign supervision: incidents, checkpoints, and quarantine.
+//!
+//! Long campaigns must survive harness bugs, wedged runs, and process
+//! kills without losing work. This module holds the pieces the
+//! supervised campaign driver ([`crate::campaign::run_campaign`]) builds
+//! on:
+//!
+//! - [`HarnessIncident`]: a structured record of a contained panic or
+//!   harness failure (which phase, which seed, which mutation iteration,
+//!   what payload), aggregated on [`CampaignResult`] instead of tearing
+//!   the campaign down.
+//! - Checkpoints: the full campaign state (seed cursor, bug map, totals,
+//!   incidents) serialized to a versioned, dependency-free text format
+//!   and written atomically, so a killed campaign resumes exactly where
+//!   it stopped and produces a bit-identical [`CampaignResult`].
+//! - Quarantine: crashing and panicking inputs persisted as
+//!   self-contained repro files (source + rng seed + VM profile).
+//!
+//! The checkpoint format is line-oriented with length-prefixed blocks
+//! for multi-line strings:
+//!
+//! ```text
+//! cse-checkpoint v1
+//! config HotSpot 100 0 8
+//! next_seed 42
+//! partial 1
+//! unattributed 0
+//! totals <seeds> <mutants> <completed> <vm_invocations> <discarded>
+//!        <seeds_discarded> <mutant_compile_failures>
+//!        <neutrality_violations> <wall_nanos>       (one line)
+//! cse_seeds <n>        (then n lines, one seed each)
+//! traditional_seeds <n>
+//! bugs <n>
+//!   bug <BugId> <occurrences> <first_seed> <Symptom> <Component>
+//!   text <byte-len>      (then that many bytes of reproducer + newline)
+//! incidents <n>
+//!   incident <phase> <seed> <rng_seed> <iteration|->
+//!   text <byte-len>      (payload)
+//!   source <0|1>  [+ text block when 1]
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use cse_vm::{BugId, Component, Symptom, VmConfig};
+
+use crate::campaign::{BugEvidence, CampaignConfig, CampaignResult};
+
+/// Where in Algorithm 1 a harness incident happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IncidentPhase {
+    /// Compiling or type-checking the fuzzer seed.
+    SeedCompile,
+    /// Running the seed on the VM under test.
+    SeedRun,
+    /// Running the seed on the reference interpreter.
+    ReferenceRun,
+    /// Deriving a mutant (the mutation engine itself).
+    Mutation,
+    /// Compiling a mutant — a quarantined mutator bug: JoNM produced a
+    /// program that fails the type checker or bytecode compiler.
+    MutantCompile,
+    /// Running a mutant on the VM under test.
+    MutantRun,
+    /// Running a mutant on the reference interpreter.
+    NeutralityRun,
+    /// Ground-truth attribution reruns.
+    Attribution,
+    /// The traditional-fuzzing baseline (§4.3 comparative study).
+    Baseline,
+}
+
+impl IncidentPhase {
+    pub const ALL: [IncidentPhase; 9] = [
+        IncidentPhase::SeedCompile,
+        IncidentPhase::SeedRun,
+        IncidentPhase::ReferenceRun,
+        IncidentPhase::Mutation,
+        IncidentPhase::MutantCompile,
+        IncidentPhase::MutantRun,
+        IncidentPhase::NeutralityRun,
+        IncidentPhase::Attribution,
+        IncidentPhase::Baseline,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentPhase::SeedCompile => "SeedCompile",
+            IncidentPhase::SeedRun => "SeedRun",
+            IncidentPhase::ReferenceRun => "ReferenceRun",
+            IncidentPhase::Mutation => "Mutation",
+            IncidentPhase::MutantCompile => "MutantCompile",
+            IncidentPhase::MutantRun => "MutantRun",
+            IncidentPhase::NeutralityRun => "NeutralityRun",
+            IncidentPhase::Attribution => "Attribution",
+            IncidentPhase::Baseline => "Baseline",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<IncidentPhase> {
+        IncidentPhase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for IncidentPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One contained harness failure. Incidents are facts about the
+/// *harness* (or the VM substrate misbehaving in ways the fuel budget
+/// cannot express), never about the program under test — they are
+/// reported alongside bugs, not as bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessIncident {
+    pub phase: IncidentPhase,
+    /// Campaign seed value being validated when the incident happened.
+    pub seed: u64,
+    /// Mutation-rng seed (reproduces the exact mutant sequence).
+    pub rng_seed: u64,
+    /// Mutation iteration (`None` for seed-level phases).
+    pub iteration: Option<usize>,
+    /// Panic payload or error description.
+    pub payload: String,
+    /// Source of the program being processed, when known — enough to
+    /// replay the incident in isolation.
+    pub source: Option<String>,
+}
+
+/// Deterministic harness-fault injection for supervision tests: panic
+/// inside the VM once `after_ops` operations have burned, but only while
+/// validating `panic_on_seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    pub panic_on_seed: u64,
+    pub after_ops: u64,
+}
+
+/// Supervision settings for a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Checkpoint file; when set, campaign state is persisted every
+    /// [`checkpoint_every`](Self::checkpoint_every) seeds and the
+    /// campaign resumes from this file if it already exists.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Seeds between checkpoints (0 is treated as 1).
+    pub checkpoint_every: u64,
+    /// Directory receiving self-contained repro files for crashing and
+    /// panicking inputs (created on demand).
+    pub quarantine_dir: Option<PathBuf>,
+    /// Global wall-clock budget; on expiry the campaign checkpoints and
+    /// returns cleanly with `totals.partial = true`.
+    pub deadline: Option<Duration>,
+    /// Test hook simulating a kill: stop (with a checkpoint) after this
+    /// many seeds *processed in this invocation*.
+    pub stop_after_seeds: Option<u64>,
+    /// Test hook injecting a deterministic VM panic on one seed.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl SupervisorConfig {
+    /// Checkpoint cadence with the zero-guard applied.
+    pub fn cadence(&self) -> u64 {
+        self.checkpoint_every.max(1)
+    }
+}
+
+/// A loaded checkpoint: the next seed index to process plus the
+/// accumulated result.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Seed *offset* (0-based index into the campaign's seed range).
+    pub next_seed: u64,
+    pub result: CampaignResult,
+}
+
+const MAGIC: &str = "cse-checkpoint v1";
+
+// ----- encoding -----------------------------------------------------------
+
+fn push_text(out: &mut String, s: &str) {
+    let _ = writeln!(out, "text {}", s.len());
+    out.push_str(s);
+    out.push('\n');
+}
+
+/// Canonical serialization of a campaign's state. Also the basis of
+/// [`CampaignResult::digest`], so it must cover every observable field —
+/// except `totals.wall`, which legitimately differs between an
+/// uninterrupted run and a kill-and-resume run (pass `wall_nanos = 0`
+/// for digests).
+pub(crate) fn encode(
+    config: &CampaignConfig,
+    next_seed: u64,
+    result: &CampaignResult,
+    wall_nanos: u128,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(
+        out,
+        "config {:?} {} {} {}",
+        config.vm.kind, config.seeds, config.first_seed, config.max_iter
+    );
+    let _ = writeln!(out, "next_seed {next_seed}");
+    let _ = writeln!(out, "partial {}", result.totals.partial as u8);
+    let _ = writeln!(out, "unattributed {}", result.unattributed);
+    let t = &result.totals;
+    let _ = writeln!(
+        out,
+        "totals {} {} {} {} {} {} {} {} {}",
+        t.seeds,
+        t.mutants,
+        t.completed,
+        t.vm_invocations,
+        t.discarded,
+        t.seeds_discarded,
+        t.mutant_compile_failures,
+        t.neutrality_violations,
+        wall_nanos
+    );
+    let _ = writeln!(out, "cse_seeds {}", result.cse_seeds.len());
+    for s in &result.cse_seeds {
+        let _ = writeln!(out, "{s}");
+    }
+    let _ = writeln!(out, "traditional_seeds {}", result.traditional_seeds.len());
+    for s in &result.traditional_seeds {
+        let _ = writeln!(out, "{s}");
+    }
+    let _ = writeln!(out, "bugs {}", result.bugs.len());
+    for e in result.bugs.values() {
+        let _ = writeln!(
+            out,
+            "bug {:?} {} {} {:?} {:?}",
+            e.bug, e.occurrences, e.first_seed, e.symptom, e.component
+        );
+        push_text(&mut out, &e.reproducer);
+    }
+    let _ = writeln!(out, "incidents {}", result.incidents.len());
+    for i in &result.incidents {
+        let iteration = i.iteration.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(out, "incident {} {} {} {}", i.phase, i.seed, i.rng_seed, iteration);
+        push_text(&mut out, &i.payload);
+        match &i.source {
+            Some(source) => {
+                let _ = writeln!(out, "source 1");
+                push_text(&mut out, source);
+            }
+            None => {
+                let _ = writeln!(out, "source 0");
+            }
+        }
+    }
+    out
+}
+
+// ----- decoding -----------------------------------------------------------
+
+struct Reader<'a> {
+    data: &'a str,
+    pos: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a str) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn line(&mut self) -> ParseResult<&'a str> {
+        if self.pos >= self.data.len() {
+            return Err("unexpected end of checkpoint".to_string());
+        }
+        let rest = &self.data[self.pos..];
+        let end = rest.find('\n').ok_or("unterminated line")?;
+        self.pos += end + 1;
+        Ok(&rest[..end])
+    }
+
+    /// A line of the form `<tag> <fields...>`; returns the fields.
+    fn tagged(&mut self, tag: &str) -> ParseResult<Vec<&'a str>> {
+        let line = self.line()?;
+        let mut parts = line.split(' ');
+        let got = parts.next().unwrap_or("");
+        if got != tag {
+            return Err(format!("expected `{tag}`, found `{line}`"));
+        }
+        Ok(parts.collect())
+    }
+
+    fn tagged_num<T: std::str::FromStr>(&mut self, tag: &str) -> ParseResult<T> {
+        let fields = self.tagged(tag)?;
+        parse_field(&fields, 0, tag)
+    }
+
+    /// A `text <len>` block: `len` raw bytes plus a trailing newline.
+    fn text(&mut self) -> ParseResult<String> {
+        let len: usize = self.tagged_num("text")?;
+        let rest = self.data.as_bytes();
+        if self.pos + len + 1 > rest.len() {
+            return Err("text block runs past end of checkpoint".to_string());
+        }
+        let body = self
+            .data
+            .get(self.pos..self.pos + len)
+            .ok_or("text block length splits a UTF-8 boundary")?;
+        if rest[self.pos + len] != b'\n' {
+            return Err("text block missing trailing newline".to_string());
+        }
+        self.pos += len + 1;
+        Ok(body.to_string())
+    }
+
+    fn at_end(&self) -> bool {
+        self.data[self.pos..].trim().is_empty()
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(fields: &[&str], index: usize, what: &str) -> ParseResult<T> {
+    fields
+        .get(index)
+        .ok_or_else(|| format!("{what}: missing field {index}"))?
+        .parse()
+        .map_err(|_| format!("{what}: malformed field {index}"))
+}
+
+fn bug_from_name(name: &str) -> ParseResult<BugId> {
+    BugId::all()
+        .iter()
+        .copied()
+        .find(|b| format!("{b:?}") == name)
+        .ok_or_else(|| format!("unknown bug id `{name}`"))
+}
+
+fn symptom_from_name(name: &str) -> ParseResult<Symptom> {
+    match name {
+        "MisCompilation" => Ok(Symptom::MisCompilation),
+        "Crash" => Ok(Symptom::Crash),
+        "Performance" => Ok(Symptom::Performance),
+        _ => Err(format!("unknown symptom `{name}`")),
+    }
+}
+
+fn component_from_name(name: &str) -> ParseResult<Component> {
+    const ALL: [Component; 18] = [
+        Component::InliningC1,
+        Component::IdealGraphBuilding,
+        Component::IdealLoopOptimization,
+        Component::GlobalConstantPropagation,
+        Component::GlobalValueNumbering,
+        Component::EscapeAnalysis,
+        Component::GlobalCodeMotion,
+        Component::RegisterAllocation,
+        Component::CodeGeneration,
+        Component::CodeExecution,
+        Component::LocalValuePropagation,
+        Component::GlobalValuePropagation,
+        Component::LoopVectorization,
+        Component::Deoptimization,
+        Component::Recompilation,
+        Component::OtherJitComponents,
+        Component::GarbageCollection,
+        Component::OptimizingCompiler,
+    ];
+    ALL.into_iter()
+        .find(|c| format!("{c:?}") == name)
+        .ok_or_else(|| format!("unknown component `{name}`"))
+}
+
+/// Parses a checkpoint, verifying it belongs to `config` (kind, seed
+/// range, and `MAX_ITER` must all match — resuming a checkpoint into a
+/// different campaign would silently corrupt results).
+pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpoint> {
+    let mut r = Reader::new(data);
+    let magic = r.line()?;
+    if magic != MAGIC {
+        return Err(format!("bad checkpoint header `{magic}` (want `{MAGIC}`)"));
+    }
+    let fields = r.tagged("config")?;
+    let kind = format!("{:?}", config.vm.kind);
+    let (got_kind, got_seeds, got_first, got_iter) = (
+        *fields.first().unwrap_or(&""),
+        parse_field::<u64>(&fields, 1, "config")?,
+        parse_field::<u64>(&fields, 2, "config")?,
+        parse_field::<usize>(&fields, 3, "config")?,
+    );
+    if got_kind != kind
+        || got_seeds != config.seeds
+        || got_first != config.first_seed
+        || got_iter != config.max_iter
+    {
+        return Err(format!(
+            "checkpoint is for a different campaign \
+             (checkpoint: {got_kind}/{got_seeds} seeds from {got_first}, max_iter {got_iter}; \
+             campaign: {kind}/{} seeds from {}, max_iter {})",
+            config.seeds, config.first_seed, config.max_iter
+        ));
+    }
+    let next_seed: u64 = r.tagged_num("next_seed")?;
+    let mut result = CampaignResult::default();
+    result.totals.partial = r.tagged_num::<u8>("partial")? != 0;
+    result.unattributed = r.tagged_num("unattributed")?;
+    let t = r.tagged("totals")?;
+    result.totals.seeds = parse_field(&t, 0, "totals")?;
+    result.totals.mutants = parse_field(&t, 1, "totals")?;
+    result.totals.completed = parse_field(&t, 2, "totals")?;
+    result.totals.vm_invocations = parse_field(&t, 3, "totals")?;
+    result.totals.discarded = parse_field(&t, 4, "totals")?;
+    result.totals.seeds_discarded = parse_field(&t, 5, "totals")?;
+    result.totals.mutant_compile_failures = parse_field(&t, 6, "totals")?;
+    result.totals.neutrality_violations = parse_field(&t, 7, "totals")?;
+    let wall_nanos: u128 = parse_field(&t, 8, "totals")?;
+    result.totals.wall = Duration::from_nanos(wall_nanos.min(u64::MAX as u128) as u64);
+    let n: usize = r.tagged_num("cse_seeds")?;
+    for _ in 0..n {
+        result.cse_seeds.push(r.line()?.parse().map_err(|_| "bad cse seed")?);
+    }
+    let n: usize = r.tagged_num("traditional_seeds")?;
+    for _ in 0..n {
+        result.traditional_seeds.push(r.line()?.parse().map_err(|_| "bad traditional seed")?);
+    }
+    let n: usize = r.tagged_num("bugs")?;
+    for _ in 0..n {
+        let fields = r.tagged("bug")?;
+        let bug = bug_from_name(fields.first().unwrap_or(&""))?;
+        let occurrences: usize = parse_field(&fields, 1, "bug")?;
+        let first_seed: u64 = parse_field(&fields, 2, "bug")?;
+        let symptom = symptom_from_name(fields.get(3).unwrap_or(&""))?;
+        let component = component_from_name(fields.get(4).unwrap_or(&""))?;
+        let reproducer = r.text()?;
+        result.bugs.insert(
+            bug,
+            BugEvidence { bug, component, symptom, occurrences, first_seed, reproducer },
+        );
+    }
+    let n: usize = r.tagged_num("incidents")?;
+    for _ in 0..n {
+        let fields = r.tagged("incident")?;
+        let phase = IncidentPhase::from_name(fields.first().unwrap_or(&""))
+            .ok_or_else(|| format!("unknown incident phase in {fields:?}"))?;
+        let seed: u64 = parse_field(&fields, 1, "incident")?;
+        let rng_seed: u64 = parse_field(&fields, 2, "incident")?;
+        let iteration = match fields.get(3) {
+            Some(&"-") => None,
+            Some(s) => Some(s.parse().map_err(|_| "bad incident iteration")?),
+            None => return Err("incident: missing iteration".to_string()),
+        };
+        let payload = r.text()?;
+        let source = match r.tagged_num::<u8>("source")? {
+            0 => None,
+            _ => Some(r.text()?),
+        };
+        result.incidents.push(HarnessIncident {
+            phase,
+            seed,
+            rng_seed,
+            iteration,
+            payload,
+            source,
+        });
+    }
+    if !r.at_end() {
+        return Err("trailing data after checkpoint".to_string());
+    }
+    Ok(Checkpoint { next_seed, result })
+}
+
+// ----- checkpoint I/O -----------------------------------------------------
+
+/// Atomically writes a checkpoint (tmp file + rename, so a kill during
+/// the write never leaves a torn checkpoint behind).
+pub fn save_checkpoint(
+    path: &Path,
+    config: &CampaignConfig,
+    next_seed: u64,
+    result: &CampaignResult,
+) -> io::Result<()> {
+    let body = encode(config, next_seed, result, result.totals.wall.as_nanos());
+    let tmp = path.with_extension("tmp");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint if `path` exists. `Ok(None)` when there is no
+/// checkpoint yet; `Err` on a torn/foreign/corrupt file (the caller
+/// decides whether to start fresh).
+pub fn load_checkpoint(path: &Path, config: &CampaignConfig) -> io::Result<Option<Checkpoint>> {
+    let data = match std::fs::read_to_string(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    decode(&data, config).map(Some).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+// ----- quarantine ---------------------------------------------------------
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn vm_profile_header(vm: &VmConfig) -> String {
+    let bugs: Vec<String> = vm.faults.bugs().map(|b| format!("{b:?}")).collect();
+    format!(
+        "// vm profile: {:?} (jit: {}, fuel: {})\n// active bugs: {}\n",
+        vm.kind,
+        vm.jit_enabled,
+        vm.fuel,
+        if bugs.is_empty() { "none".to_string() } else { bugs.join(",") }
+    )
+}
+
+/// Persists a contained harness incident as a self-contained repro file
+/// and returns its path.
+pub fn quarantine_incident(
+    dir: &Path,
+    incident: &HarnessIncident,
+    vm: &VmConfig,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let iteration = incident.iteration.map(|n| format!("_iter{n}")).unwrap_or_default();
+    let path = dir.join(format!(
+        "incident_seed{}_{}{}.mj",
+        incident.seed,
+        sanitize(incident.phase.name()),
+        iteration
+    ));
+    let mut body = String::new();
+    let _ = writeln!(body, "// quarantined harness incident");
+    let _ = writeln!(body, "// phase: {}", incident.phase);
+    let _ = writeln!(body, "// campaign seed: {}", incident.seed);
+    let _ = writeln!(body, "// rng seed: {}", incident.rng_seed);
+    if let Some(iteration) = incident.iteration {
+        let _ = writeln!(body, "// mutation iteration: {iteration}");
+    }
+    body.push_str(&vm_profile_header(vm));
+    for line in incident.payload.lines() {
+        let _ = writeln!(body, "// panic: {line}");
+    }
+    match &incident.source {
+        Some(source) => body.push_str(source),
+        None => body.push_str("// (no source captured)\n"),
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Persists a crash-discrepancy reproducer (mutant source + rng seed +
+/// VM profile) and returns its path.
+pub fn quarantine_crash(
+    dir: &Path,
+    seed: u64,
+    rng_seed: u64,
+    bug: Option<BugId>,
+    crash: &cse_vm::CrashInfo,
+    mutant_source: &str,
+    vm: &VmConfig,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let label = bug.map(|b| format!("{b:?}")).unwrap_or_else(|| "unattributed".to_string());
+    let path = dir.join(format!("crash_seed{}_{}.mj", seed, sanitize(&label)));
+    let mut body = String::new();
+    let _ = writeln!(body, "// quarantined crashing input");
+    let _ = writeln!(body, "// campaign seed: {seed}");
+    let _ = writeln!(body, "// rng seed: {rng_seed}");
+    let _ = writeln!(
+        body,
+        "// crash: {:?} in {:?} during {:?}",
+        crash.kind, crash.component, crash.phase
+    );
+    let _ = writeln!(body, "// attributed bug: {label}");
+    body.push_str(&vm_profile_header(vm));
+    body.push_str(mutant_source);
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use cse_vm::VmKind;
+
+    fn sample_result() -> CampaignResult {
+        let mut result = CampaignResult::default();
+        result.totals.seeds = 7;
+        result.totals.mutants = 40;
+        result.totals.completed = 35;
+        result.totals.vm_invocations = 300;
+        result.totals.discarded = 5;
+        result.totals.seeds_discarded = 1;
+        result.totals.mutant_compile_failures = 2;
+        result.totals.neutrality_violations = 0;
+        result.totals.partial = true;
+        result.totals.wall = Duration::from_millis(1234);
+        result.unattributed = 3;
+        result.cse_seeds = vec![1, 4, 6];
+        result.traditional_seeds = vec![4];
+        let bug = BugId::all()[0];
+        result.bugs.insert(
+            bug,
+            BugEvidence {
+                bug,
+                component: bug.component(),
+                symptom: bug.symptom(),
+                occurrences: 2,
+                first_seed: 4,
+                reproducer: "class T {\n  static void main() { println(1); }\n}\n".to_string(),
+            },
+        );
+        result.incidents.push(HarnessIncident {
+            phase: IncidentPhase::MutantRun,
+            seed: 6,
+            rng_seed: 6,
+            iteration: Some(3),
+            payload: "chaos: injected VM panic after 4096 burned ops".to_string(),
+            source: Some("class T { static void main() {} }\n".to_string()),
+        });
+        result.incidents.push(HarnessIncident {
+            phase: IncidentPhase::SeedRun,
+            seed: 2,
+            rng_seed: 2,
+            iteration: None,
+            payload: "multi\nline\npayload".to_string(),
+            source: None,
+        });
+        result
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 7);
+        let result = sample_result();
+        let encoded = encode(&config, 7, &result, result.totals.wall.as_nanos());
+        let checkpoint = decode(&encoded, &config).expect("decode");
+        assert_eq!(checkpoint.next_seed, 7);
+        let re_encoded =
+            encode(&config, 7, &checkpoint.result, checkpoint.result.totals.wall.as_nanos());
+        assert_eq!(encoded, re_encoded);
+    }
+
+    #[test]
+    fn checkpoint_save_load_round_trips_via_disk() {
+        let config = CampaignConfig::for_kind(VmKind::OpenJ9Like, 7);
+        let result = sample_result();
+        let dir = std::env::temp_dir().join(format!("cse-supervisor-test-{}", std::process::id()));
+        let path = dir.join("roundtrip.checkpoint");
+        save_checkpoint(&path, &config, 3, &result).expect("save");
+        let loaded = load_checkpoint(&path, &config).expect("load").expect("present");
+        assert_eq!(loaded.next_seed, 3);
+        assert_eq!(loaded.result.digest(&config), result.digest(&config));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 7);
+        let path = std::env::temp_dir().join("cse-supervisor-test-definitely-missing");
+        assert!(load_checkpoint(&path, &config).expect("ok").is_none());
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 7);
+        let other = CampaignConfig::for_kind(VmKind::ArtLike, 7);
+        let encoded = encode(&config, 2, &sample_result(), 0);
+        assert!(decode(&encoded, &other).is_err());
+        let mut fewer_seeds = config.clone();
+        fewer_seeds.seeds = 6;
+        assert!(decode(&encoded, &fewer_seeds).is_err());
+    }
+
+    #[test]
+    fn torn_checkpoint_is_rejected() {
+        let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 7);
+        let encoded = encode(&config, 2, &sample_result(), 0);
+        let torn = &encoded[..encoded.len() / 2];
+        assert!(decode(torn, &config).is_err());
+        assert!(decode("", &config).is_err());
+        assert!(decode("garbage\n", &config).is_err());
+    }
+
+    #[test]
+    fn quarantine_files_are_self_contained() {
+        let dir = std::env::temp_dir().join(format!("cse-quarantine-test-{}", std::process::id()));
+        let vm = crate::campaign::CampaignConfig::for_kind(VmKind::HotSpotLike, 1).vm;
+        let incident = &sample_result().incidents[0];
+        let path = quarantine_incident(&dir, incident, &vm).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert!(body.contains("rng seed: 6"));
+        assert!(body.contains("HotSpotLike"));
+        assert!(body.contains("chaos: injected VM panic"));
+        assert!(body.contains("class T"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,9 +21,8 @@
 use cse_lang::ast::*;
 use cse_lang::scope::VarInfo;
 use cse_lang::ty::Ty;
+use cse_rng::Rng64;
 use cse_vm::VmKind;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::skeleton;
 
@@ -46,16 +45,22 @@ impl SynthParams {
     /// Parameters tuned to a VM profile's thresholds (§4.1).
     pub fn for_kind(kind: VmKind) -> SynthParams {
         match kind {
-            VmKind::HotSpotLike => SynthParams { min: 5000, max: 9000, step_max: 10, mutation_prob: 0.5 },
-            VmKind::OpenJ9Like => SynthParams { min: 4500, max: 8500, step_max: 10, mutation_prob: 0.5 },
-            VmKind::ArtLike => SynthParams { min: 3500, max: 7000, step_max: 10, mutation_prob: 0.5 },
+            VmKind::HotSpotLike => {
+                SynthParams { min: 5000, max: 9000, step_max: 10, mutation_prob: 0.5 }
+            }
+            VmKind::OpenJ9Like => {
+                SynthParams { min: 4500, max: 8500, step_max: 10, mutation_prob: 0.5 }
+            }
+            VmKind::ArtLike => {
+                SynthParams { min: 3500, max: 7000, step_max: 10, mutation_prob: 0.5 }
+            }
         }
     }
 }
 
 /// The synthesis engine: RNG + fresh-name counter + params.
 pub struct Synth<'a> {
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut Rng64,
     pub params: &'a SynthParams,
     pub counter: &'a mut u64,
 }
@@ -90,15 +95,13 @@ impl Synth<'_> {
                 if elem.is_primitive_alike() {
                     // One-dimensional: build with synthesized elements.
                     let len = self.rng.gen_range(1..=4);
-                    let elems =
-                        (0..len).map(|_| self.syn_expr(elem, vars, reused)).collect();
+                    let elems = (0..len).map(|_| self.syn_expr(elem, vars, reused)).collect();
                     Expr::NewArrayInit { elem: (**elem).clone(), elems }
                 } else {
                     // Higher dimensions: allocate with random sizes.
                     let dims = ty.dimensions();
-                    let sizes: Vec<Expr> = (0..dims)
-                        .map(|_| Expr::IntLit(self.rng.gen_range(1..=3)))
-                        .collect();
+                    let sizes: Vec<Expr> =
+                        (0..dims).map(|_| Expr::IntLit(self.rng.gen_range(1..=3))).collect();
                     Expr::NewArray { elem: ty.base().clone(), dims: sizes, extra_dims: 0 }
                 }
             }
@@ -127,8 +130,7 @@ impl Synth<'_> {
     /// Algorithm 2's `SynStmts`: a statement list instantiated from the
     /// skeleton corpus, or a writer template over a reused variable.
     pub fn syn_stmts(&mut self, vars: &[VarInfo], reused: &mut Vec<VarInfo>) -> Vec<Stmt> {
-        let writable: Vec<&VarInfo> =
-            vars.iter().filter(|v| v.ty.is_primitive_alike()).collect();
+        let writable: Vec<&VarInfo> = vars.iter().filter(|v| v.ty.is_primitive_alike()).collect();
         if !writable.is_empty() && self.rng.gen_bool(0.3) {
             // Writer template: mutate a reused variable (then restored by
             // the backup/restore bracket).
@@ -169,8 +171,9 @@ impl Synth<'_> {
                 rename.insert(name.to_string(), format!("$s{}", self.counter));
             }
         });
-        rewrite_stmts(&mut stmts, &mut |expr| {
-            match expr {
+        rewrite_stmts(
+            &mut stmts,
+            &mut |expr| match expr {
                 Expr::Name(n) | Expr::Local(n) => {
                     if let Some(new) = rename.get(n) {
                         *n = new.clone();
@@ -190,12 +193,13 @@ impl Synth<'_> {
                     }
                 }
                 _ => {}
-            }
-        }, &mut |name| {
-            if let Some(new) = rename.get(name) {
-                *name = new.clone();
-            }
-        });
+            },
+            &mut |name| {
+                if let Some(new) = rename.get(name) {
+                    *name = new.clone();
+                }
+            },
+        );
         stmts
     }
 
@@ -461,10 +465,9 @@ fn rewrite_expr(expr: &mut Expr, on_expr: &mut impl FnMut(&mut Expr)) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn synth_env() -> (StdRng, SynthParams, u64) {
-        (StdRng::seed_from_u64(1), SynthParams::for_kind(VmKind::HotSpotLike), 0)
+    fn synth_env() -> (Rng64, SynthParams, u64) {
+        (Rng64::seed_from_u64(1), SynthParams::for_kind(VmKind::HotSpotLike), 0)
     }
 
     fn vars() -> Vec<VarInfo> {

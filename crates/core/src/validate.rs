@@ -12,14 +12,22 @@
 //! attribute discrepancies to ground-truth injected bugs by re-running
 //! with individual bugs disabled, which powers the Table 1 "Duplicate"
 //! accounting.
+//!
+//! Every VM invocation goes through the crash barrier
+//! ([`cse_vm::supervised_run`]): a panic anywhere in the substrate is
+//! contained, recorded as a [`HarnessIncident`], and validation moves on
+//! to the next mutant instead of unwinding the whole campaign. Mutants
+//! that fail the type checker or bytecode compiler are likewise
+//! quarantined as mutator bugs ([`try_compile_checked`]) rather than
+//! aborting the process.
 
 use cse_bytecode::BProgram;
 use cse_lang::Program;
-use cse_vm::{
-    BugId, ExecutionResult, FaultInjector, Outcome, Symptom, Vm, VmConfig,
-};
+use cse_vm::supervise::{contain_panics, supervised_run};
+use cse_vm::{BugId, ExecutionResult, FaultInjector, Outcome, Symptom, VmConfig};
 
 use crate::mutate::{AppliedMutation, Artemis};
+use crate::supervisor::{HarnessIncident, IncidentPhase};
 use crate::synth::SynthParams;
 
 /// Validation settings.
@@ -32,8 +40,8 @@ pub struct ValidateConfig {
     /// Synthesis hyper-parameters.
     pub params: SynthParams,
     /// Cross-check every mutant against the reference interpreter and
-    /// panic on a non-neutral mutation (harness soundness; costs one
-    /// extra run per mutant).
+    /// skip non-neutral mutations (harness soundness; costs one extra
+    /// run per mutant).
     pub verify_neutrality: bool,
 }
 
@@ -86,18 +94,50 @@ pub struct Discrepancy {
 }
 
 /// The outcome of validating one seed.
+///
+/// # Counter invariants
+///
+/// The mutant-level counters are disjoint and complete:
+///
+/// ```text
+/// mutants_run = completed + discarded
+/// neutrality_violations <= discarded     (violations are one discard reason)
+/// ```
+///
+/// `completed` mutants received a full oracle verdict (which may or may
+/// not be a discrepancy); `discarded` mutants ran but produced none
+/// (step-budget timeout without performance-bug evidence, a neutrality
+/// violation, or a contained VM panic). Seed-level failures are kept out
+/// of the mutant counters entirely: `seed_discarded` marks a seed whose
+/// own run timed out or panicked (no mutants were attempted), and
+/// `mutant_compile_failures` counts mutants that never ran because JoNM
+/// produced an uncompilable program (a quarantined mutator bug).
+/// [`ValidationOutcome::check_invariants`] asserts all of this.
 #[derive(Debug, Default)]
 pub struct ValidationOutcome {
     pub discrepancies: Vec<Discrepancy>,
-    /// Mutants executed.
+    /// Mutants executed on the VM under test.
     pub mutants_run: usize,
-    /// Mutants discarded for exceeding the step budget (the paper's
-    /// two-minute cutoff, §4.3).
+    /// Mutants that ran to a full oracle verdict.
+    pub completed: usize,
+    /// Mutants that ran but yielded no verdict (timeout discard,
+    /// neutrality violation, or contained panic).
     pub discarded: usize,
+    /// The seed itself produced no baseline (timeout or contained
+    /// panic); no mutants were attempted.
+    pub seed_discarded: bool,
+    /// Mutants that failed type checking or bytecode compilation —
+    /// mutator bugs, quarantined instead of panicking (never ran, so not
+    /// part of `mutants_run`).
+    pub mutant_compile_failures: usize,
     /// VM invocations performed (seed + mutants + attribution reruns).
     pub vm_invocations: usize,
-    /// Non-neutral mutants detected (harness bugs; must stay zero).
+    /// Non-neutral mutants detected and skipped (harness bugs; must stay
+    /// zero with the stock mutators).
     pub neutrality_violations: usize,
+    /// Contained harness failures (panics in the VM, the compilers, or
+    /// the mutation engine).
+    pub incidents: Vec<HarnessIncident>,
 }
 
 impl ValidationOutcome {
@@ -105,15 +145,89 @@ impl ValidationOutcome {
     pub fn found_bug(&self) -> bool {
         !self.discrepancies.is_empty()
     }
+
+    /// Asserts the documented counter invariants (cheap; called by the
+    /// campaign driver after every seed).
+    pub fn check_invariants(&self) {
+        assert_eq!(
+            self.mutants_run,
+            self.completed + self.discarded,
+            "mutant counters must be disjoint and complete"
+        );
+        assert!(
+            self.neutrality_violations <= self.discarded,
+            "neutrality violations are a subset of discards"
+        );
+        if self.seed_discarded {
+            assert_eq!(self.mutants_run, 0, "a discarded seed attempts no mutants");
+        }
+    }
+
+    fn incident(
+        &mut self,
+        phase: IncidentPhase,
+        rng_seed: u64,
+        iteration: Option<usize>,
+        payload: String,
+        source: Option<String>,
+    ) {
+        self.incidents.push(HarnessIncident {
+            phase,
+            seed: rng_seed,
+            rng_seed,
+            iteration,
+            payload,
+            source,
+        });
+    }
 }
 
 /// Compiles a checked program, panicking on front-end failure (inputs are
 /// either fuzzer output or mutants of checked programs — both valid by
-/// construction).
+/// construction). Campaign paths use [`try_compile_checked`] so a
+/// mutator bug is quarantined instead of aborting the process.
 pub fn compile_checked(program: &Program) -> BProgram {
     let mut program = program.clone();
     cse_lang::typeck::check(&mut program).expect("mutant failed the type checker");
     cse_bytecode::compile(&program).expect("mutant failed bytecode compilation")
+}
+
+/// Fallible twin of [`compile_checked`]: returns the failure (including
+/// a contained compiler panic) as a message instead of unwinding.
+pub fn try_compile_checked(program: &Program) -> Result<BProgram, String> {
+    contain_panics(|| {
+        let mut program = program.clone();
+        cse_lang::typeck::check(&mut program).map_err(|e| format!("type check failed: {e}"))?;
+        cse_bytecode::compile(&program).map_err(|e| format!("bytecode compilation failed: {e}"))
+    })
+    .map_err(|p| format!("compiler panicked: {}", p.payload))?
+}
+
+/// Step-budget fraction under which a completed reference run marks a
+/// mutant timeout as the JIT's fault rather than an expensive program.
+const TIMEOUT_CHEAP_DIVISOR: u64 = 4;
+
+/// Factor and absolute slack for the explicit performance-anomaly
+/// oracle: compiled execution doing `8x + 1M` the work of pure
+/// interpretation is a performance bug, not noise.
+const PERF_ANOMALY_FACTOR: u64 = 8;
+const PERF_ANOMALY_SLACK: u64 = 1_000_000;
+
+/// Classifies a mutant timeout: it is a genuine performance bug iff the
+/// reference interpreter finished the same program comfortably (under a
+/// quarter of the step budget); otherwise the program is just expensive
+/// and the mutant is discarded.
+pub fn timeout_is_performance_bug(reference: Option<&ExecutionResult>, fuel: u64) -> bool {
+    reference
+        .map(|r| r.outcome.is_completed() && r.stats.total_ops() < fuel / TIMEOUT_CHEAP_DIVISOR)
+        .unwrap_or(false)
+}
+
+/// The explicit performance-anomaly oracle: whether compiled execution
+/// did far more work than pure interpretation of the same program.
+pub fn is_performance_anomaly(mutant_ops: u64, reference_ops: u64) -> bool {
+    mutant_ops
+        > reference_ops.saturating_mul(PERF_ANOMALY_FACTOR).saturating_add(PERF_ANOMALY_SLACK)
 }
 
 /// Algorithm 1: validates `LVM` (in `config.vm`) against one seed.
@@ -133,63 +247,155 @@ pub fn validate_with(
     configure: impl FnOnce(&mut Artemis),
 ) -> ValidationOutcome {
     let mut outcome = ValidationOutcome::default();
-    let seed_bytecode = compile_checked(seed);
+    let seed_bytecode = match try_compile_checked(seed) {
+        Ok(bytecode) => bytecode,
+        Err(message) => {
+            // Fuzzer seeds are valid by construction, so this is a
+            // harness bug in the fuzzer or the front end.
+            outcome.incident(
+                IncidentPhase::SeedCompile,
+                rng_seed,
+                None,
+                message,
+                Some(cse_lang::pretty::print(seed)),
+            );
+            outcome.seed_discarded = true;
+            return outcome;
+        }
+    };
     // R ← LVM(P): the seed with its default JIT-trace.
-    let seed_result = Vm::run_program(&seed_bytecode, config.vm.clone());
     outcome.vm_invocations += 1;
+    let seed_result = match supervised_run(&seed_bytecode, config.vm.clone()) {
+        Ok(result) => result,
+        Err(panic) => {
+            outcome.incident(
+                IncidentPhase::SeedRun,
+                rng_seed,
+                None,
+                panic.payload,
+                Some(cse_lang::pretty::print(seed)),
+            );
+            outcome.seed_discarded = true;
+            return outcome;
+        }
+    };
     if matches!(seed_result.outcome, Outcome::Timeout) {
-        outcome.discarded += 1;
+        // An expensive seed: the paper's two-minute cutoff (§4.3). Not a
+        // mutant discard — no mutants were attempted.
+        outcome.seed_discarded = true;
         return outcome;
     }
     // Reference (interpreter) behavior for neutrality and the perf oracle.
     let seed_reference = if config.verify_neutrality {
         outcome.vm_invocations += 1;
-        Some(Vm::run_program(&seed_bytecode, VmConfig::interpreter_only(config.vm.kind)))
+        match supervised_run(&seed_bytecode, VmConfig::interpreter_only(config.vm.kind)) {
+            Ok(result) => Some(result),
+            Err(panic) => {
+                // Proceed without neutrality checking for this seed.
+                outcome.incident(
+                    IncidentPhase::ReferenceRun,
+                    rng_seed,
+                    None,
+                    panic.payload,
+                    Some(cse_lang::pretty::print(seed)),
+                );
+                None
+            }
+        }
     } else {
         None
     };
     let mut artemis = Artemis::new(rng_seed, config.params.clone());
     configure(&mut artemis);
-    for _ in 0..config.max_iter {
+    for iteration in 0..config.max_iter {
         // P' ← JoNM(P).
-        let (mutant, mutations) = artemis.jonm(seed);
+        let (mutant, mutations) = match contain_panics(|| artemis.jonm(seed)) {
+            Ok(pair) => pair,
+            Err(panic) => {
+                outcome.incident(
+                    IncidentPhase::Mutation,
+                    rng_seed,
+                    Some(iteration),
+                    panic.payload,
+                    Some(cse_lang::pretty::print(seed)),
+                );
+                continue;
+            }
+        };
         if mutations.is_empty() {
             continue;
         }
-        let mutant_bytecode = compile_checked(&mutant);
+        let mutant_bytecode = match try_compile_checked(&mutant) {
+            Ok(bytecode) => bytecode,
+            Err(message) => {
+                // A mutator bug: JoNM produced an uncompilable program.
+                outcome.mutant_compile_failures += 1;
+                outcome.incident(
+                    IncidentPhase::MutantCompile,
+                    rng_seed,
+                    Some(iteration),
+                    message,
+                    Some(cse_lang::pretty::print(&mutant)),
+                );
+                continue;
+            }
+        };
         // R' ← LVM(P').
-        let mutant_result = Vm::run_program(&mutant_bytecode, config.vm.clone());
         outcome.vm_invocations += 1;
         outcome.mutants_run += 1;
+        let mutant_result = match supervised_run(&mutant_bytecode, config.vm.clone()) {
+            Ok(result) => result,
+            Err(panic) => {
+                outcome.discarded += 1;
+                outcome.incident(
+                    IncidentPhase::MutantRun,
+                    rng_seed,
+                    Some(iteration),
+                    panic.payload,
+                    Some(cse_lang::pretty::print(&mutant)),
+                );
+                continue;
+            }
+        };
         // Reference run: neutrality check + performance baseline.
         let mutant_reference = if config.verify_neutrality {
             outcome.vm_invocations += 1;
-            let reference =
-                Vm::run_program(&mutant_bytecode, VmConfig::interpreter_only(config.vm.kind));
-            if let Some(seed_reference) = &seed_reference {
-                if reference.observable() != seed_reference.observable()
-                    && !matches!(reference.outcome, Outcome::Timeout)
-                    && !matches!(seed_reference.outcome, Outcome::Timeout)
-                {
-                    outcome.neutrality_violations += 1;
-                    continue;
+            match supervised_run(&mutant_bytecode, VmConfig::interpreter_only(config.vm.kind)) {
+                Ok(reference) => {
+                    if let Some(seed_reference) = &seed_reference {
+                        if reference.observable() != seed_reference.observable()
+                            && !matches!(reference.outcome, Outcome::Timeout)
+                            && !matches!(seed_reference.outcome, Outcome::Timeout)
+                        {
+                            outcome.neutrality_violations += 1;
+                            outcome.discarded += 1;
+                            continue;
+                        }
+                    }
+                    Some(reference)
+                }
+                Err(panic) => {
+                    // No reference for this mutant; skip the neutrality
+                    // and performance oracles but keep the output oracle.
+                    outcome.incident(
+                        IncidentPhase::NeutralityRun,
+                        rng_seed,
+                        Some(iteration),
+                        panic.payload,
+                        Some(cse_lang::pretty::print(&mutant)),
+                    );
+                    None
                 }
             }
-            Some(reference)
         } else {
             None
         };
         // Timeout handling: discard unless the reference shows the mutant
         // is comfortably cheap — then the slowness is the JIT's fault.
         if matches!(mutant_result.outcome, Outcome::Timeout) {
-            let genuine_perf_bug = mutant_reference
-                .as_ref()
-                .map(|r| {
-                    r.outcome.is_completed() && r.stats.total_ops() < config.vm.fuel / 4
-                })
-                .unwrap_or(false);
-            if genuine_perf_bug {
-                outcome.discrepancies.push(make_discrepancy(
+            if timeout_is_performance_bug(mutant_reference.as_ref(), config.vm.fuel) {
+                outcome.completed += 1;
+                let discrepancy = make_discrepancy(
                     DiscrepancyKind::Performance,
                     &mutant,
                     mutations,
@@ -197,8 +403,11 @@ pub fn validate_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
-                    &mut outcome.vm_invocations,
-                ));
+                    rng_seed,
+                    iteration,
+                    &mut outcome,
+                );
+                outcome.discrepancies.push(discrepancy);
             } else {
                 outcome.discarded += 1;
             }
@@ -208,10 +417,13 @@ pub fn validate_with(
         // work than pure interpretation of the same program.
         if let Some(reference) = &mutant_reference {
             if reference.outcome.is_completed()
-                && mutant_result.stats.total_ops()
-                    > reference.stats.total_ops().saturating_mul(8) + 1_000_000
+                && is_performance_anomaly(
+                    mutant_result.stats.total_ops(),
+                    reference.stats.total_ops(),
+                )
             {
-                outcome.discrepancies.push(make_discrepancy(
+                outcome.completed += 1;
+                let discrepancy = make_discrepancy(
                     DiscrepancyKind::Performance,
                     &mutant,
                     mutations,
@@ -219,18 +431,22 @@ pub fn validate_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
-                    &mut outcome.vm_invocations,
-                ));
+                    rng_seed,
+                    iteration,
+                    &mut outcome,
+                );
+                outcome.discrepancies.push(discrepancy);
                 continue;
             }
         }
         // The §3.2 oracle: LVM(P) vs LVM(P').
+        outcome.completed += 1;
         if mutant_result.observable() != seed_result.observable() {
             let kind = match &mutant_result.outcome {
                 Outcome::Crash(info) => DiscrepancyKind::Crash(info.clone()),
                 _ => DiscrepancyKind::MisCompilation,
             };
-            outcome.discrepancies.push(make_discrepancy(
+            let discrepancy = make_discrepancy(
                 kind,
                 &mutant,
                 mutations,
@@ -238,10 +454,14 @@ pub fn validate_with(
                 &mutant_result,
                 config,
                 &mutant_bytecode,
-                &mut outcome.vm_invocations,
-            ));
+                rng_seed,
+                iteration,
+                &mut outcome,
+            );
+            outcome.discrepancies.push(discrepancy);
         }
     }
+    outcome.check_invariants();
     outcome
 }
 
@@ -254,13 +474,15 @@ fn make_discrepancy(
     mutant_result: &ExecutionResult,
     config: &ValidateConfig,
     mutant_bytecode: &BProgram,
-    vm_invocations: &mut usize,
+    rng_seed: u64,
+    iteration: usize,
+    outcome: &mut ValidationOutcome,
 ) -> Discrepancy {
     let culprit = match &kind {
         // Crashes carry ground truth directly.
         DiscrepancyKind::Crash(info) => Some(info.bug),
         // Mis-compilations and perf bugs are attributed by ablation.
-        _ => attribute(mutant_bytecode, config, mutant_result, vm_invocations),
+        _ => attribute(mutant_bytecode, config, mutant_result, rng_seed, iteration, outcome),
     };
     Discrepancy {
         kind,
@@ -274,20 +496,35 @@ fn make_discrepancy(
 
 /// Ground-truth attribution: re-runs the mutant with each active bug
 /// disabled; the first whose removal changes the observable behavior is
-/// the culprit.
+/// the culprit. A panicking rerun skips that candidate (recorded as an
+/// incident) instead of aborting.
 fn attribute(
     mutant_bytecode: &BProgram,
     config: &ValidateConfig,
     buggy_result: &ExecutionResult,
-    vm_invocations: &mut usize,
+    rng_seed: u64,
+    iteration: usize,
+    outcome: &mut ValidationOutcome,
 ) -> Option<BugId> {
     let active: Vec<BugId> = config.vm.faults.bugs().collect();
     for &bug in &active {
         let remaining: Vec<BugId> = active.iter().copied().filter(|&b| b != bug).collect();
         let mut vm = config.vm.clone();
         vm.faults = FaultInjector::with(remaining);
-        let result = Vm::run_program(mutant_bytecode, vm);
-        *vm_invocations += 1;
+        outcome.vm_invocations += 1;
+        let result = match supervised_run(mutant_bytecode, vm) {
+            Ok(result) => result,
+            Err(panic) => {
+                outcome.incident(
+                    IncidentPhase::Attribution,
+                    rng_seed,
+                    Some(iteration),
+                    panic.payload,
+                    None,
+                );
+                continue;
+            }
+        };
         if result.observable() != buggy_result.observable() {
             return Some(bug);
         }

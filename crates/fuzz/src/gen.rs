@@ -2,8 +2,7 @@
 
 use cse_lang::ast::*;
 use cse_lang::ty::Ty;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cse_rng::Rng64;
 
 /// Tunable generation parameters.
 #[derive(Debug, Clone)]
@@ -39,7 +38,7 @@ impl Default for FuzzConfig {
 /// Generates a deterministic random program for `seed`.
 pub fn generate(seed: u64, config: &FuzzConfig) -> Program {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        rng: Rng64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         config: config.clone(),
         fields: Vec::new(),
         methods: Vec::new(),
@@ -73,7 +72,7 @@ struct LocalInfo {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng64,
     config: FuzzConfig,
     fields: Vec<FieldInfo>,
     methods: Vec<MethodInfo>,
@@ -100,7 +99,7 @@ struct Ctx {
 
 impl Gen {
     fn pct(&mut self, p: u32) -> bool {
-        self.rng.gen_range(0..100) < p
+        self.rng.gen_range(0u32..100) < p
     }
 
     fn fresh(&mut self, prefix: &str) -> String {
@@ -163,7 +162,12 @@ impl Gen {
         // VM's escape analysis and GC interplay.
         let helper = {
             let mut p = ClassDecl::new("P");
-            p.fields.push(FieldDecl { name: "x".into(), ty: Ty::Int, is_static: false, init: None });
+            p.fields.push(FieldDecl {
+                name: "x".into(),
+                ty: Ty::Int,
+                is_static: false,
+                init: None,
+            });
             p.fields.push(FieldDecl {
                 name: "y".into(),
                 ty: Ty::Long,
@@ -238,11 +242,7 @@ impl Gen {
             let call = if info.is_static {
                 Expr::StaticCall { class: "T".into(), method: info.name.clone(), args }
             } else {
-                Expr::InstCall {
-                    recv: Box::new(Expr::local("t")),
-                    method: info.name.clone(),
-                    args,
-                }
+                Expr::InstCall { recv: Box::new(Expr::local("t")), method: info.name.clone(), args }
             };
             let stmt = if info.ret == Ty::Void {
                 Stmt::ExprStmt(call)
@@ -272,11 +272,7 @@ impl Gen {
             match &f.ty {
                 Ty::Class(_) => {
                     // Object checksum: nullness plus a field read, guarded.
-                    stmts.push(Stmt::Println(Expr::bin(
-                        BinOp::Eq,
-                        read.clone(),
-                        Expr::Null,
-                    )));
+                    stmts.push(Stmt::Println(Expr::bin(BinOp::Eq, read.clone(), Expr::Null)));
                     stmts.push(Stmt::Try {
                         body: Block::of(vec![Stmt::Println(Expr::InstField {
                             recv: Box::new(read),
@@ -488,10 +484,7 @@ impl Gen {
                 init: Expr::NewObject("P".into()),
             },
             Stmt::Assign {
-                target: LValue::InstField {
-                    recv: Box::new(Expr::local(&var)),
-                    field: "x".into(),
-                },
+                target: LValue::InstField { recv: Box::new(Expr::local(&var)), field: "x".into() },
                 op: AssignOp::Set,
                 value: self.expr(ctx, &Ty::Int, 1),
             },
@@ -508,11 +501,7 @@ impl Gen {
                 } else {
                     LValue::InstField { recv: Box::new(Expr::This), field: f.name }
                 };
-                stmts.push(Stmt::Assign {
-                    target,
-                    op: AssignOp::Set,
-                    value: Expr::local(&var),
-                });
+                stmts.push(Stmt::Assign { target, op: AssignOp::Set, value: Expr::local(&var) });
             }
             _ => {
                 let read = Expr::InstField { recv: Box::new(Expr::local(&var)), field: "x".into() };
@@ -574,7 +563,11 @@ impl Gen {
             }
         };
         Stmt::For {
-            init: Some(Box::new(Stmt::VarDecl { name: var.clone(), ty: Ty::Int, init: Expr::IntLit(lo) })),
+            init: Some(Box::new(Stmt::VarDecl {
+                name: var.clone(),
+                ty: Ty::Int,
+                init: Expr::IntLit(lo),
+            })),
             cond: Some(Expr::bin(BinOp::Lt, Expr::local(&var), Expr::IntLit(hi))),
             step: Some(Box::new(step_stmt)),
             body: Block::of(body),
@@ -610,11 +603,7 @@ impl Gen {
         let modulus = self.rng.gen_range(3..=6);
         let scrutinee = Expr::bin(
             BinOp::Add,
-            Expr::bin(
-                BinOp::Rem,
-                self.expr(ctx, &Ty::Int, 2),
-                Expr::IntLit(modulus),
-            ),
+            Expr::bin(BinOp::Rem, self.expr(ctx, &Ty::Int, 2), Expr::IntLit(modulus)),
             Expr::IntLit(self.rng.gen_range(0..40)),
         );
         let arm_count = self.rng.gen_range(2..=6);
@@ -627,11 +616,7 @@ impl Gen {
             if self.pct(65) {
                 body.push(Stmt::Break);
             }
-            cases.push(SwitchCase {
-                labels: vec![base + a],
-                is_default: false,
-                body,
-            });
+            cases.push(SwitchCase { labels: vec![base + a], is_default: false, body });
         }
         if self.pct(60) {
             let mut body = self.block_stmts(ctx);
@@ -693,7 +678,11 @@ impl Gen {
                 ty: Ty::Int,
                 init: Expr::IntLit(self.rng.gen_range(-8..0)),
             })),
-            cond: Some(Expr::bin(BinOp::Lt, Expr::local(&inner), Expr::IntLit(self.rng.gen_range(1..8)))),
+            cond: Some(Expr::bin(
+                BinOp::Lt,
+                Expr::local(&inner),
+                Expr::IntLit(self.rng.gen_range(1..8)),
+            )),
             step: Some(Box::new(Stmt::IncDec { target: LValue::Local(inner.clone()), inc: true })),
             body: Block::default(),
         };
@@ -708,11 +697,7 @@ impl Gen {
                 Expr::IntLit(base),
             ),
             cases: vec![
-                SwitchCase {
-                    labels: vec![base],
-                    is_default: false,
-                    body: vec![inner_loop, accum],
-                },
+                SwitchCase { labels: vec![base], is_default: false, body: vec![inner_loop, accum] },
                 SwitchCase { labels: vec![base + 4], is_default: false, body: vec![Stmt::Break] },
                 SwitchCase {
                     labels: vec![base + 5],
@@ -740,7 +725,11 @@ impl Gen {
             switch,
         ]);
         let loop_stmt = Stmt::For {
-            init: Some(Box::new(Stmt::VarDecl { name: idx.clone(), ty: Ty::Int, init: Expr::IntLit(0) })),
+            init: Some(Box::new(Stmt::VarDecl {
+                name: idx.clone(),
+                ty: Ty::Int,
+                init: Expr::IntLit(0),
+            })),
             cond: Some(Expr::bin(
                 BinOp::Lt,
                 Expr::local(&idx),
@@ -825,13 +814,7 @@ impl Gen {
         let args: Vec<Expr> = info
             .params
             .iter()
-            .map(|p| {
-                if self.pct(60) {
-                    self.expr_shallow(ctx, &p.ty)
-                } else {
-                    self.literal(&p.ty)
-                }
-            })
+            .map(|p| if self.pct(60) { self.expr_shallow(ctx, &p.ty) } else { self.literal(&p.ty) })
             .collect();
         Some(if info.is_static {
             Expr::StaticCall { class: "T".into(), method: info.name, args }
@@ -863,7 +846,11 @@ impl Gen {
                         6 => BinOp::Shl,
                         _ => BinOp::Ushr,
                     };
-                    Expr::bin(op, self.expr(ctx, &Ty::Int, depth - 1), self.expr(ctx, &Ty::Int, depth - 1))
+                    Expr::bin(
+                        op,
+                        self.expr(ctx, &Ty::Int, depth - 1),
+                        self.expr(ctx, &Ty::Int, depth - 1),
+                    )
                 }
                 6 => Expr::bin(
                     BinOp::Rem,
@@ -871,7 +858,9 @@ impl Gen {
                     // Division by `x | 1` cannot trap.
                     Expr::bin(BinOp::Or, self.expr(ctx, &Ty::Int, depth - 1), Expr::IntLit(1)),
                 ),
-                7 => Expr::Cast { ty: Ty::Int, expr: Box::new(self.expr(ctx, &Ty::Long, depth - 1)) },
+                7 => {
+                    Expr::Cast { ty: Ty::Int, expr: Box::new(self.expr(ctx, &Ty::Long, depth - 1)) }
+                }
                 8 => Expr::Unary {
                     op: if self.pct(50) { UnOp::Neg } else { UnOp::BitNot },
                     expr: Box::new(self.expr(ctx, &Ty::Int, depth - 1)),
@@ -894,16 +883,24 @@ impl Gen {
                         3 => BinOp::Xor,
                         _ => BinOp::And,
                     };
-                    Expr::bin(op, self.expr(ctx, &Ty::Long, depth - 1), self.expr(ctx, &Ty::Long, depth - 1))
+                    Expr::bin(
+                        op,
+                        self.expr(ctx, &Ty::Long, depth - 1),
+                        self.expr(ctx, &Ty::Long, depth - 1),
+                    )
                 }
-                4 => Expr::Cast { ty: Ty::Long, expr: Box::new(self.expr(ctx, &Ty::Int, depth - 1)) },
+                4 => {
+                    Expr::Cast { ty: Ty::Long, expr: Box::new(self.expr(ctx, &Ty::Int, depth - 1)) }
+                }
                 _ => Expr::bin(
                     BinOp::Shr,
                     self.expr(ctx, &Ty::Long, depth - 1),
                     Expr::IntLit(self.rng.gen_range(0..8)),
                 ),
             },
-            Ty::Byte => Expr::Cast { ty: Ty::Byte, expr: Box::new(self.expr(ctx, &Ty::Int, depth - 1)) },
+            Ty::Byte => {
+                Expr::Cast { ty: Ty::Byte, expr: Box::new(self.expr(ctx, &Ty::Int, depth - 1)) }
+            }
             Ty::Bool => match self.rng.gen_range(0..6) {
                 0 => self.leaf(ctx, ty),
                 1..=3 => {
@@ -913,14 +910,21 @@ impl Gen {
                         2 => BinOp::Eq,
                         _ => BinOp::Ne,
                     };
-                    Expr::bin(op, self.expr(ctx, &Ty::Int, depth - 1), self.expr(ctx, &Ty::Int, depth - 1))
+                    Expr::bin(
+                        op,
+                        self.expr(ctx, &Ty::Int, depth - 1),
+                        self.expr(ctx, &Ty::Int, depth - 1),
+                    )
                 }
                 4 => Expr::bin(
                     if self.rng.gen_bool(0.5) { BinOp::LAnd } else { BinOp::LOr },
                     self.expr(ctx, &Ty::Bool, depth - 1),
                     self.expr(ctx, &Ty::Bool, depth - 1),
                 ),
-                _ => Expr::Unary { op: UnOp::Not, expr: Box::new(self.expr(ctx, &Ty::Bool, depth - 1)) },
+                _ => Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.expr(ctx, &Ty::Bool, depth - 1)),
+                },
             },
             _ => self.leaf(ctx, ty),
         }

@@ -52,7 +52,8 @@ mod tests {
             let compiled = cse_bytecode::compile(&program).unwrap();
             cse_bytecode::verify::verify_program(&compiled)
                 .unwrap_or_else(|e| panic!("seed {seed} failed verification: {e}"));
-            let result = Vm::run_program(&compiled, VmConfig::interpreter_only(VmKind::HotSpotLike));
+            let result =
+                Vm::run_program(&compiled, VmConfig::interpreter_only(VmKind::HotSpotLike));
             assert!(
                 matches!(result.outcome, Outcome::Completed { .. }),
                 "seed {seed} did not complete: {:?}",

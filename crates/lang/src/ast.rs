@@ -158,17 +158,38 @@ impl AssignOp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
     /// `ty name = init;` — locals are block-scoped and must be initialized.
-    VarDecl { name: String, ty: Ty, init: Expr },
+    VarDecl {
+        name: String,
+        ty: Ty,
+        init: Expr,
+    },
     /// `target op= value;`
-    Assign { target: LValue, op: AssignOp, value: Expr },
+    Assign {
+        target: LValue,
+        op: AssignOp,
+        value: Expr,
+    },
     /// `target++;` / `target--;`
-    IncDec { target: LValue, inc: bool },
+    IncDec {
+        target: LValue,
+        inc: bool,
+    },
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block> },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
     /// `while (cond) { .. }`
-    While { cond: Expr, body: Block },
+    While {
+        cond: Expr,
+        body: Block,
+    },
     /// `do { .. } while (cond);`
-    DoWhile { body: Block, cond: Expr },
+    DoWhile {
+        body: Block,
+        cond: Expr,
+    },
     /// `for (init; cond; step) { .. }`; all three pieces optional.
     For {
         init: Option<Box<Stmt>>,
@@ -177,7 +198,10 @@ pub enum Stmt {
         body: Block,
     },
     /// `switch (scrutinee) { case .. }` with C-style fall-through.
-    Switch { scrutinee: Expr, cases: Vec<SwitchCase> },
+    Switch {
+        scrutinee: Expr,
+        cases: Vec<SwitchCase>,
+    },
     Break,
     Continue,
     /// `return;` or `return expr;`
@@ -189,7 +213,11 @@ pub enum Stmt {
     /// `try { .. } catch { .. } finally { .. }`. The catch clause is
     /// catch-all (MiniJava has a single exception hierarchy root); at least
     /// one of `catch`/`finally` is present.
-    Try { body: Block, catch: Option<Block>, finally: Option<Block> },
+    Try {
+        body: Block,
+        catch: Option<Block>,
+        finally: Option<Block>,
+    },
     /// `throw expr;` — raises a user exception carrying an `int` code.
     Throw(Expr),
     /// `println(expr);` — prints a primitive-alike value and a newline.
@@ -286,34 +314,74 @@ pub enum Expr {
     Local(String),
     This,
     /// `Class.field`
-    StaticField { class: String, field: String },
+    StaticField {
+        class: String,
+        field: String,
+    },
     /// `expr.field`
-    InstField { recv: Box<Expr>, field: String },
+    InstField {
+        recv: Box<Expr>,
+        field: String,
+    },
     /// `expr[expr]`
-    Index { array: Box<Expr>, index: Box<Expr> },
+    Index {
+        array: Box<Expr>,
+        index: Box<Expr>,
+    },
     /// `expr.length`
     Length(Box<Expr>),
     /// `new C()`
     NewObject(String),
     /// `new T[e0][e1]...` — `elem` is the *scalar* base type; the number of
     /// sized dimensions is `dims.len()`.
-    NewArray { elem: Ty, dims: Vec<Expr>, extra_dims: usize },
+    NewArray {
+        elem: Ty,
+        dims: Vec<Expr>,
+        extra_dims: usize,
+    },
     /// `new T[] { e, e, .. }` (single dimension).
-    NewArrayInit { elem: Ty, elems: Vec<Expr> },
+    NewArrayInit {
+        elem: Ty,
+        elems: Vec<Expr>,
+    },
     /// `Class.method(args)` (post-resolution for static calls).
-    StaticCall { class: String, method: String, args: Vec<Expr> },
+    StaticCall {
+        class: String,
+        method: String,
+        args: Vec<Expr>,
+    },
     /// `recv.method(args)`; receiver is `This` for unqualified calls to
     /// instance methods of the enclosing class.
-    InstCall { recv: Box<Expr>, method: String, args: Vec<Expr> },
+    InstCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
     /// An unresolved unqualified call `name(args)`; eliminated by the
     /// resolver into `StaticCall`/`InstCall`.
-    FreeCall { name: String, args: Vec<Expr> },
+    FreeCall {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `Math.min` / `Math.max` / `Math.abs`.
-    IntrinsicCall { which: Intrinsic, args: Vec<Expr> },
-    Unary { op: UnOp, expr: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    IntrinsicCall {
+        which: Intrinsic,
+        args: Vec<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `(ty) expr` — numeric casts only.
-    Cast { ty: Ty, expr: Box<Expr> },
+    Cast {
+        ty: Ty,
+        expr: Box<Expr>,
+    },
 }
 
 impl Expr {

@@ -113,12 +113,15 @@ impl<'a> Lexer<'a> {
         }
         // Parse as u64 first so that `2147483648` (i32::MIN magnitude) and
         // `9223372036854775808` survive until the parser applies unary minus.
-        let value: u64 = digits
-            .parse()
-            .map_err(|_| FrontError::at(self.line, format!("integer literal `{digits}` too large")))?;
+        let value: u64 = digits.parse().map_err(|_| {
+            FrontError::at(self.line, format!("integer literal `{digits}` too large"))
+        })?;
         let kind = if long_suffix {
             if value > i64::MAX as u64 + 1 {
-                return Err(FrontError::at(self.line, format!("long literal `{digits}` out of range")));
+                return Err(FrontError::at(
+                    self.line,
+                    format!("long literal `{digits}` out of range"),
+                ));
             }
             // Stored as wrapped i64 bits; the parser range-checks after
             // folding a leading unary minus.
@@ -195,7 +198,10 @@ impl<'a> Lexer<'a> {
                     other => {
                         return Err(FrontError::at(
                             start,
-                            format!("unsupported escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                            format!(
+                                "unsupported escape `\\{}`",
+                                other.map(String::from).unwrap_or_default()
+                            ),
                         ));
                     }
                 },

@@ -72,9 +72,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(name)
             }
-            other => {
-                Err(FrontError::at(self.line(), format!("expected identifier, found {}", other.describe())))
-            }
+            other => Err(FrontError::at(
+                self.line(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
         }
     }
 
@@ -120,7 +121,12 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn method_rest(&mut self, name: String, is_static: bool, ret: Ty) -> Result<MethodDecl, FrontError> {
+    fn method_rest(
+        &mut self,
+        name: String,
+        is_static: bool,
+        ret: Ty,
+    ) -> Result<MethodDecl, FrontError> {
         self.expect(Tok::LParen)?;
         let mut params = Vec::new();
         if self.peek() != &Tok::RParen {
@@ -170,7 +176,10 @@ impl<'a> Parser<'a> {
                 Ty::Class(name)
             }
             other => {
-                return Err(FrontError::at(self.line(), format!("expected a type, found {}", other.describe())));
+                return Err(FrontError::at(
+                    self.line(),
+                    format!("expected a type, found {}", other.describe()),
+                ));
             }
         };
         let mut ty = base;
@@ -402,7 +411,8 @@ impl<'a> Parser<'a> {
         self.expect(Tok::Semi)?;
         let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
         self.expect(Tok::Semi)?;
-        let step = if self.peek() == &Tok::RParen { None } else { Some(Box::new(self.simple_stmt()?)) };
+        let step =
+            if self.peek() == &Tok::RParen { None } else { Some(Box::new(self.simple_stmt()?)) };
         self.expect(Tok::RParen)?;
         let body = self.block_or_stmt()?;
         Ok(Stmt::For { init, cond, step, body })
@@ -491,9 +501,10 @@ impl<'a> Parser<'a> {
                 i32::try_from(v)
                     .map_err(|_| FrontError::at(self.line(), "case label out of int range"))
             }
-            other => {
-                Err(FrontError::at(self.line(), format!("expected integer case label, found {}", other.describe())))
-            }
+            other => Err(FrontError::at(
+                self.line(),
+                format!("expected integer case label, found {}", other.describe()),
+            )),
         }
     }
 
@@ -660,7 +671,10 @@ impl<'a> Parser<'a> {
                 }
             }
             other => {
-                return Err(FrontError::at(self.line(), format!("expected expression, found {}", other.describe())));
+                return Err(FrontError::at(
+                    self.line(),
+                    format!("expected expression, found {}", other.describe()),
+                ));
             }
         };
         self.postfix(expr)
@@ -760,7 +774,10 @@ impl<'a> Parser<'a> {
                 Ty::Class(name)
             }
             other => {
-                return Err(FrontError::at(self.line(), format!("expected type after `new`, found {}", other.describe())));
+                return Err(FrontError::at(
+                    self.line(),
+                    format!("expected type after `new`, found {}", other.describe()),
+                ));
             }
         };
         if self.peek() != &Tok::LBracket {
@@ -826,7 +843,8 @@ mod tests {
 
     #[test]
     fn parses_fields_and_initializers() {
-        let p = parse("class T { int x; static long y = 7L; boolean z = true; byte b = 1; }").unwrap();
+        let p =
+            parse("class T { int x; static long y = 7L; boolean z = true; byte b = 1; }").unwrap();
         let c = &p.classes[0];
         assert_eq!(c.fields.len(), 4);
         assert!(c.fields[1].is_static);
@@ -945,7 +963,8 @@ mod tests {
 
     #[test]
     fn parses_compound_assignments() {
-        let src = "class T { static void main() { int x = 1; x += 2; x <<= 1; x >>>= 2; x ^= 3; x--; } }";
+        let src =
+            "class T { static void main() { int x = 1; x += 2; x <<= 1; x >>>= 2; x ^= 3; x--; } }";
         let p = parse(src).unwrap();
         assert_eq!(p.classes[0].methods[0].body.stmts.len(), 6);
     }

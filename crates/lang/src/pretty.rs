@@ -6,7 +6,6 @@
 
 use crate::ast::*;
 
-
 /// Prints a whole program as compilable MiniJava source.
 pub fn print(program: &Program) -> String {
     let mut p = Printer::default();
@@ -466,8 +465,6 @@ mod tests {
 
     #[test]
     fn neg_of_variable_survives() {
-        round_trip(
-            "class T { static void main() { int x = 3; println(-(x) * 2); } }",
-        );
+        round_trip("class T { static void main() { int x = 3; println(-(x) * 2); } }");
     }
 }

@@ -169,7 +169,11 @@ impl Walker<'_> {
                         self.emit(i, vars);
                         self.stmt(inner, i, vars);
                         if let Stmt::VarDecl { name, ty, .. } = inner {
-                            vars.push(VarInfo { name: name.clone(), ty: ty.clone(), is_param: false });
+                            vars.push(VarInfo {
+                                name: name.clone(),
+                                ty: ty.clone(),
+                                is_param: false,
+                            });
                         }
                     }
                     self.emit(case.body.len(), vars);
@@ -199,11 +203,7 @@ pub fn try_stmts_at_mut<'a>(
     program: &'a mut Program,
     point: &ProgPoint,
 ) -> Option<&'a mut Vec<Stmt>> {
-    let method = program
-        .classes
-        .get_mut(point.class)?
-        .methods
-        .get_mut(point.method)?;
+    let method = program.classes.get_mut(point.class)?.methods.get_mut(point.method)?;
     let mut stmts: &mut Vec<Stmt> = &mut method.body.stmts;
     for seg in &point.path {
         stmts = match *seg {
@@ -446,7 +446,9 @@ pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
                 walk_expr(elem, f);
             }
         }
-        Expr::StaticCall { args, .. } | Expr::FreeCall { args, .. } | Expr::IntrinsicCall { args, .. } => {
+        Expr::StaticCall { args, .. }
+        | Expr::FreeCall { args, .. }
+        | Expr::IntrinsicCall { args, .. } => {
             for arg in args {
                 walk_expr(arg, f);
             }
@@ -481,7 +483,9 @@ pub fn call_sites(program: &Program, class_name: &str, method_name: &str) -> Vec
         let stmt = &stmts[info.point.index];
         let mut found = false;
         for_each_expr_in_stmt(stmt, &mut |e| match e {
-            Expr::StaticCall { class, method, .. } if class == class_name && method == method_name => {
+            Expr::StaticCall { class, method, .. }
+                if class == class_name && method == method_name =>
+            {
                 found = true;
             }
             Expr::InstCall { method, .. } if method == method_name => {
@@ -542,9 +546,7 @@ mod tests {
         // Inside the for body, the loop variable is visible.
         let in_for = points
             .iter()
-            .find(|pi| {
-                pi.loop_depth == 1 && pi.vars.iter().any(|v| v.name == "i")
-            })
+            .find(|pi| pi.loop_depth == 1 && pi.vars.iter().any(|v| v.name == "i"))
             .expect("point inside for body");
         assert!(in_for.vars.iter().any(|v| v.name == "a"));
     }

@@ -101,10 +101,7 @@ impl Ty {
         if self == from {
             return true;
         }
-        matches!(
-            (self, from),
-            (Ty::Int, Ty::Byte) | (Ty::Long, Ty::Byte) | (Ty::Long, Ty::Int)
-        )
+        matches!((self, from), (Ty::Int, Ty::Byte) | (Ty::Long, Ty::Byte) | (Ty::Long, Ty::Int))
     }
 }
 

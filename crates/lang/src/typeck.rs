@@ -57,7 +57,10 @@ impl ClassTable {
             for field in &class.fields {
                 if info
                     .fields
-                    .insert(field.name.clone(), FieldSig { is_static: field.is_static, ty: field.ty.clone() })
+                    .insert(
+                        field.name.clone(),
+                        FieldSig { is_static: field.is_static, ty: field.ty.clone() },
+                    )
                     .is_some()
                 {
                     return Err(FrontError::msg(format!(
@@ -68,7 +71,10 @@ impl ClassTable {
             }
             for method in &class.methods {
                 if matches!(method.name.as_str(), "println" | "__mute" | "__unmute" | "length") {
-                    return Err(FrontError::msg(format!("method name `{}` is reserved", method.name)));
+                    return Err(FrontError::msg(format!(
+                        "method name `{}` is reserved",
+                        method.name
+                    )));
                 }
                 let sig = MethodSig {
                     is_static: method.is_static,
@@ -308,10 +314,7 @@ impl<'a> Checker<'a> {
         if self.lookup(name).is_some() {
             return Err(FrontError::msg(format!("variable `{name}` shadows an existing variable")));
         }
-        self.scopes
-            .last_mut()
-            .expect("checker always has a scope")
-            .insert(name.to_string(), ty);
+        self.scopes.last_mut().expect("checker always has a scope").insert(name.to_string(), ty);
         Ok(())
     }
 
@@ -428,7 +431,9 @@ impl<'a> Checker<'a> {
             Stmt::Switch { scrutinee, cases } => {
                 let ty = self.expr(scrutinee)?;
                 if !matches!(ty, Ty::Int | Ty::Byte) {
-                    return Err(FrontError::msg(format!("switch scrutinee must be int, found `{ty}`")));
+                    return Err(FrontError::msg(format!(
+                        "switch scrutinee must be int, found `{ty}`"
+                    )));
                 }
                 let mut seen_labels = HashSet::new();
                 let mut seen_default = false;
@@ -608,7 +613,9 @@ impl<'a> Checker<'a> {
                             FrontError::msg(format!("unknown field `{class}.{field}`"))
                         })?;
                         if !sig.is_static {
-                            return Err(FrontError::msg(format!("field `{class}.{field}` is not static")));
+                            return Err(FrontError::msg(format!(
+                                "field `{class}.{field}` is not static"
+                            )));
                         }
                         *lvalue = LValue::StaticField { class, field };
                         return Ok(sig.ty);
@@ -635,11 +642,15 @@ impl<'a> Checker<'a> {
                 let array_ty = self.expr(array)?;
                 let index_ty = self.expr(index)?;
                 if !matches!(index_ty, Ty::Int | Ty::Byte) {
-                    return Err(FrontError::msg(format!("array index must be int, found `{index_ty}`")));
+                    return Err(FrontError::msg(format!(
+                        "array index must be int, found `{index_ty}`"
+                    )));
                 }
                 match array_ty.elem() {
                     Some(elem) => Ok(elem.clone()),
-                    None => Err(FrontError::msg(format!("cannot index non-array type `{array_ty}`"))),
+                    None => {
+                        Err(FrontError::msg(format!("cannot index non-array type `{array_ty}`")))
+                    }
                 }
             }
         }
@@ -719,19 +730,25 @@ impl<'a> Checker<'a> {
                 let array_ty = self.expr(array)?;
                 let index_ty = self.expr(index)?;
                 if !matches!(index_ty, Ty::Int | Ty::Byte) {
-                    return Err(FrontError::msg(format!("array index must be int, found `{index_ty}`")));
+                    return Err(FrontError::msg(format!(
+                        "array index must be int, found `{index_ty}`"
+                    )));
                 }
                 match array_ty.elem() {
                     Some(elem) => elem.clone(),
                     None => {
-                        return Err(FrontError::msg(format!("cannot index non-array type `{array_ty}`")));
+                        return Err(FrontError::msg(format!(
+                            "cannot index non-array type `{array_ty}`"
+                        )));
                     }
                 }
             }
             Expr::Length(array) => {
                 let ty = self.expr(array)?;
                 if ty.elem().is_none() {
-                    return Err(FrontError::msg(format!("`.length` requires an array, found `{ty}`")));
+                    return Err(FrontError::msg(format!(
+                        "`.length` requires an array, found `{ty}`"
+                    )));
                 }
                 Ty::Int
             }
@@ -744,12 +761,16 @@ impl<'a> Checker<'a> {
             Expr::NewArray { elem, dims, extra_dims } => {
                 self.table.check_ty(elem)?;
                 if dims.is_empty() {
-                    return Err(FrontError::msg("array creation needs at least one sized dimension"));
+                    return Err(FrontError::msg(
+                        "array creation needs at least one sized dimension",
+                    ));
                 }
                 for dim in dims.iter_mut() {
                     let dim_ty = self.expr(dim)?;
                     if !matches!(dim_ty, Ty::Int | Ty::Byte) {
-                        return Err(FrontError::msg(format!("array size must be int, found `{dim_ty}`")));
+                        return Err(FrontError::msg(format!(
+                            "array size must be int, found `{dim_ty}`"
+                        )));
                     }
                 }
                 let mut ty = elem.clone();
@@ -790,13 +811,14 @@ impl<'a> Checker<'a> {
                 return Ok(ret);
             }
             Expr::StaticCall { class, method, args } => {
-                let sig = self
-                    .table
-                    .method(class, method)
-                    .cloned()
-                    .ok_or_else(|| FrontError::msg(format!("unknown method `{class}.{method}`")))?;
+                let sig =
+                    self.table.method(class, method).cloned().ok_or_else(|| {
+                        FrontError::msg(format!("unknown method `{class}.{method}`"))
+                    })?;
                 if !sig.is_static {
-                    return Err(FrontError::msg(format!("method `{class}.{method}` is not static")));
+                    return Err(FrontError::msg(format!(
+                        "method `{class}.{method}` is not static"
+                    )));
                 }
                 let method = method.clone();
                 self.check_args(&method, &sig, args)?;
@@ -820,11 +842,9 @@ impl<'a> Checker<'a> {
                 let Ty::Class(class) = &recv_ty else {
                     return Err(FrontError::msg(format!("type `{recv_ty}` has no methods")));
                 };
-                let sig = self
-                    .table
-                    .method(class, &method_name)
-                    .cloned()
-                    .ok_or_else(|| FrontError::msg(format!("unknown method `{class}.{method_name}`")))?;
+                let sig = self.table.method(class, &method_name).cloned().ok_or_else(|| {
+                    FrontError::msg(format!("unknown method `{class}.{method_name}`"))
+                })?;
                 if sig.is_static {
                     return Err(FrontError::msg(format!(
                         "static method `{class}.{method_name}` called through an instance"
@@ -848,7 +868,9 @@ impl<'a> Checker<'a> {
                 for arg in args.iter_mut() {
                     let t = self.expr(arg)?;
                     if !t.is_numeric() {
-                        return Err(FrontError::msg(format!("Math intrinsic requires numeric args, found `{t}`")));
+                        return Err(FrontError::msg(format!(
+                            "Math intrinsic requires numeric args, found `{t}`"
+                        )));
                     }
                     ty = ty.promote(&t).expect("both numeric");
                 }
@@ -870,7 +892,9 @@ impl<'a> Checker<'a> {
                     }
                     UnOp::Not => {
                         if ty != Ty::Bool {
-                            return Err(FrontError::msg(format!("`!` requires boolean, found `{ty}`")));
+                            return Err(FrontError::msg(format!(
+                                "`!` requires boolean, found `{ty}`"
+                            )));
                         }
                         Ty::Bool
                     }
@@ -885,7 +909,9 @@ impl<'a> Checker<'a> {
             Expr::Cast { ty, expr: inner } => {
                 let from = self.expr(inner)?;
                 if !ty.is_numeric() || !from.is_numeric() {
-                    return Err(FrontError::msg(format!("unsupported cast from `{from}` to `{ty}`")));
+                    return Err(FrontError::msg(format!(
+                        "unsupported cast from `{from}` to `{ty}`"
+                    )));
                 }
                 ty.clone()
             }
@@ -893,7 +919,12 @@ impl<'a> Checker<'a> {
         Ok(ty)
     }
 
-    fn check_args(&mut self, name: &str, sig: &MethodSig, args: &mut [Expr]) -> Result<(), FrontError> {
+    fn check_args(
+        &mut self,
+        name: &str,
+        sig: &MethodSig,
+        args: &mut [Expr],
+    ) -> Result<(), FrontError> {
         if args.len() != sig.params.len() {
             return Err(FrontError::msg(format!(
                 "method `{name}` expects {} arguments, found {}",
@@ -919,7 +950,8 @@ impl<'a> Checker<'a> {
         rhs: &Ty,
         _compound_hint: Ty,
     ) -> Result<Ty, FrontError> {
-        let err = || FrontError::msg(format!("operator `{op:?}` not applicable to `{lhs}` and `{rhs}`"));
+        let err =
+            || FrontError::msg(format!("operator `{op:?}` not applicable to `{lhs}` and `{rhs}`"));
         match op {
             BinOp::Add if *lhs == Ty::Str || *rhs == Ty::Str => {
                 let other = if *lhs == Ty::Str { rhs } else { lhs };
@@ -1037,32 +1069,33 @@ mod tests {
     fn rejects_type_errors() {
         assert!(fails("class T { static void main() { int x = true; } }").contains("assign"));
         assert!(fails("class T { static void main() { if (1) { } } }").contains("boolean"));
-        assert!(fails("class T { static void main() { long l = 1L; int x = l; } }").contains("assign"));
+        assert!(
+            fails("class T { static void main() { long l = 1L; int x = l; } }").contains("assign")
+        );
         assert!(fails("class T { static void main() { byte b = 200; } }").contains("assign"));
         assert!(fails("class T { static void main() { int x = y; } }").contains("unknown variable"));
-        assert!(
-            fails("class T { static void main() { boolean b = true << 2 > 1; } }").contains("not applicable")
-        );
+        assert!(fails("class T { static void main() { boolean b = true << 2 > 1; } }")
+            .contains("not applicable"));
     }
 
     #[test]
     fn byte_rules() {
         // Literal in range narrows implicitly; arithmetic promotes to int.
         ok("class T { static void main() { byte b = 127; b += 5; b++; int x = b * b; } }");
-        assert!(
-            fails("class T { static void main() { byte b = 1; byte c = b + b; } }").contains("assign")
-        );
+        assert!(fails("class T { static void main() { byte b = 1; byte c = b + b; } }")
+            .contains("assign"));
         ok("class T { static void main() { byte b = 1; byte c = (byte) (b + b); } }");
     }
 
     #[test]
     fn static_context_rules() {
-        assert!(fails("class T { int f; static void main() { f = 1; } }").contains("static context"));
+        assert!(
+            fails("class T { int f; static void main() { f = 1; } }").contains("static context")
+        );
         assert!(fails("class T { static void main() { this.x(); } int x() { return 1; } }")
             .contains("`this`"));
-        assert!(
-            fails("class T { int a() { return 1; } static void main() { a(); } }").contains("static context")
-        );
+        assert!(fails("class T { int a() { return 1; } static void main() { a(); } }")
+            .contains("static context"));
     }
 
     #[test]
@@ -1089,20 +1122,16 @@ mod tests {
             "class T { static void main() { switch (1) { case 1: break; case 1: break; } } }"
         )
         .contains("duplicate case"));
-        assert!(fails(
-            "class T { static void main() { switch (true) { default: break; } } }"
-        )
-        .contains("scrutinee"));
+        assert!(fails("class T { static void main() { switch (true) { default: break; } } }")
+            .contains("scrutinee"));
     }
 
     #[test]
     fn break_continue_placement() {
         assert!(fails("class T { static void main() { break; } }").contains("break"));
         assert!(fails("class T { static void main() { continue; } }").contains("continue"));
-        assert!(fails(
-            "class T { static void main() { switch (1) { default: continue; } } }"
-        )
-        .contains("continue"));
+        assert!(fails("class T { static void main() { switch (1) { default: continue; } } }")
+            .contains("continue"));
         ok("class T { static void main() { while (true) { switch (1) { default: break; } break; } } }");
     }
 
@@ -1119,10 +1148,8 @@ mod tests {
                 }
             }
         "#);
-        assert!(fails(
-            r#"class T { static void main() { String s = "a"; if (s == "a") { } } }"#
-        )
-        .contains("not applicable"));
+        assert!(fails(r#"class T { static void main() { String s = "a"; if (s == "a") { } } }"#)
+            .contains("not applicable"));
     }
 
     #[test]
@@ -1136,10 +1163,8 @@ mod tests {
 
     #[test]
     fn shadowing_rejected() {
-        assert!(fails(
-            "class T { static void main() { int x = 1; { int x = 2; } } }"
-        )
-        .contains("shadows"));
+        assert!(fails("class T { static void main() { int x = 1; { int x = 2; } } }")
+            .contains("shadows"));
         // Non-overlapping scopes may reuse names.
         ok("class T { static void main() { { int x = 1; } { int x = 2; } } }");
     }
@@ -1153,7 +1178,9 @@ mod tests {
 
     #[test]
     fn duplicate_members_rejected() {
-        assert!(fails("class T { int x; int x; static void main() { } }").contains("duplicate field"));
+        assert!(
+            fails("class T { int x; int x; static void main() { } }").contains("duplicate field")
+        );
         assert!(fails(
             "class T { static void f() { } static void f() { } static void main() { } }"
         )
@@ -1165,9 +1192,8 @@ mod tests {
     fn field_initializers_checked() {
         ok("class T { static int a = 3; static int b = a + 1; static void main() { } }");
         assert!(fails("class T { static int a = true; static void main() { } }").contains("assign"));
-        assert!(
-            fails("class T { int f; static int a = f; static void main() { } }").contains("static context")
-        );
+        assert!(fails("class T { int f; static int a = f; static void main() { } }")
+            .contains("static context"));
     }
 
     #[test]

@@ -122,11 +122,8 @@ fn try_drop_statements(
         let points = cse_lang::scope::collect_points(current);
         // Visit distinct blocks once (points enumerate indices within
         // blocks; index 0 identifies each block).
-        let blocks: Vec<_> = points
-            .into_iter()
-            .filter(|p| p.point.index == 0)
-            .map(|p| p.point)
-            .collect();
+        let blocks: Vec<_> =
+            points.into_iter().filter(|p| p.point.index == 0).map(|p| p.point).collect();
         let mut round_changed = false;
         for block_point in blocks {
             // Earlier removals may have invalidated this path; skip then.
@@ -197,9 +194,9 @@ fn try_flatten(current: &mut Program, interesting: &mut dyn FnMut(&Program) -> b
             for replacement in replacements {
                 // Declarations escaping their block would change scoping;
                 // skip those hoists. Loop-control jumps would dangle.
-                let hazardous = replacement.iter().any(|s| {
-                    matches!(s, Stmt::VarDecl { .. } | Stmt::Break | Stmt::Continue)
-                });
+                let hazardous = replacement
+                    .iter()
+                    .any(|s| matches!(s, Stmt::VarDecl { .. } | Stmt::Break | Stmt::Continue));
                 if hazardous {
                     continue;
                 }

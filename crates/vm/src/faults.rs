@@ -207,7 +207,9 @@ impl BugId {
             J9GcCorruptAllocSink | J9GcCorruptUnrollAlloc | J9GcCorruptRematerialize => {
                 Component::GarbageCollection
             }
-            ArtOptCompHandlerAssert | ArtOptCompXorFold | ArtOsrLongTransfer
+            ArtOptCompHandlerAssert
+            | ArtOptCompXorFold
+            | ArtOsrLongTransfer
             | ArtOptCompSwitchAssert => Component::OptimizingCompiler,
         }
     }
@@ -217,8 +219,9 @@ impl BugId {
         use BugId::*;
         match self {
             HsLicmAliasedLoad | HsGcmStoreSink | HsGvnArrayAlias | HsConstPropRemSign
-            | J9GlobalVpShiftRange | J9DeoptStaleLocal | ArtOptCompXorFold
-            | ArtOsrLongTransfer => Symptom::MisCompilation,
+            | J9GlobalVpShiftRange | J9DeoptStaleLocal | ArtOptCompXorFold | ArtOsrLongTransfer => {
+                Symptom::MisCompilation
+            }
             HsPerfQuadraticLoop => Symptom::Performance,
             _ => Symptom::Crash,
         }

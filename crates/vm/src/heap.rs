@@ -171,7 +171,8 @@ impl Heap {
             marks[idx] = true;
             match obj {
                 HeapObj::Obj { class, fields } => {
-                    let declared = program.classes.get(class.0 as usize).map(|c| c.inst_fields.len());
+                    let declared =
+                        program.classes.get(class.0 as usize).map(|c| c.inst_fields.len());
                     if declared != Some(fields.len()) {
                         return Err(HeapError::Corruption {
                             detail: format!(
@@ -233,10 +234,8 @@ mod tests {
     use super::*;
 
     fn tiny_program() -> BProgram {
-        let program = cse_lang::parse_and_check(
-            "class P { int a; int b; static void main() { } }",
-        )
-        .unwrap();
+        let program =
+            cse_lang::parse_and_check("class P { int a; int b; static void main() { } }").unwrap();
         cse_bytecode::compile(&program).unwrap()
     }
 
@@ -274,8 +273,7 @@ mod tests {
         let obj = heap
             .alloc(HeapObj::Obj { class: ClassId(0), fields: vec![Value::I(0), Value::I(1)] })
             .unwrap();
-        let outer =
-            heap.alloc(HeapObj::Arr(ArrData::Ref(vec![Some(inner), Some(obj)]))).unwrap();
+        let outer = heap.alloc(HeapObj::Arr(ArrData::Ref(vec![Some(inner), Some(obj)]))).unwrap();
         heap.collect(&[Value::Ref(outer)], &program).unwrap();
         assert_eq!(heap.live_objects(), 3);
     }

@@ -192,8 +192,15 @@ impl Vm<'_> {
                     }
                 }
                 // ----- int arithmetic -----
-                Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IAnd | Insn::IOr | Insn::IXor
-                | Insn::IShl | Insn::IShr | Insn::IUshr => {
+                Insn::IAdd
+                | Insn::ISub
+                | Insn::IMul
+                | Insn::IAnd
+                | Insn::IOr
+                | Insn::IXor
+                | Insn::IShl
+                | Insn::IShr
+                | Insn::IUshr => {
                     let b = frame!().stack.pop().expect("verified").as_i();
                     let a = frame!().stack.pop().expect("verified").as_i();
                     let r = match insn {
@@ -411,12 +418,7 @@ impl Vm<'_> {
     ///
     /// Returns `Ok(Some(header))` when an OSR transfer should happen at the
     /// given loop header, or `Ok(None)` to continue interpreting normally.
-    fn back_edge(
-        &mut self,
-        id: MethodId,
-        from: u32,
-        to: u32,
-    ) -> Result<Option<u32>, Exit> {
+    fn back_edge(&mut self, id: MethodId, from: u32, to: u32) -> Result<Option<u32>, Exit> {
         let method = self.program.method(id);
         let Some(counter_idx) = method.back_edge_index(from, to) else {
             return Ok(None);

@@ -28,10 +28,7 @@ const DEAD: u32 = u32::MAX;
 /// must be empty there, so interpreter locals fully describe the state).
 pub(crate) fn can_osr(program: &BProgram, method: MethodId, header: u32) -> bool {
     let m = program.method(method);
-    stack_depths(program, m)
-        .get(header as usize)
-        .map(|&d| d == 0)
-        .unwrap_or(false)
+    stack_depths(program, m).get(header as usize).map(|&d| d == 0).unwrap_or(false)
 }
 
 /// Builds the IR for `method`, optionally as an OSR variant.
@@ -152,8 +149,8 @@ impl Builder<'_, '_> {
             for t in insn.targets() {
                 leaders.insert(t);
             }
-            let transfers = insn.is_terminator()
-                || matches!(insn, Insn::JumpIfTrue(_) | Insn::JumpIfFalse(_));
+            let transfers =
+                insn.is_terminator() || matches!(insn, Insn::JumpIfTrue(_) | Insn::JumpIfFalse(_));
             if transfers && pc + 1 < m.code.len() {
                 leaders.insert(pc as u32 + 1);
             }
@@ -179,9 +176,10 @@ impl Builder<'_, '_> {
             }
             let mut d = depths[leader as usize];
             let mut pc = leader;
-            let emit = |blocks: &mut Vec<Block>, dst: Option<Reg>, op: Op, at: u32, cur: BlockId| {
-                blocks[cur as usize].insts.push(Inst { dst, op, frame: frame_idx, bc_pc: at });
-            };
+            let emit =
+                |blocks: &mut Vec<Block>, dst: Option<Reg>, op: Op, at: u32, cur: BlockId| {
+                    blocks[cur as usize].insts.push(Inst { dst, op, frame: frame_idx, bc_pc: at });
+                };
             loop {
                 if pc != leader && leaders.contains(&pc) {
                     self.blocks[cur as usize].term = Term::Jump(block_map[&pc]);
@@ -224,7 +222,13 @@ impl Builder<'_, '_> {
                         d += 2;
                     }
                     Insn::GetStatic { class, field } => {
-                        emit(&mut self.blocks, Some(stack(d)), Op::GetStatic { class, field }, pc, cur);
+                        emit(
+                            &mut self.blocks,
+                            Some(stack(d)),
+                            Op::GetStatic { class, field },
+                            pc,
+                            cur,
+                        );
                         d += 1;
                     }
                     Insn::PutStatic { class, field } => {
@@ -307,10 +311,24 @@ impl Builder<'_, '_> {
                         d -= 3;
                     }
                     Insn::ArrLen => {
-                        emit(&mut self.blocks, Some(stack(d - 1)), Op::ArrLen(stack(d - 1)), pc, cur);
+                        emit(
+                            &mut self.blocks,
+                            Some(stack(d - 1)),
+                            Op::ArrLen(stack(d - 1)),
+                            pc,
+                            cur,
+                        );
                     }
-                    Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IDiv | Insn::IRem
-                    | Insn::IShl | Insn::IShr | Insn::IUshr | Insn::IAnd | Insn::IOr
+                    Insn::IAdd
+                    | Insn::ISub
+                    | Insn::IMul
+                    | Insn::IDiv
+                    | Insn::IRem
+                    | Insn::IShl
+                    | Insn::IShr
+                    | Insn::IUshr
+                    | Insn::IAnd
+                    | Insn::IOr
                     | Insn::IXor => {
                         let kind = match insn {
                             Insn::IAdd => BinKind::Add,
@@ -334,8 +352,16 @@ impl Builder<'_, '_> {
                         );
                         d -= 1;
                     }
-                    Insn::LAdd | Insn::LSub | Insn::LMul | Insn::LDiv | Insn::LRem
-                    | Insn::LShl | Insn::LShr | Insn::LUshr | Insn::LAnd | Insn::LOr
+                    Insn::LAdd
+                    | Insn::LSub
+                    | Insn::LMul
+                    | Insn::LDiv
+                    | Insn::LRem
+                    | Insn::LShl
+                    | Insn::LShr
+                    | Insn::LUshr
+                    | Insn::LAnd
+                    | Insn::LOr
                     | Insn::LXor => {
                         let kind = match insn {
                             Insn::LAdd => BinKind::Add,
@@ -381,7 +407,13 @@ impl Builder<'_, '_> {
                         emit(&mut self.blocks, Some(stack(d - 1)), Op::L2S(stack(d - 1)), pc, cur);
                     }
                     Insn::Bool2S => {
-                        emit(&mut self.blocks, Some(stack(d - 1)), Op::Bool2S(stack(d - 1)), pc, cur);
+                        emit(
+                            &mut self.blocks,
+                            Some(stack(d - 1)),
+                            Op::Bool2S(stack(d - 1)),
+                            pc,
+                            cur,
+                        );
                     }
                     Insn::ICmp(op) => {
                         emit(
@@ -462,10 +494,9 @@ impl Builder<'_, '_> {
                     Insn::TableSwitch { ref cases, default } => {
                         let scrut = stack(d - 1);
                         d -= 1;
-                        let total: u64 = (0..cases.len())
-                            .map(|i| profile.switch_arm_hits(pc, i))
-                            .sum::<u64>()
-                            + profile.switch_arm_hits(pc, usize::MAX);
+                        let total: u64 =
+                            (0..cases.len()).map(|i| profile.switch_arm_hits(pc, i)).sum::<u64>()
+                                + profile.switch_arm_hits(pc, usize::MAX);
                         let spec = speculate && frame_idx == 0 && d == 0 && total >= MIN_PROFILE;
                         let mut ir_cases = Vec::with_capacity(cases.len());
                         for (i, (label, target)) in cases.iter().enumerate() {
@@ -588,7 +619,13 @@ impl Builder<'_, '_> {
                         break;
                     }
                     Insn::Println(kind) => {
-                        emit(&mut self.blocks, None, Op::Println { kind, val: stack(d - 1) }, pc, cur);
+                        emit(
+                            &mut self.blocks,
+                            None,
+                            Op::Println { kind, val: stack(d - 1) },
+                            pc,
+                            cur,
+                        );
                         d -= 1;
                     }
                     Insn::Mute => emit(&mut self.blocks, None, Op::Mute, pc, cur),
@@ -653,23 +690,70 @@ fn stack_depths(program: &BProgram, method: &BMethod) -> Vec<i32> {
 /// popping their condition/scrutinee).
 fn stack_delta(program: &BProgram, insn: &Insn) -> i32 {
     match insn {
-        Insn::IConst(_) | Insn::LConst(_) | Insn::SConst(_) | Insn::NullConst | Insn::Load(_)
-        | Insn::GetStatic { .. } | Insn::NewObject(_) | Insn::Dup => 1,
+        Insn::IConst(_)
+        | Insn::LConst(_)
+        | Insn::SConst(_)
+        | Insn::NullConst
+        | Insn::Load(_)
+        | Insn::GetStatic { .. }
+        | Insn::NewObject(_)
+        | Insn::Dup => 1,
         Insn::Dup2 => 2,
-        Insn::Store(_) | Insn::Pop | Insn::PutStatic { .. } | Insn::JumpIfTrue(_)
-        | Insn::JumpIfFalse(_) | Insn::TableSwitch { .. } | Insn::Println(_)
+        Insn::Store(_)
+        | Insn::Pop
+        | Insn::PutStatic { .. }
+        | Insn::JumpIfTrue(_)
+        | Insn::JumpIfFalse(_)
+        | Insn::TableSwitch { .. }
+        | Insn::Println(_)
         | Insn::ThrowUser => -1,
-        Insn::GetField { .. } | Insn::NewArray(_) | Insn::ArrLen | Insn::INeg | Insn::LNeg
-        | Insn::I2L | Insn::L2I | Insn::I2B | Insn::I2S | Insn::L2S | Insn::Bool2S
-        | Insn::Jump(_) | Insn::Return | Insn::ReturnVal | Insn::Rethrow(_) | Insn::Mute
+        Insn::GetField { .. }
+        | Insn::NewArray(_)
+        | Insn::ArrLen
+        | Insn::INeg
+        | Insn::LNeg
+        | Insn::I2L
+        | Insn::L2I
+        | Insn::I2B
+        | Insn::I2S
+        | Insn::L2S
+        | Insn::Bool2S
+        | Insn::Jump(_)
+        | Insn::Return
+        | Insn::ReturnVal
+        | Insn::Rethrow(_)
+        | Insn::Mute
         | Insn::Unmute => 0,
         Insn::PutField { .. } => -2,
         Insn::NewMultiArray { dims, .. } => 1 - i32::from(*dims),
-        Insn::ArrLoad(_) | Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IDiv | Insn::IRem
-        | Insn::IShl | Insn::IShr | Insn::IUshr | Insn::IAnd | Insn::IOr | Insn::IXor
-        | Insn::LAdd | Insn::LSub | Insn::LMul | Insn::LDiv | Insn::LRem | Insn::LShl
-        | Insn::LShr | Insn::LUshr | Insn::LAnd | Insn::LOr | Insn::LXor | Insn::ICmp(_)
-        | Insn::LCmp(_) | Insn::RefEq | Insn::RefNe | Insn::SConcat => -1,
+        Insn::ArrLoad(_)
+        | Insn::IAdd
+        | Insn::ISub
+        | Insn::IMul
+        | Insn::IDiv
+        | Insn::IRem
+        | Insn::IShl
+        | Insn::IShr
+        | Insn::IUshr
+        | Insn::IAnd
+        | Insn::IOr
+        | Insn::IXor
+        | Insn::LAdd
+        | Insn::LSub
+        | Insn::LMul
+        | Insn::LDiv
+        | Insn::LRem
+        | Insn::LShl
+        | Insn::LShr
+        | Insn::LUshr
+        | Insn::LAnd
+        | Insn::LOr
+        | Insn::LXor
+        | Insn::ICmp(_)
+        | Insn::LCmp(_)
+        | Insn::RefEq
+        | Insn::RefNe
+        | Insn::SConcat => -1,
         Insn::ArrStore(_) => -3,
         Insn::InvokeStatic(id) | Insn::InvokeInstance(id) => {
             let callee = program.method(*id);

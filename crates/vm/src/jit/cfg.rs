@@ -207,12 +207,7 @@ impl LoopForest {
 
     /// Indices of the direct child loops of loop `i`.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        self.loops
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.parent == Some(i))
-            .map(|(j, _)| j)
-            .collect()
+        self.loops.iter().enumerate().filter(|(_, l)| l.parent == Some(i)).map(|(j, _)| j).collect()
     }
 
     /// Whether `block` belongs to loop `i`.
@@ -246,7 +241,12 @@ mod tests {
                 block(Term::Return(None)),
             ],
             num_regs: 1,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 1,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 1)],
@@ -304,7 +304,12 @@ mod tests {
                 block(Term::Return(None)),
             ],
             num_regs: 1,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 1,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 1)],

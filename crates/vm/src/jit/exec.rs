@@ -23,12 +23,19 @@ pub enum IrOutcome {
     Return(Option<Value>),
     /// An uncommon trap fired: de-optimize and resume interpretation at
     /// `bc_pc` with the given locals.
-    Deopt { bc_pc: u32, locals: Vec<Value>, reason: DeoptReason },
+    Deopt {
+        bc_pc: u32,
+        locals: Vec<Value>,
+        reason: DeoptReason,
+    },
     /// Profiled lower-tier code observed its back-edge counters crossing
     /// the next tier's threshold (C1-profiling-feeds-C2): hand control
     /// back at the loop header so the VM can re-enter through a hotter
     /// compilation. Not a de-optimization — no cool-down.
-    TierUp { bc_pc: u32, locals: Vec<Value> },
+    TierUp {
+        bc_pc: u32,
+        locals: Vec<Value>,
+    },
 }
 
 /// Runs a compiled function. `entry_locals` seeds the outermost frame's
@@ -48,9 +55,8 @@ pub(crate) fn run_ir(
     // Injected OSR local-transfer bug (ART): with two or more long locals,
     // the first long local arrives corrupted.
     if func.osr_entry.is_some() && vm.config.faults.active(BugId::ArtOsrLongTransfer) {
-        let longs: Vec<usize> = (0..num_locals0)
-            .filter(|&i| matches!(regs[i], Value::L(_)))
-            .collect();
+        let longs: Vec<usize> =
+            (0..num_locals0).filter(|&i| matches!(regs[i], Value::L(_))).collect();
         if longs.len() >= 2 {
             if let Value::L(v) = &mut regs[longs[0]] {
                 *v ^= 1;
@@ -150,8 +156,14 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                         .collect();
                     ring.push_back(format!(
                         "m{} {:?} osr={:?} b{} i{} dst={:?} {:?} [{}]",
-                        func.method.0, func.tier, func.osr_entry, block, inst_idx, inst.dst,
-                        inst.op, srcs.join(", ")
+                        func.method.0,
+                        func.tier,
+                        func.osr_entry,
+                        block,
+                        inst_idx,
+                        inst.dst,
+                        inst.op,
+                        srcs.join(", ")
                     ));
                 });
             }
@@ -388,10 +400,7 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                     // interpreter state (a jump back into an *inner* loop
                     // must keep running: bailing there would skip the rest
                     // of the current iteration).
-                    if Some(t) == osr_header_block
-                        && back_jumps & 7 == 0
-                        && !prof.compile_banned
-                    {
+                    if Some(t) == osr_header_block && back_jumps & 7 == 0 && !prof.compile_banned {
                         let next = vm.config.tiers[func.tier.0 as usize].backedge;
                         if prof.backedges.iter().any(|&c| c >= next) {
                             let n = func.frames[0].num_locals as usize;
@@ -413,7 +422,10 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                 }
                 ring.push_back(format!(
                     "m{} {:?} osr={:?} b{} TERM {:?}",
-                    func.method.0, func.tier, func.osr_entry, block,
+                    func.method.0,
+                    func.tier,
+                    func.osr_entry,
+                    block,
                     func.blocks[block as usize].term
                 ));
             });

@@ -57,10 +57,7 @@ impl BinKind {
 
     /// Whether the operator is commutative (used by value numbering).
     pub fn commutative(self) -> bool {
-        matches!(
-            self,
-            BinKind::Add | BinKind::Mul | BinKind::And | BinKind::Or | BinKind::Xor
-        )
+        matches!(self, BinKind::Add | BinKind::Mul | BinKind::And | BinKind::Or | BinKind::Xor)
     }
 }
 
@@ -86,20 +83,59 @@ pub enum Op {
     CmpI(CmpOp, Reg, Reg),
     CmpL(CmpOp, Reg, Reg),
     /// `eq` selects `==` vs `!=`.
-    RefCmp { eq: bool, a: Reg, b: Reg },
-    GetStatic { class: ClassId, field: u32 },
-    PutStatic { class: ClassId, field: u32, val: Reg },
-    GetField { obj: Reg, field: u32 },
-    PutField { obj: Reg, field: u32, val: Reg },
+    RefCmp {
+        eq: bool,
+        a: Reg,
+        b: Reg,
+    },
+    GetStatic {
+        class: ClassId,
+        field: u32,
+    },
+    PutStatic {
+        class: ClassId,
+        field: u32,
+        val: Reg,
+    },
+    GetField {
+        obj: Reg,
+        field: u32,
+    },
+    PutField {
+        obj: Reg,
+        field: u32,
+        val: Reg,
+    },
     NewObject(ClassId),
-    NewArray { kind: ArrKind, len: Reg },
-    NewMultiArray { kind: ArrKind, dims: Vec<Reg> },
-    ArrLoad { kind: ArrKind, arr: Reg, idx: Reg },
-    ArrStore { kind: ArrKind, arr: Reg, idx: Reg, val: Reg },
+    NewArray {
+        kind: ArrKind,
+        len: Reg,
+    },
+    NewMultiArray {
+        kind: ArrKind,
+        dims: Vec<Reg>,
+    },
+    ArrLoad {
+        kind: ArrKind,
+        arr: Reg,
+        idx: Reg,
+    },
+    ArrStore {
+        kind: ArrKind,
+        arr: Reg,
+        idx: Reg,
+        val: Reg,
+    },
     ArrLen(Reg),
     /// A non-inlined call back into the VM's dispatch.
-    Call { method: MethodId, args: Vec<Reg> },
-    Println { kind: PrintKind, val: Reg },
+    Call {
+        method: MethodId,
+        args: Vec<Reg>,
+    },
+    Println {
+        kind: PrintKind,
+        val: Reg,
+    },
     Mute,
     Unmute,
     /// Raises a user exception with the code in the register.
@@ -108,13 +144,19 @@ pub enum Op {
     Rethrow(Reg),
     /// Fault-injection marker: executing this corrupts the heap (models a
     /// JIT bug writing past an object; detected by the next GC).
-    CorruptHeap { bug: BugId },
+    CorruptHeap {
+        bug: BugId,
+    },
     /// Fault-injection marker: executing this crashes the process (models
     /// wild compiled code).
-    CrashOnExec { bug: BugId },
+    CrashOnExec {
+        bug: BugId,
+    },
     /// Fault-injection marker: burns `factor` units of fuel (models
     /// pathologically slow compiled code — the performance-bug class).
-    BurnFuel { factor: u32 },
+    BurnFuel {
+        factor: u32,
+    },
 }
 
 impl Op {
@@ -166,13 +208,33 @@ impl Op {
     /// Source registers read by this op.
     pub fn sources(&self) -> Vec<Reg> {
         match self {
-            Op::ConstI(_) | Op::ConstL(_) | Op::ConstS(_) | Op::ConstNull | Op::Mute
-            | Op::Unmute | Op::GetStatic { .. } | Op::NewObject(_) | Op::CorruptHeap { .. }
-            | Op::CrashOnExec { .. } | Op::BurnFuel { .. } => vec![],
-            Op::Copy(r) | Op::NegI(r) | Op::NegL(r) | Op::I2L(r) | Op::L2I(r) | Op::I2B(r)
-            | Op::I2S(r) | Op::L2S(r) | Op::Bool2S(r) | Op::ArrLen(r) | Op::ThrowUser(r)
+            Op::ConstI(_)
+            | Op::ConstL(_)
+            | Op::ConstS(_)
+            | Op::ConstNull
+            | Op::Mute
+            | Op::Unmute
+            | Op::GetStatic { .. }
+            | Op::NewObject(_)
+            | Op::CorruptHeap { .. }
+            | Op::CrashOnExec { .. }
+            | Op::BurnFuel { .. } => vec![],
+            Op::Copy(r)
+            | Op::NegI(r)
+            | Op::NegL(r)
+            | Op::I2L(r)
+            | Op::L2I(r)
+            | Op::I2B(r)
+            | Op::I2S(r)
+            | Op::L2S(r)
+            | Op::Bool2S(r)
+            | Op::ArrLen(r)
+            | Op::ThrowUser(r)
             | Op::Rethrow(r) => vec![*r],
-            Op::BinI(_, a, b) | Op::BinL(_, a, b) | Op::Concat(a, b) | Op::CmpI(_, a, b)
+            Op::BinI(_, a, b)
+            | Op::BinL(_, a, b)
+            | Op::Concat(a, b)
+            | Op::CmpI(_, a, b)
             | Op::CmpL(_, a, b) => vec![*a, *b],
             Op::RefCmp { a, b, .. } => vec![*a, *b],
             Op::PutStatic { val, .. } => vec![*val],
@@ -190,13 +252,33 @@ impl Op {
     /// Rewrites source registers through `f`.
     pub fn map_sources(&mut self, f: impl Fn(Reg) -> Reg) {
         match self {
-            Op::ConstI(_) | Op::ConstL(_) | Op::ConstS(_) | Op::ConstNull | Op::Mute
-            | Op::Unmute | Op::GetStatic { .. } | Op::NewObject(_) | Op::CorruptHeap { .. }
-            | Op::CrashOnExec { .. } | Op::BurnFuel { .. } => {}
-            Op::Copy(r) | Op::NegI(r) | Op::NegL(r) | Op::I2L(r) | Op::L2I(r) | Op::I2B(r)
-            | Op::I2S(r) | Op::L2S(r) | Op::Bool2S(r) | Op::ArrLen(r) | Op::ThrowUser(r)
+            Op::ConstI(_)
+            | Op::ConstL(_)
+            | Op::ConstS(_)
+            | Op::ConstNull
+            | Op::Mute
+            | Op::Unmute
+            | Op::GetStatic { .. }
+            | Op::NewObject(_)
+            | Op::CorruptHeap { .. }
+            | Op::CrashOnExec { .. }
+            | Op::BurnFuel { .. } => {}
+            Op::Copy(r)
+            | Op::NegI(r)
+            | Op::NegL(r)
+            | Op::I2L(r)
+            | Op::L2I(r)
+            | Op::I2B(r)
+            | Op::I2S(r)
+            | Op::L2S(r)
+            | Op::Bool2S(r)
+            | Op::ArrLen(r)
+            | Op::ThrowUser(r)
             | Op::Rethrow(r) => *r = f(*r),
-            Op::BinI(_, a, b) | Op::BinL(_, a, b) | Op::Concat(a, b) | Op::CmpI(_, a, b)
+            Op::BinI(_, a, b)
+            | Op::BinL(_, a, b)
+            | Op::Concat(a, b)
+            | Op::CmpI(_, a, b)
             | Op::CmpL(_, a, b) => {
                 *a = f(*a);
                 *b = f(*b);
@@ -268,13 +350,24 @@ pub struct Inst {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Term {
     Jump(BlockId),
-    Branch { cond: Reg, if_true: BlockId, if_false: BlockId },
-    Switch { scrut: Reg, cases: Vec<(i32, BlockId)>, default: BlockId },
+    Branch {
+        cond: Reg,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
+    Switch {
+        scrut: Reg,
+        cases: Vec<(i32, BlockId)>,
+        default: BlockId,
+    },
     /// Return from the compiled function (outermost frame only).
     Return(Option<Reg>),
     /// Uncommon trap: de-optimize and resume interpretation at `bc_pc`
     /// of the outermost method, rebuilding locals from anchor registers.
-    Trap { bc_pc: u32, reason: DeoptReason },
+    Trap {
+        bc_pc: u32,
+        reason: DeoptReason,
+    },
 }
 
 impl Term {

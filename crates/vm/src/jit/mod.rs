@@ -30,9 +30,9 @@ use crate::exec::{CrashInfo, CrashKind, CrashPhase};
 use crate::faults::{BugId, FaultInjector};
 use crate::profile::MethodProfile;
 
-pub use exec::IrOutcome;
-pub(crate) use exec::run_ir;
 pub(crate) use build::can_osr;
+pub(crate) use exec::run_ir;
+pub use exec::IrOutcome;
 
 /// Everything a compilation needs to see.
 pub struct CompileCtx<'a> {
@@ -87,11 +87,8 @@ pub fn compile(
     osr: Option<u32>,
 ) -> Result<ir::IrFunc, CompileFail> {
     let mut func = build::build(ctx, method, osr)?;
-    let has_long_ops = func
-        .blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .any(|i| matches!(i.op, ir::Op::BinL(..)));
+    let has_long_ops =
+        func.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, ir::Op::BinL(..)));
     let profile = &ctx.profiles[method.0 as usize];
     let warm = profile.invocations >= 200 || profile.backedges.iter().any(|&c| c >= 200);
     // Recompilation-interaction bug: re-promoting a previously
@@ -106,7 +103,11 @@ pub fn compile(
     {
         return Err(CompileFail::Crash(ctx.crash(
             BugId::J9RecompOsrPromote,
-            format!("promoting {} to {} over a live OSR body", ctx.program.qualified_name(method), ctx.tier),
+            format!(
+                "promoting {} to {} over a live OSR body",
+                ctx.program.qualified_name(method),
+                ctx.tier
+            ),
         )));
     }
     // Structural "ideal graph" assertions (HotSpot-like).
@@ -117,9 +118,10 @@ pub fn compile(
                 matches!(block.term, ir::Term::Switch { .. }) && loops.depth(b as u32) >= 2
             });
             if has_switch_in_loop {
-                return Err(CompileFail::Crash(
-                    ctx.crash(BugId::HsGraphDeepLoops, "ideal graph: loop tree too deep with switch"),
-                ));
+                return Err(CompileFail::Crash(ctx.crash(
+                    BugId::HsGraphDeepLoops,
+                    "ideal graph: loop tree too deep with switch",
+                )));
             }
         }
         // The block budget only overflows once inlining has spliced callees
@@ -128,14 +130,16 @@ pub fn compile(
             && func.blocks.len() > 260
             && func.frames.len() > 1
         {
-            return Err(CompileFail::Crash(
-                ctx.crash(BugId::HsGraphBlockBudget, format!("ideal graph: {} blocks", func.blocks.len())),
-            ));
+            return Err(CompileFail::Crash(ctx.crash(
+                BugId::HsGraphBlockBudget,
+                format!("ideal graph: {} blocks", func.blocks.len()),
+            )));
         }
         if ctx.faults.active(BugId::J9OtherNestedTry) && nested_handler_depth(&func) >= 3 {
-            return Err(CompileFail::Crash(
-                ctx.crash(BugId::J9OtherNestedTry, "synchronization stub: deeply nested try regions"),
-            ));
+            return Err(CompileFail::Crash(ctx.crash(
+                BugId::J9OtherNestedTry,
+                "synchronization stub: deeply nested try regions",
+            )));
         }
         // The ART asserts only reproduce on warm methods: the compiler
         // consults profile tables that cold (`count=0`) compilations leave
@@ -152,12 +156,8 @@ pub fn compile(
 
 /// Maximum nesting depth of frame-0 handler bc ranges (by containment).
 fn nested_handler_depth(func: &ir::IrFunc) -> usize {
-    let ranges: Vec<(u32, u32)> = func
-        .handlers
-        .iter()
-        .filter(|h| h.frame == 0)
-        .map(|h| (h.start_bc, h.end_bc))
-        .collect();
+    let ranges: Vec<(u32, u32)> =
+        func.handlers.iter().filter(|h| h.frame == 0).map(|h| (h.start_bc, h.end_bc)).collect();
     let mut max_depth = 0;
     for &(s, e) in &ranges {
         let depth = ranges.iter().filter(|&&(s2, e2)| s2 <= s && e <= e2).count();

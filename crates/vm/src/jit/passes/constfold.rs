@@ -206,7 +206,12 @@ mod tests {
             tier: Tier::T2,
             blocks: vec![Block { insts, term }],
             num_regs: 16,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 2, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 2,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 2)],

@@ -15,7 +15,8 @@ pub fn run(func: &mut IrFunc) {
     for block in &mut func.blocks {
         // `equals[d] = s` means register d currently holds the value of s.
         let mut equals: HashMap<Reg, Reg> = HashMap::new();
-        let resolve = |map: &HashMap<Reg, Reg>, r: Reg| -> Reg { map.get(&r).copied().unwrap_or(r) };
+        let resolve =
+            |map: &HashMap<Reg, Reg>, r: Reg| -> Reg { map.get(&r).copied().unwrap_or(r) };
         for inst in &mut block.insts {
             let snapshot = equals.clone();
             inst.op.map_sources(|r| resolve(&snapshot, r));
@@ -49,7 +50,12 @@ mod tests {
             tier: Tier::T1,
             blocks: vec![Block { insts, term }],
             num_regs: 16,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 4, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 4,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 4)],

@@ -11,9 +11,8 @@ use crate::jit::ir::{IrFunc, Reg};
 
 /// Runs DCE to a fixpoint.
 pub fn run(func: &mut IrFunc) {
-    let is_anchor = |r: Reg, anchors: &[(Reg, Reg)]| {
-        anchors.iter().any(|&(lo, hi)| r >= lo && r < hi)
-    };
+    let is_anchor =
+        |r: Reg, anchors: &[(Reg, Reg)]| anchors.iter().any(|&(lo, hi)| r >= lo && r < hi);
     let anchors = func.anchor_limit_per_frame.clone();
     loop {
         let mut read: HashSet<Reg> = HashSet::new();
@@ -57,7 +56,12 @@ mod tests {
             tier: Tier::T1,
             blocks: vec![Block { insts, term }],
             num_regs: 16,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 2, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 2,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 2)],

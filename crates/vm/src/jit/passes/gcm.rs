@@ -68,8 +68,7 @@ fn sink_pure_single_use(func: &mut IrFunc) {
             use_site.insert(src, (b as BlockId, usize::MAX));
         }
     }
-    let is_anchor =
-        |r: Reg| func.anchor_limit_per_frame.iter().any(|&(lo, hi)| r >= lo && r < hi);
+    let is_anchor = |r: Reg| func.anchor_limit_per_frame.iter().any(|&(lo, hi)| r >= lo && r < hi);
     // Collect sink decisions first (block, index) -> target (block, index).
     let mut moves: Vec<Move> = Vec::new();
     for (b, block) in func.blocks.iter().enumerate() {
@@ -210,9 +209,7 @@ fn find_rmw_chain(
             }
             needed.retain(|&r| r != dst);
             match &inst.op {
-                Op::GetField { obj: lobj, field: lfield }
-                    if *lobj == obj && *lfield == field =>
-                {
+                Op::GetField { obj: lobj, field: lfield } if *lobj == obj && *lfield == field => {
                     chain.push(i);
                     found_load = true;
                 }
@@ -320,7 +317,12 @@ mod tests {
                 Block { insts: vec![], term: Term::Return(None) },
             ],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 3, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 3,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 3)],
@@ -351,15 +353,8 @@ mod tests {
         assert_eq!(forest.depth(2), 3);
         assert_eq!(freq(2), freq(3));
         run(&c, &mut f).unwrap();
-        assert!(
-            f.blocks[4].insts.is_empty(),
-            "chain moved: {:?}",
-            f.blocks[4].insts
-        );
-        assert!(f.blocks[2]
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::PutField { .. })));
+        assert!(f.blocks[4].insts.is_empty(), "chain moved: {:?}", f.blocks[4].insts);
+        assert!(f.blocks[2].insts.iter().any(|i| matches!(i.op, Op::PutField { .. })));
     }
 
     #[test]
@@ -383,7 +378,12 @@ mod tests {
                 },
             ],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 3, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 3,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 3)],

@@ -71,8 +71,7 @@ pub fn run_local(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInf
     // only (`count=0` compiles take the conservative path), so forced
     // compilation cannot expose it — the warm-up dependence the paper
     // identifies in real JIT bugs.
-    let alias_bug =
-        ctx.faults.active(BugId::HsGvnArrayAlias) && ctx.optimizing() && ctx.speculate;
+    let alias_bug = ctx.faults.active(BugId::HsGvnArrayAlias) && ctx.optimizing() && ctx.speculate;
     for block in &mut func.blocks {
         let mut table: HashMap<Key, Reg> = HashMap::new();
         for inst in &mut block.insts {
@@ -145,8 +144,11 @@ pub fn run_local(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInf
 
 fn key_sources(key: &Key) -> Vec<Reg> {
     match key {
-        Key::Bin(_, _, a, b) | Key::Cmp(_, _, a, b) | Key::RefCmp(_, a, b)
-        | Key::Concat(a, b) | Key::ArrLoad(a, b) => vec![*a, *b],
+        Key::Bin(_, _, a, b)
+        | Key::Cmp(_, _, a, b)
+        | Key::RefCmp(_, a, b)
+        | Key::Concat(a, b)
+        | Key::ArrLoad(a, b) => vec![*a, *b],
         Key::Neg(_, r) | Key::Conv(_, r) | Key::FieldLoad(r, _) => vec![*r],
     }
 }
@@ -262,7 +264,12 @@ mod tests {
             tier: Tier::T2,
             blocks: vec![Block { insts, term: Term::Return(None) }],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 2, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 2,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 2)],

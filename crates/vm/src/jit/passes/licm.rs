@@ -203,7 +203,12 @@ mod tests {
                 Block { insts: vec![], term: Term::Return(None) },
             ],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 3, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 3,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 3)],
@@ -249,12 +254,8 @@ mod tests {
         let profiles = vec![MethodProfile::default(); program.methods.len()];
         let faults = FaultInjector::with([BugId::HsLicmAliasedLoad]);
         let c = ctx(&program, &profiles, &faults);
-        let store = Inst {
-            dst: None,
-            op: Op::PutField { obj: 1, field: 0, val: 2 },
-            frame: 0,
-            bc_pc: 7,
-        };
+        let store =
+            Inst { dst: None, op: Op::PutField { obj: 1, field: 0, val: 2 }, frame: 0, bc_pc: 7 };
         let mut f = loop_func(vec![inst(10, Op::GetField { obj: 1, field: 0 }), store.clone()]);
         // The store at bc 7 sits inside a try region.
         f.handlers.push(IrHandler { frame: 0, start_bc: 6, end_bc: 9, target: 3, save_reg: None });

@@ -80,15 +80,13 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
             let mut has_other = false;
             for &(b, i) in &loop_insts {
                 match &func.blocks[b as usize].insts[i].op {
-                    Op::ArrLoad { kind, .. } | Op::ArrStore { kind, .. } => {
-                        match kind {
-                            cse_bytecode::ArrKind::I32 => has_i32 = true,
-                            cse_bytecode::ArrKind::I64 | cse_bytecode::ArrKind::I8 => {
-                                has_other = true;
-                            }
-                            _ => {}
+                    Op::ArrLoad { kind, .. } | Op::ArrStore { kind, .. } => match kind {
+                        cse_bytecode::ArrKind::I32 => has_i32 = true,
+                        cse_bytecode::ArrKind::I64 | cse_bytecode::ArrKind::I8 => {
+                            has_other = true;
                         }
-                    }
+                        _ => {}
+                    },
                     _ => {}
                 }
             }
@@ -158,9 +156,10 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
                         }
                     }
                     (Op::NewArray { .. }, Some(_))
-                        if ctx.faults.active(BugId::J9GcCorruptUnrollAlloc) && lp.depth >= 2 => {
-                            corruptions.push((b, i, BugId::J9GcCorruptUnrollAlloc));
-                        }
+                        if ctx.faults.active(BugId::J9GcCorruptUnrollAlloc) && lp.depth >= 2 =>
+                    {
+                        corruptions.push((b, i, BugId::J9GcCorruptUnrollAlloc));
+                    }
                     _ => {}
                 }
             }
@@ -178,10 +177,9 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
     burns.sort_unstable();
     burns.dedup();
     for b in burns {
-        func.blocks[b as usize].insts.insert(
-            0,
-            Inst { dst: None, op: Op::BurnFuel { factor: 20000 }, frame: 0, bc_pc: 0 },
-        );
+        func.blocks[b as usize]
+            .insts
+            .insert(0, Inst { dst: None, op: Op::BurnFuel { factor: 20000 }, frame: 0, bc_pc: 0 });
     }
     Ok(())
 }

@@ -22,11 +22,8 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
         ));
     }
     if ctx.faults.active(BugId::J9RegAllocLongPressure) && pressure > 34 {
-        let has_long = func
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i.op, Op::BinL(..)));
+        let has_long =
+            func.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, Op::BinL(..)));
         if has_long {
             return Err(ctx.crash(
                 BugId::J9RegAllocLongPressure,
@@ -118,7 +115,12 @@ mod tests {
             tier: Tier::T2,
             blocks: vec![Block { insts, term: Term::Return(Some(acc)) }],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 1, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 1,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 1)],

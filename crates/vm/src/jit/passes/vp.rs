@@ -173,7 +173,12 @@ mod tests {
             tier: Tier::T2,
             blocks: vec![Block { insts, term: Term::Return(None) }],
             num_regs: 32,
-            frames: vec![InlineFrame { method: MethodId(0), local_base: 0, num_locals: 2, parent: None }],
+            frames: vec![InlineFrame {
+                method: MethodId(0),
+                local_base: 0,
+                num_locals: 2,
+                parent: None,
+            }],
             handlers: vec![],
             osr_entry: None,
             anchor_limit_per_frame: vec![(0, 2)],
@@ -213,8 +218,7 @@ mod tests {
         let profiles = vec![MethodProfile::default(); program.methods.len()];
         let faults = FaultInjector::with([BugId::J9LocalVpConstAssert]);
         let c = ctx(&program, &profiles, &faults);
-        let insts: Vec<Inst> =
-            (0..30).map(|i| inst(Some(4 + i), Op::ConstI(i as i32))).collect();
+        let insts: Vec<Inst> = (0..30).map(|i| inst(Some(4 + i), Op::ConstI(i as i32))).collect();
         let mut f = one_block(insts);
         let err = run_local(&c, &mut f).unwrap_err();
         assert_eq!(err.bug, BugId::J9LocalVpConstAssert);

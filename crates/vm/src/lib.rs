@@ -30,6 +30,7 @@ mod interp;
 pub mod jit;
 pub mod plan;
 pub mod profile;
+pub mod supervise;
 pub mod value;
 
 use std::collections::HashMap;
@@ -42,6 +43,7 @@ pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
 pub use plan::{ExecMode, ForcedPlan};
+pub use supervise::{contain_panics, supervised_run, VmPanic};
 pub use value::Value;
 
 use heap::{ArrData, Heap, HeapError, HeapObj};
@@ -100,7 +102,18 @@ pub struct Vm<'p> {
     /// Set when an injected bug corrupted the heap, so the GC crash can be
     /// attributed to the right bug.
     pub(crate) pending_gc_bug: Option<BugId>,
+    /// Wall-clock watchdog deadline (`config.wall_clock_limit`, armed at
+    /// construction time).
+    wall_deadline: Option<std::time::Instant>,
+    /// Burned-ops mark at which the watchdog next samples the clock.
+    next_watchdog_check: u64,
+    /// Burned-ops threshold for the chaos panic knob (`u64::MAX` = off).
+    chaos_panic_at: u64,
 }
+
+/// How many burned operations pass between wall-clock samples. Keeps
+/// `Instant::now` off the per-instruction hot path.
+const WATCHDOG_STRIDE: u64 = 1 << 18;
 
 impl<'p> Vm<'p> {
     /// Creates a VM for a program.
@@ -121,6 +134,8 @@ impl<'p> Vm<'p> {
         let fuel = config.fuel;
         let gc_interval = config.gc_interval;
         let max_objects = config.max_objects;
+        let wall_deadline = config.wall_clock_limit.map(|limit| std::time::Instant::now() + limit);
+        let chaos_panic_at = config.chaos_panic_at_ops.unwrap_or(u64::MAX);
         Vm {
             program,
             config,
@@ -138,6 +153,9 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             reg_frames: Vec::new(),
             pending_gc_bug: None,
+            wall_deadline,
+            next_watchdog_check: WATCHDOG_STRIDE,
+            chaos_panic_at,
         }
     }
 
@@ -223,6 +241,20 @@ impl<'p> Vm<'p> {
             return Err(Exit::OutOfFuel);
         }
         self.fuel -= amount;
+        let burned = self.config.fuel - self.fuel;
+        if burned >= self.chaos_panic_at {
+            panic!("chaos: injected VM panic after {burned} burned ops");
+        }
+        if burned >= self.next_watchdog_check {
+            self.next_watchdog_check = burned + WATCHDOG_STRIDE;
+            if let Some(deadline) = self.wall_deadline {
+                if std::time::Instant::now() >= deadline {
+                    self.stats.watchdog_fired = true;
+                    self.fuel = 0;
+                    return Err(Exit::OutOfFuel);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -498,8 +530,7 @@ impl<'p> Vm<'p> {
                 }
             }
             if tier.0 > 0 {
-                let func =
-                    self.compiled_code(id, tier, None).expect("tiered code compiled above");
+                let func = self.compiled_code(id, tier, None).expect("tiered code compiled above");
                 self.record_entry(id, tier, inv_idx);
                 return self.execute_compiled(id, func, args);
             }
@@ -556,10 +587,7 @@ impl<'p> Vm<'p> {
         match jit::compile(&ctx, method, osr) {
             Ok(func) => {
                 if std::env::var_os("CSE_DUMP_IR").is_some() {
-                    eprintln!(
-                        "=== compiled m{} {:?} osr={osr:?} ===\n{func:#?}",
-                        method.0, tier
-                    );
+                    eprintln!("=== compiled m{} {:?} osr={osr:?} ===\n{func:#?}", method.0, tier);
                 }
                 let func = Rc::new(func);
                 self.compiled.insert(key, func.clone());

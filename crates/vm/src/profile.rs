@@ -115,7 +115,12 @@ mod tests {
 
     #[test]
     fn cool_down_resets_and_bans() {
-        let mut p = MethodProfile { invocations: 500, backedges: vec![9, 9], tier: Tier::T2, ..Default::default() };
+        let mut p = MethodProfile {
+            invocations: 500,
+            backedges: vec![9, 9],
+            tier: Tier::T2,
+            ..Default::default()
+        };
         p.cool_down(2);
         assert_eq!(p.invocations, 0);
         assert_eq!(p.backedges, vec![0, 0]);

@@ -53,8 +53,7 @@ fn hot_skeletons_agree_across_engines() {
             .unwrap_or_else(|e| panic!("skeleton {i} invalid: {e}"));
         let bytecode = cse_bytecode::compile(&program).unwrap();
         cse_bytecode::verify::verify_program(&bytecode).unwrap();
-        let reference =
-            Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike));
+        let reference = Vm::run_program(&bytecode, VmConfig::interpreter_only(VmKind::HotSpotLike));
         assert!(
             matches!(reference.outcome, Outcome::Completed { .. }),
             "skeleton {i} did not complete"

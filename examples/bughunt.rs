@@ -13,7 +13,13 @@ use artemis_cse::vm::{Outcome, Vm, VmConfig, VmKind};
 fn main() {
     let seeds = std::env::var("CSE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(40);
     println!("hunting with {seeds} seeds x 8 mutants against the OpenJ9-like VM ...\n");
-    let config = CampaignConfig::for_kind(VmKind::OpenJ9Like, seeds);
+    let mut config = CampaignConfig::for_kind(VmKind::OpenJ9Like, seeds);
+    // Run supervised: checkpoint + quarantine under target/. Kill the
+    // hunt at any point and re-run to resume from the checkpoint.
+    let workdir = std::path::Path::new("target").join("bughunt");
+    config.supervisor.checkpoint_path = Some(workdir.join("campaign.checkpoint"));
+    config.supervisor.checkpoint_every = 8;
+    config.supervisor.quarantine_dir = Some(workdir.join("quarantine"));
     let result = run_campaign(&config);
     println!(
         "{} unique bugs from {} mutants ({} duplicates, {:.1?} wall):",
@@ -22,6 +28,9 @@ fn main() {
         result.duplicates(),
         result.totals.wall
     );
+    if !result.incidents.is_empty() {
+        println!("{} harness incident(s) contained and quarantined", result.incidents.len());
+    }
     for evidence in result.bugs.values() {
         println!(
             "  {:?}  [{:?} in {}]  first seen at seed {}",

@@ -18,7 +18,10 @@ fn main() {
     let (mutant, applied) = artemis.jonm(&seed);
 
     println!("=== seed ===\n{}", artemis_cse::lang::pretty::print(&seed));
-    println!("=== mutant (mutations: {applied:?}) ===\n{}", artemis_cse::lang::pretty::print(&mutant));
+    println!(
+        "=== mutant (mutations: {applied:?}) ===\n{}",
+        artemis_cse::lang::pretty::print(&mutant)
+    );
 
     let vm = VmConfig::correct(VmKind::HotSpotLike);
     let seed_run = Vm::run_program(&compile_checked(&seed), vm.clone());

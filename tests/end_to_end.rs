@@ -12,10 +12,7 @@ fn campaigns_find_seeded_bugs_on_every_profile() {
         let config = CampaignConfig::for_kind(kind, 12);
         let result = run_campaign(&config);
         assert_eq!(result.totals.neutrality_violations, 0, "{kind}: non-neutral mutant");
-        assert!(
-            !result.bugs.is_empty(),
-            "{kind}: campaign over 12 seeds found no injected bug"
-        );
+        assert!(!result.bugs.is_empty(), "{kind}: campaign over 12 seeds found no injected bug");
         for evidence in result.bugs.values() {
             // Attribution must agree with the profile's seeded catalog.
             assert!(
@@ -52,11 +49,7 @@ fn no_false_positives_on_correct_vms() {
 fn reproducers_survive_reduction() {
     let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 20);
     let result = run_campaign(&config);
-    let Some(evidence) = result
-        .bugs
-        .values()
-        .find(|e| e.reproducer.lines().count() < 400)
-    else {
+    let Some(evidence) = result.bugs.values().find(|e| e.reproducer.lines().count() < 400) else {
         // Campaign size kept small for CI; nothing suitably small found.
         return;
     };
