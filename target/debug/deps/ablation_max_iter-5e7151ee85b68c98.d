@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_max_iter-5e7151ee85b68c98.d: crates/bench/src/bin/ablation_max_iter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_max_iter-5e7151ee85b68c98.rmeta: crates/bench/src/bin/ablation_max_iter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_max_iter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

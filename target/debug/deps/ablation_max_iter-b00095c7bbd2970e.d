@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_iter-b00095c7bbd2970e.d: crates/bench/src/bin/ablation_max_iter.rs
+
+/root/repo/target/debug/deps/ablation_max_iter-b00095c7bbd2970e: crates/bench/src/bin/ablation_max_iter.rs
+
+crates/bench/src/bin/ablation_max_iter.rs:

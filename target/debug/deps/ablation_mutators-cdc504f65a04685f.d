@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mutators-cdc504f65a04685f.d: crates/bench/src/bin/ablation_mutators.rs
+
+/root/repo/target/debug/deps/ablation_mutators-cdc504f65a04685f: crates/bench/src/bin/ablation_mutators.rs
+
+crates/bench/src/bin/ablation_mutators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mutators-dbd536bbcad0a044.d: crates/bench/src/bin/ablation_mutators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mutators-dbd536bbcad0a044.rmeta: crates/bench/src/bin/ablation_mutators.rs Cargo.toml
+
+crates/bench/src/bin/ablation_mutators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_neutrality-2ba2cafd83f5ce12.d: crates/bench/src/bin/ablation_neutrality.rs
+
+/root/repo/target/debug/deps/ablation_neutrality-2ba2cafd83f5ce12: crates/bench/src/bin/ablation_neutrality.rs
+
+crates/bench/src/bin/ablation_neutrality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_neutrality-4c9b53845c2614ad.d: crates/bench/src/bin/ablation_neutrality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_neutrality-4c9b53845c2614ad.rmeta: crates/bench/src/bin/ablation_neutrality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_neutrality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

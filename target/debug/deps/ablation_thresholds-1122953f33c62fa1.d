@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thresholds-1122953f33c62fa1.d: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thresholds-1122953f33c62fa1.rmeta: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thresholds-5cbb847d24df404d.d: crates/bench/src/bin/ablation_thresholds.rs
+
+/root/repo/target/debug/deps/ablation_thresholds-5cbb847d24df404d: crates/bench/src/bin/ablation_thresholds.rs
+
+crates/bench/src/bin/ablation_thresholds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thresholds-90b929b94dc41fd5.d: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thresholds-90b929b94dc41fd5.rmeta: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/artemis_cse-9d430188adb3af2c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libartemis_cse-9d430188adb3af2c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

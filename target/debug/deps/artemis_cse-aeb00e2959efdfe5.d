@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/artemis_cse-aeb00e2959efdfe5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libartemis_cse-aeb00e2959efdfe5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/artemis_cse-dbae84ddaeb41624.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libartemis_cse-dbae84ddaeb41624.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

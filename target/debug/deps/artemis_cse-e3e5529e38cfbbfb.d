@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/artemis_cse-e3e5529e38cfbbfb.d: src/lib.rs
+
+/root/repo/target/debug/deps/artemis_cse-e3e5529e38cfbbfb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/artemis_cse-ed4058971048e369.d: src/lib.rs
+
+/root/repo/target/debug/deps/libartemis_cse-ed4058971048e369.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libartemis_cse-ed4058971048e369.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cse_bench-090e036cfe8f78c0.d: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+/root/repo/target/debug/deps/libcse_bench-090e036cfe8f78c0.rlib: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+/root/repo/target/debug/deps/libcse_bench-090e036cfe8f78c0.rmeta: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/stopwatch.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cse_bench-1d9af6c53826db9e.d: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_bench-1d9af6c53826db9e.rmeta: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/stopwatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cse_bench-e31e7055c85fbaa8.d: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+/root/repo/target/debug/deps/cse_bench-e31e7055c85fbaa8: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/stopwatch.rs:

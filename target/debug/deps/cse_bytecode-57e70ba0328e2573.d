@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cse_bytecode-57e70ba0328e2573.d: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/libcse_bytecode-57e70ba0328e2573.rlib: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/libcse_bytecode-57e70ba0328e2573.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/compile.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/insn.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

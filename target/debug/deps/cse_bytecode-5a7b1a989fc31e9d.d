@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cse_bytecode-5a7b1a989fc31e9d.d: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_bytecode-5a7b1a989fc31e9d.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/compile.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/insn.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

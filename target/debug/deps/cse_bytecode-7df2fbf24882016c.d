@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cse_bytecode-7df2fbf24882016c.d: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/libcse_bytecode-7df2fbf24882016c.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/compile.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/insn.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

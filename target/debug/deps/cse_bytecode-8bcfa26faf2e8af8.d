@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cse_bytecode-8bcfa26faf2e8af8.d: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_bytecode-8bcfa26faf2e8af8.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/compile.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/insn.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

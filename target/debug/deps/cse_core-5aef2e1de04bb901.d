@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cse_core-5aef2e1de04bb901.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libcse_core-5aef2e1de04bb901.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libcse_core-5aef2e1de04bb901.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/campaign.rs:
+crates/core/src/mutate.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/space.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/synth.rs:
+crates/core/src/validate.rs:

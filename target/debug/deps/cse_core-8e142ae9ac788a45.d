@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cse_core-8e142ae9ac788a45.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libcse_core-8e142ae9ac788a45.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/campaign.rs:
+crates/core/src/mutate.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/space.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/synth.rs:
+crates/core/src/validate.rs:

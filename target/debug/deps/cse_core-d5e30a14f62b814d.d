@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cse_core-d5e30a14f62b814d.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_core-d5e30a14f62b814d.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/campaign.rs:
+crates/core/src/mutate.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/space.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/synth.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

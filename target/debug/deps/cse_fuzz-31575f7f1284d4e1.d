@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cse_fuzz-31575f7f1284d4e1.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/debug/deps/cse_fuzz-31575f7f1284d4e1: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:

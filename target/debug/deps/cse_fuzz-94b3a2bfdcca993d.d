@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cse_fuzz-94b3a2bfdcca993d.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_fuzz-94b3a2bfdcca993d.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs Cargo.toml
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

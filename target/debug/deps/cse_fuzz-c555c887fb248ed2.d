@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cse_fuzz-c555c887fb248ed2.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/debug/deps/libcse_fuzz-c555c887fb248ed2.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/debug/deps/libcse_fuzz-c555c887fb248ed2.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cse_fuzz-f0d9192e3b711516.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/debug/deps/libcse_fuzz-f0d9192e3b711516.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cse_fuzz-fe64a34bb95ebace.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_fuzz-fe64a34bb95ebace.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs Cargo.toml
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

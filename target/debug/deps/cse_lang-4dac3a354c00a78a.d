@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cse_lang-4dac3a354c00a78a.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+/root/repo/target/debug/deps/cse_lang-4dac3a354c00a78a: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/scope.rs:
+crates/lang/src/token.rs:
+crates/lang/src/ty.rs:
+crates/lang/src/typeck.rs:

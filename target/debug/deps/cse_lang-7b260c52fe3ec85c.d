@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cse_lang-7b260c52fe3ec85c.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_lang-7b260c52fe3ec85c.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/scope.rs:
+crates/lang/src/token.rs:
+crates/lang/src/ty.rs:
+crates/lang/src/typeck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

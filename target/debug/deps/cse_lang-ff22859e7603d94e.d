@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cse_lang-ff22859e7603d94e.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+/root/repo/target/debug/deps/libcse_lang-ff22859e7603d94e.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+/root/repo/target/debug/deps/libcse_lang-ff22859e7603d94e.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/scope.rs:
+crates/lang/src/token.rs:
+crates/lang/src/ty.rs:
+crates/lang/src/typeck.rs:

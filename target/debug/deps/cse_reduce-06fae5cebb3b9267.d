@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cse_reduce-06fae5cebb3b9267.d: crates/reduce/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_reduce-06fae5cebb3b9267.rmeta: crates/reduce/src/lib.rs
+
+crates/reduce/src/lib.rs:

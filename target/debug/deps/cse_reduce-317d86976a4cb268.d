@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cse_reduce-317d86976a4cb268.d: crates/reduce/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_reduce-317d86976a4cb268.rmeta: crates/reduce/src/lib.rs Cargo.toml
+
+crates/reduce/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

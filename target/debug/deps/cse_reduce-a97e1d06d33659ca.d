@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cse_reduce-a97e1d06d33659ca.d: crates/reduce/src/lib.rs
+
+/root/repo/target/debug/deps/cse_reduce-a97e1d06d33659ca: crates/reduce/src/lib.rs
+
+crates/reduce/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cse_reduce-c9502e9043264e27.d: crates/reduce/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_reduce-c9502e9043264e27.rlib: crates/reduce/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_reduce-c9502e9043264e27.rmeta: crates/reduce/src/lib.rs
+
+crates/reduce/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cse_rng-0444b8af08302f41.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_rng-0444b8af08302f41.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cse_rng-337f31316672364d.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_rng-337f31316672364d.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cse_rng-3e526267bca81b5e.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/cse_rng-3e526267bca81b5e: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

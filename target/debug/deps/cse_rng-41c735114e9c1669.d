@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cse_rng-41c735114e9c1669.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_rng-41c735114e9c1669.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcse_rng-41c735114e9c1669.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

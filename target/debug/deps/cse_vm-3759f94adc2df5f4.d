@@ -1,0 +1,35 @@
+/root/repo/target/debug/deps/cse_vm-3759f94adc2df5f4.d: crates/vm/src/lib.rs crates/vm/src/config.rs crates/vm/src/events.rs crates/vm/src/exec.rs crates/vm/src/faults.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/jit/mod.rs crates/vm/src/jit/build.rs crates/vm/src/jit/cfg.rs crates/vm/src/jit/exec.rs crates/vm/src/jit/ir.rs crates/vm/src/jit/passes/mod.rs crates/vm/src/jit/passes/codegen.rs crates/vm/src/jit/passes/constfold.rs crates/vm/src/jit/passes/copyprop.rs crates/vm/src/jit/passes/dce.rs crates/vm/src/jit/passes/gcm.rs crates/vm/src/jit/passes/gvn.rs crates/vm/src/jit/passes/licm.rs crates/vm/src/jit/passes/loopopt.rs crates/vm/src/jit/passes/regalloc.rs crates/vm/src/jit/passes/vp.rs crates/vm/src/plan.rs crates/vm/src/profile.rs crates/vm/src/supervise.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse_vm-3759f94adc2df5f4.rmeta: crates/vm/src/lib.rs crates/vm/src/config.rs crates/vm/src/events.rs crates/vm/src/exec.rs crates/vm/src/faults.rs crates/vm/src/heap.rs crates/vm/src/interp.rs crates/vm/src/jit/mod.rs crates/vm/src/jit/build.rs crates/vm/src/jit/cfg.rs crates/vm/src/jit/exec.rs crates/vm/src/jit/ir.rs crates/vm/src/jit/passes/mod.rs crates/vm/src/jit/passes/codegen.rs crates/vm/src/jit/passes/constfold.rs crates/vm/src/jit/passes/copyprop.rs crates/vm/src/jit/passes/dce.rs crates/vm/src/jit/passes/gcm.rs crates/vm/src/jit/passes/gvn.rs crates/vm/src/jit/passes/licm.rs crates/vm/src/jit/passes/loopopt.rs crates/vm/src/jit/passes/regalloc.rs crates/vm/src/jit/passes/vp.rs crates/vm/src/plan.rs crates/vm/src/profile.rs crates/vm/src/supervise.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/config.rs:
+crates/vm/src/events.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/faults.rs:
+crates/vm/src/heap.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/jit/mod.rs:
+crates/vm/src/jit/build.rs:
+crates/vm/src/jit/cfg.rs:
+crates/vm/src/jit/exec.rs:
+crates/vm/src/jit/ir.rs:
+crates/vm/src/jit/passes/mod.rs:
+crates/vm/src/jit/passes/codegen.rs:
+crates/vm/src/jit/passes/constfold.rs:
+crates/vm/src/jit/passes/copyprop.rs:
+crates/vm/src/jit/passes/dce.rs:
+crates/vm/src/jit/passes/gcm.rs:
+crates/vm/src/jit/passes/gvn.rs:
+crates/vm/src/jit/passes/licm.rs:
+crates/vm/src/jit/passes/loopopt.rs:
+crates/vm/src/jit/passes/regalloc.rs:
+crates/vm/src/jit/passes/vp.rs:
+crates/vm/src/plan.rs:
+crates/vm/src/profile.rs:
+crates/vm/src/supervise.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5d41f79f4f8c867d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5d41f79f4f8c867d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

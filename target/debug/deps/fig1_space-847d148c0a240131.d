@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_space-847d148c0a240131.d: crates/bench/src/bin/fig1_space.rs
+
+/root/repo/target/debug/deps/fig1_space-847d148c0a240131: crates/bench/src/bin/fig1_space.rs
+
+crates/bench/src/bin/fig1_space.rs:

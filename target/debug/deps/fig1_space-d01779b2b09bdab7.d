@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_space-d01779b2b09bdab7.d: crates/bench/src/bin/fig1_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_space-d01779b2b09bdab7.rmeta: crates/bench/src/bin/fig1_space.rs Cargo.toml
+
+crates/bench/src/bin/fig1_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

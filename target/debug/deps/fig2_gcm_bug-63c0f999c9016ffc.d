@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_gcm_bug-63c0f999c9016ffc.d: crates/bench/src/bin/fig2_gcm_bug.rs
+
+/root/repo/target/debug/deps/fig2_gcm_bug-63c0f999c9016ffc: crates/bench/src/bin/fig2_gcm_bug.rs
+
+crates/bench/src/bin/fig2_gcm_bug.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_gcm_bug-bdcb666517821bad.d: crates/bench/src/bin/fig2_gcm_bug.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_gcm_bug-bdcb666517821bad.rmeta: crates/bench/src/bin/fig2_gcm_bug.rs Cargo.toml
+
+crates/bench/src/bin/fig2_gcm_bug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_skeletons-14d85ae3c173060a.d: crates/bench/src/bin/fig3_skeletons.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_skeletons-14d85ae3c173060a.rmeta: crates/bench/src/bin/fig3_skeletons.rs Cargo.toml
+
+crates/bench/src/bin/fig3_skeletons.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_skeletons-f7e436f23ba32163.d: crates/bench/src/bin/fig3_skeletons.rs
+
+/root/repo/target/debug/deps/fig3_skeletons-f7e436f23ba32163: crates/bench/src/bin/fig3_skeletons.rs
+
+crates/bench/src/bin/fig3_skeletons.rs:

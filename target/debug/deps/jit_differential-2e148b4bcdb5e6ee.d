@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jit_differential-2e148b4bcdb5e6ee.d: crates/vm/tests/jit_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjit_differential-2e148b4bcdb5e6ee.rmeta: crates/vm/tests/jit_differential.rs Cargo.toml
+
+crates/vm/tests/jit_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jit_differential-31fb5d4f3a4df165.d: crates/vm/tests/jit_differential.rs
+
+/root/repo/target/debug/deps/jit_differential-31fb5d4f3a4df165: crates/vm/tests/jit_differential.rs
+
+crates/vm/tests/jit_differential.rs:

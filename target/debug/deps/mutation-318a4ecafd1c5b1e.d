@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation-318a4ecafd1c5b1e.d: crates/bench/benches/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation-318a4ecafd1c5b1e.rmeta: crates/bench/benches/mutation.rs Cargo.toml
+
+crates/bench/benches/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4a2bd914a8f1391d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4a2bd914a8f1391d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-47721e7d33449c61.d: crates/lang/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-47721e7d33449c61.rmeta: crates/lang/tests/robustness.rs Cargo.toml
+
+crates/lang/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c1f5dd6428c773f7.d: crates/lang/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c1f5dd6428c773f7: crates/lang/tests/robustness.rs
+
+crates/lang/tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skeleton_soundness-c3c3afef8997ad8c.d: crates/vm/tests/skeleton_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskeleton_soundness-c3c3afef8997ad8c.rmeta: crates/vm/tests/skeleton_soundness.rs Cargo.toml
+
+crates/vm/tests/skeleton_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

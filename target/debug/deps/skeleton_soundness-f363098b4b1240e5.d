@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skeleton_soundness-f363098b4b1240e5.d: crates/vm/tests/skeleton_soundness.rs
+
+/root/repo/target/debug/deps/skeleton_soundness-f363098b4b1240e5: crates/vm/tests/skeleton_soundness.rs
+
+crates/vm/tests/skeleton_soundness.rs:

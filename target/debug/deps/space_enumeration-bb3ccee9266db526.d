@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_enumeration-bb3ccee9266db526.d: crates/bench/benches/space_enumeration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_enumeration-bb3ccee9266db526.rmeta: crates/bench/benches/space_enumeration.rs Cargo.toml
+
+crates/bench/benches/space_enumeration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/supervisor-56f55e9b43b6c465.d: tests/supervisor.rs
+
+/root/repo/target/debug/deps/supervisor-56f55e9b43b6c465: tests/supervisor.rs
+
+tests/supervisor.rs:

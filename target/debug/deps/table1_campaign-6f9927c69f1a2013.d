@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_campaign-6f9927c69f1a2013.d: crates/bench/src/bin/table1_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_campaign-6f9927c69f1a2013.rmeta: crates/bench/src/bin/table1_campaign.rs Cargo.toml
+
+crates/bench/src/bin/table1_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_campaign-84f9d99438e7cfb8.d: crates/bench/src/bin/table1_campaign.rs
+
+/root/repo/target/debug/deps/table1_campaign-84f9d99438e7cfb8: crates/bench/src/bin/table1_campaign.rs
+
+crates/bench/src/bin/table1_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_components-8bfc6b2a5918c889.d: crates/bench/src/bin/table2_components.rs
+
+/root/repo/target/debug/deps/table2_components-8bfc6b2a5918c889: crates/bench/src/bin/table2_components.rs
+
+crates/bench/src/bin/table2_components.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_components-a55028ac65d22bbe.d: crates/bench/src/bin/table2_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_components-a55028ac65d22bbe.rmeta: crates/bench/src/bin/table2_components.rs Cargo.toml
+
+crates/bench/src/bin/table2_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

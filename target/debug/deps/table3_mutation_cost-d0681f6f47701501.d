@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mutation_cost-d0681f6f47701501.d: crates/bench/src/bin/table3_mutation_cost.rs
+
+/root/repo/target/debug/deps/table3_mutation_cost-d0681f6f47701501: crates/bench/src/bin/table3_mutation_cost.rs
+
+crates/bench/src/bin/table3_mutation_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_comparative-bdcd1569b7c493cf.d: crates/bench/src/bin/table4_comparative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_comparative-bdcd1569b7c493cf.rmeta: crates/bench/src/bin/table4_comparative.rs Cargo.toml
+
+crates/bench/src/bin/table4_comparative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

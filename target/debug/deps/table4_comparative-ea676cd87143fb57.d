@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_comparative-ea676cd87143fb57.d: crates/bench/src/bin/table4_comparative.rs
+
+/root/repo/target/debug/deps/table4_comparative-ea676cd87143fb57: crates/bench/src/bin/table4_comparative.rs
+
+crates/bench/src/bin/table4_comparative.rs:

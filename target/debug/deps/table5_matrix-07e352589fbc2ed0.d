@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_matrix-07e352589fbc2ed0.d: crates/bench/src/bin/table5_matrix.rs
+
+/root/repo/target/debug/deps/table5_matrix-07e352589fbc2ed0: crates/bench/src/bin/table5_matrix.rs
+
+crates/bench/src/bin/table5_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_matrix-9b6b9b4266d7263c.d: crates/bench/src/bin/table5_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_matrix-9b6b9b4266d7263c.rmeta: crates/bench/src/bin/table5_matrix.rs Cargo.toml
+
+crates/bench/src/bin/table5_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation-bd2392d7ea0a8b84.d: crates/bench/benches/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation-bd2392d7ea0a8b84.rmeta: crates/bench/benches/validation.rs Cargo.toml
+
+crates/bench/benches/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_oracles-11cdf8a05237e2ae.d: tests/validation_oracles.rs
+
+/root/repo/target/debug/deps/validation_oracles-11cdf8a05237e2ae: tests/validation_oracles.rs
+
+tests/validation_oracles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation_oracles-299164e5882c6f6f.d: tests/validation_oracles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation_oracles-299164e5882c6f6f.rmeta: tests/validation_oracles.rs Cargo.toml
+
+tests/validation_oracles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verifier_rejections-7d3304ff9435e4be.d: crates/bytecode/tests/verifier_rejections.rs
+
+/root/repo/target/debug/deps/verifier_rejections-7d3304ff9435e4be: crates/bytecode/tests/verifier_rejections.rs
+
+crates/bytecode/tests/verifier_rejections.rs:

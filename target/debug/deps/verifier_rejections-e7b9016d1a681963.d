@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verifier_rejections-e7b9016d1a681963.d: crates/bytecode/tests/verifier_rejections.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverifier_rejections-e7b9016d1a681963.rmeta: crates/bytecode/tests/verifier_rejections.rs Cargo.toml
+
+crates/bytecode/tests/verifier_rejections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_throughput-f0708dc99cbf2f61.d: crates/bench/benches/vm_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_throughput-f0708dc99cbf2f61.rmeta: crates/bench/benches/vm_throughput.rs Cargo.toml
+
+crates/bench/benches/vm_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bughunt-0caf97f76ed13ae0.d: examples/bughunt.rs
+
+/root/repo/target/debug/examples/bughunt-0caf97f76ed13ae0: examples/bughunt.rs
+
+examples/bughunt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bughunt-42ae8e6beee382c4.d: examples/bughunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbughunt-42ae8e6beee382c4.rmeta: examples/bughunt.rs Cargo.toml
+
+examples/bughunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compilation_space-524fde4e335d46c2.d: examples/compilation_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompilation_space-524fde4e335d46c2.rmeta: examples/compilation_space.rs Cargo.toml
+
+examples/compilation_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compilation_space-650986c248b6188b.d: examples/compilation_space.rs
+
+/root/repo/target/debug/examples/compilation_space-650986c248b6188b: examples/compilation_space.rs
+
+examples/compilation_space.rs:

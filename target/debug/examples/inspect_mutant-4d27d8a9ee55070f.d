@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_mutant-4d27d8a9ee55070f.d: examples/inspect_mutant.rs
+
+/root/repo/target/debug/examples/inspect_mutant-4d27d8a9ee55070f: examples/inspect_mutant.rs
+
+examples/inspect_mutant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_mutant-d30f3acfd65fc90a.d: examples/inspect_mutant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_mutant-d30f3acfd65fc90a.rmeta: examples/inspect_mutant.rs Cargo.toml
+
+examples/inspect_mutant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

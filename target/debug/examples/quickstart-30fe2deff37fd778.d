@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-30fe2deff37fd778.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-30fe2deff37fd778: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_max_iter-6aa07b1c0976dc6d.d: crates/bench/src/bin/ablation_max_iter.rs
+
+/root/repo/target/release/deps/ablation_max_iter-6aa07b1c0976dc6d: crates/bench/src/bin/ablation_max_iter.rs
+
+crates/bench/src/bin/ablation_max_iter.rs:

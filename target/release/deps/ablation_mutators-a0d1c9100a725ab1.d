@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_mutators-a0d1c9100a725ab1.d: crates/bench/src/bin/ablation_mutators.rs
+
+/root/repo/target/release/deps/ablation_mutators-a0d1c9100a725ab1: crates/bench/src/bin/ablation_mutators.rs
+
+crates/bench/src/bin/ablation_mutators.rs:

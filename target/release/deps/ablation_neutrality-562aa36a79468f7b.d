@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_neutrality-562aa36a79468f7b.d: crates/bench/src/bin/ablation_neutrality.rs
+
+/root/repo/target/release/deps/ablation_neutrality-562aa36a79468f7b: crates/bench/src/bin/ablation_neutrality.rs
+
+crates/bench/src/bin/ablation_neutrality.rs:

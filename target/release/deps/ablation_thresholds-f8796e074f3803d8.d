@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_thresholds-f8796e074f3803d8.d: crates/bench/src/bin/ablation_thresholds.rs
+
+/root/repo/target/release/deps/ablation_thresholds-f8796e074f3803d8: crates/bench/src/bin/ablation_thresholds.rs
+
+crates/bench/src/bin/ablation_thresholds.rs:

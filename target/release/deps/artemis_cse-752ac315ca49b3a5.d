@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/artemis_cse-752ac315ca49b3a5.d: src/lib.rs
+
+/root/repo/target/release/deps/libartemis_cse-752ac315ca49b3a5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libartemis_cse-752ac315ca49b3a5.rmeta: src/lib.rs
+
+src/lib.rs:

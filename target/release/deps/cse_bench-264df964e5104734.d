@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cse_bench-264df964e5104734.d: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+/root/repo/target/release/deps/libcse_bench-264df964e5104734.rlib: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+/root/repo/target/release/deps/libcse_bench-264df964e5104734.rmeta: crates/bench/src/lib.rs crates/bench/src/stopwatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/stopwatch.rs:

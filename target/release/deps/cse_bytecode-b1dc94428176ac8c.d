@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cse_bytecode-b1dc94428176ac8c.d: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/release/deps/libcse_bytecode-b1dc94428176ac8c.rlib: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/release/deps/libcse_bytecode-b1dc94428176ac8c.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/compile.rs crates/bytecode/src/disasm.rs crates/bytecode/src/insn.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/compile.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/insn.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cse_core-ea3a0296db2f8920.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libcse_core-ea3a0296db2f8920.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libcse_core-ea3a0296db2f8920.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/campaign.rs crates/core/src/mutate.rs crates/core/src/skeleton.rs crates/core/src/space.rs crates/core/src/supervisor.rs crates/core/src/synth.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/campaign.rs:
+crates/core/src/mutate.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/space.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/synth.rs:
+crates/core/src/validate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cse_fuzz-67094aa7c5f2aedd.d: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/release/deps/libcse_fuzz-67094aa7c5f2aedd.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+/root/repo/target/release/deps/libcse_fuzz-67094aa7c5f2aedd.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/gen.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/gen.rs:

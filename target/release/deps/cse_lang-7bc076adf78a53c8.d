@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cse_lang-7bc076adf78a53c8.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+/root/repo/target/release/deps/libcse_lang-7bc076adf78a53c8.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+/root/repo/target/release/deps/libcse_lang-7bc076adf78a53c8.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/scope.rs crates/lang/src/token.rs crates/lang/src/ty.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/scope.rs:
+crates/lang/src/token.rs:
+crates/lang/src/ty.rs:
+crates/lang/src/typeck.rs:

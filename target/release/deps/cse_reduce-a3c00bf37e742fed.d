@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cse_reduce-a3c00bf37e742fed.d: crates/reduce/src/lib.rs
+
+/root/repo/target/release/deps/libcse_reduce-a3c00bf37e742fed.rlib: crates/reduce/src/lib.rs
+
+/root/repo/target/release/deps/libcse_reduce-a3c00bf37e742fed.rmeta: crates/reduce/src/lib.rs
+
+crates/reduce/src/lib.rs:

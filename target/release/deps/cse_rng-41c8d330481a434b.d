@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cse_rng-41c8d330481a434b.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcse_rng-41c8d330481a434b.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcse_rng-41c8d330481a434b.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_space-622ec88ee5ff94d3.d: crates/bench/src/bin/fig1_space.rs
+
+/root/repo/target/release/deps/fig1_space-622ec88ee5ff94d3: crates/bench/src/bin/fig1_space.rs
+
+crates/bench/src/bin/fig1_space.rs:

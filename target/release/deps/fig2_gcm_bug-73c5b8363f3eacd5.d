@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_gcm_bug-73c5b8363f3eacd5.d: crates/bench/src/bin/fig2_gcm_bug.rs
+
+/root/repo/target/release/deps/fig2_gcm_bug-73c5b8363f3eacd5: crates/bench/src/bin/fig2_gcm_bug.rs
+
+crates/bench/src/bin/fig2_gcm_bug.rs:

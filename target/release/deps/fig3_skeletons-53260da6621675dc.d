@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_skeletons-53260da6621675dc.d: crates/bench/src/bin/fig3_skeletons.rs
+
+/root/repo/target/release/deps/fig3_skeletons-53260da6621675dc: crates/bench/src/bin/fig3_skeletons.rs
+
+crates/bench/src/bin/fig3_skeletons.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutation-1f8b6df96b924061.d: crates/bench/benches/mutation.rs
+
+/root/repo/target/release/deps/mutation-1f8b6df96b924061: crates/bench/benches/mutation.rs
+
+crates/bench/benches/mutation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_campaign-75f58992a3cf617a.d: crates/bench/src/bin/table1_campaign.rs
+
+/root/repo/target/release/deps/table1_campaign-75f58992a3cf617a: crates/bench/src/bin/table1_campaign.rs
+
+crates/bench/src/bin/table1_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_components-d87bdea88089bde0.d: crates/bench/src/bin/table2_components.rs
+
+/root/repo/target/release/deps/table2_components-d87bdea88089bde0: crates/bench/src/bin/table2_components.rs
+
+crates/bench/src/bin/table2_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mutation_cost-585e3c8cd21a64d0.d: crates/bench/src/bin/table3_mutation_cost.rs
+
+/root/repo/target/release/deps/table3_mutation_cost-585e3c8cd21a64d0: crates/bench/src/bin/table3_mutation_cost.rs
+
+crates/bench/src/bin/table3_mutation_cost.rs:

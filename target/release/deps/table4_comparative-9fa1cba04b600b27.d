@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_comparative-9fa1cba04b600b27.d: crates/bench/src/bin/table4_comparative.rs
+
+/root/repo/target/release/deps/table4_comparative-9fa1cba04b600b27: crates/bench/src/bin/table4_comparative.rs
+
+crates/bench/src/bin/table4_comparative.rs:

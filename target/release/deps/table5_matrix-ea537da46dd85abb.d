@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_matrix-ea537da46dd85abb.d: crates/bench/src/bin/table5_matrix.rs
+
+/root/repo/target/release/deps/table5_matrix-ea537da46dd85abb: crates/bench/src/bin/table5_matrix.rs
+
+crates/bench/src/bin/table5_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bughunt-4e250f0ad1a40417.d: examples/bughunt.rs
+
+/root/repo/target/release/examples/bughunt-4e250f0ad1a40417: examples/bughunt.rs
+
+examples/bughunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compilation_space-d035f08f42b6a51a.d: examples/compilation_space.rs
+
+/root/repo/target/release/examples/compilation_space-d035f08f42b6a51a: examples/compilation_space.rs
+
+examples/compilation_space.rs:

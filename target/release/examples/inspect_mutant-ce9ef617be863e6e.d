@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect_mutant-ce9ef617be863e6e.d: examples/inspect_mutant.rs
+
+/root/repo/target/release/examples/inspect_mutant-ce9ef617be863e6e: examples/inspect_mutant.rs
+
+examples/inspect_mutant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-fbc9487c824bd699.d: examples/probe.rs
+
+/root/repo/target/release/examples/probe-fbc9487c824bd699: examples/probe.rs
+
+examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fc3cd961cd6efbbe.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fc3cd961cd6efbbe: examples/quickstart.rs
+
+examples/quickstart.rs:
