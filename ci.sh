@@ -27,4 +27,13 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+if [ "$mode" != "quick" ]; then
+    echo "==> parallel-engine digest equality under --release"
+    cargo test --release -q --test parallel_determinism
+
+    echo "==> campaign throughput bench (smoke)"
+    CSE_SEEDS=4 CSE_JOBS=2 CSE_BENCH_OUT=target/BENCH_campaign.smoke.json \
+        cargo run --release -q -p cse-bench --bin bench_campaign
+fi
+
 echo "==> OK"

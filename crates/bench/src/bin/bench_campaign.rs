@@ -1,0 +1,101 @@
+//! Campaign-engine throughput: serial (`jobs = 1`) vs parallel
+//! (`jobs = N`) execution of the same campaign, with a digest-equality
+//! check and a machine-readable `BENCH_campaign.json` report.
+//!
+//! Knobs:
+//!
+//! * `CSE_SEEDS` — seeds per campaign (default 24).
+//! * `CSE_JOBS` — parallel worker count (default: available parallelism).
+//! * `CSE_BENCH_OUT` — output path for the JSON report (default
+//!   `results/BENCH_campaign.json`).
+//!
+//! The ≥ 2× speedup target only applies on multi-core runners; the
+//! report records `cores` so single-core results are interpretable.
+
+use std::time::{Duration, Instant};
+
+use cse_bench::campaign_seeds;
+use cse_core::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use cse_vm::VmKind;
+
+struct Measurement {
+    jobs: usize,
+    wall: Duration,
+    seeds_per_sec: f64,
+    mutants_per_sec: f64,
+    digest: u64,
+}
+
+fn measure(config: &CampaignConfig) -> (CampaignResult, Measurement) {
+    let start = Instant::now();
+    let result = run_campaign(config);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    let measurement = Measurement {
+        jobs: config.jobs,
+        wall,
+        seeds_per_sec: result.totals.seeds as f64 / secs,
+        mutants_per_sec: result.totals.mutants as f64 / secs,
+        digest: result.digest(config),
+    };
+    (result, measurement)
+}
+
+fn main() {
+    let seeds = campaign_seeds(24);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let jobs: usize =
+        std::env::var("CSE_JOBS").ok().and_then(|s| s.parse().ok()).unwrap_or(cores).max(2);
+    let out_path = std::env::var("CSE_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_campaign.json".to_string());
+
+    println!("Campaign engine throughput: jobs=1 vs jobs={jobs} ({cores} cores, {seeds} seeds)");
+
+    let base = CampaignConfig::for_kind(VmKind::HotSpotLike, seeds);
+    let (serial_result, serial) = measure(&base);
+    let (_, parallel) = measure(&base.clone().with_jobs(jobs));
+
+    assert_eq!(
+        serial.digest, parallel.digest,
+        "parallel campaign diverged from the serial reference"
+    );
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+
+    for m in [&serial, &parallel] {
+        println!(
+            "  jobs={:<2}  {:>10.2?}  {:>8.2} seeds/s  {:>9.2} mutants/s",
+            m.jobs, m.wall, m.seeds_per_sec, m.mutants_per_sec
+        );
+    }
+    println!("  speedup: {speedup:.2}x  (digest {:#018x} identical)", serial.digest);
+    if cores == 1 {
+        println!("  note: single-core runner; the >=2x target applies to multi-core hosts");
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free).
+    let emit = |m: &Measurement| {
+        format!(
+            "{{\"jobs\": {}, \"wall_secs\": {:.6}, \"seeds_per_sec\": {:.4}, \
+             \"mutants_per_sec\": {:.4}, \"digest\": \"{:#018x}\"}}",
+            m.jobs,
+            m.wall.as_secs_f64(),
+            m.seeds_per_sec,
+            m.mutants_per_sec,
+            m.digest
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_engine\",\n  \"cores\": {cores},\n  \"seeds\": {seeds},\n  \
+         \"mutants\": {},\n  \"serial\": {},\n  \"parallel\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+        serial_result.totals.mutants,
+        emit(&serial),
+        emit(&parallel),
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

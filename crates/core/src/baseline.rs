@@ -8,6 +8,7 @@
 //!   thresholds and compare runs across option sets (the realization the
 //!   paper tried for a week without interesting findings, §3.2).
 
+use cse_bytecode::BProgram;
 use cse_lang::Program;
 use cse_rng::Rng64;
 #[cfg(test)]
@@ -28,12 +29,18 @@ pub struct BaselineOutcome {
 
 /// Traditional approach: default trace vs force-compile-all (§4.3).
 pub fn traditional(seed: &Program, vm: &VmConfig) -> BaselineOutcome {
-    let bytecode = compile_checked(seed);
-    let default_run = Vm::run_program(&bytecode, vm.clone());
+    traditional_compiled(&compile_checked(seed), vm)
+}
+
+/// [`traditional`] for a seed that is already compiled — the campaign
+/// driver compiles each seed once and shares the bytecode between
+/// validation and this baseline.
+pub fn traditional_compiled(bytecode: &BProgram, vm: &VmConfig) -> BaselineOutcome {
+    let default_run = Vm::run_program(bytecode, vm.clone());
     let mut forced = VmConfig::force_compile_all(vm.kind);
     forced.faults = vm.faults.clone();
     forced.fuel = vm.fuel;
-    let forced_run = Vm::run_program(&bytecode, forced);
+    let forced_run = Vm::run_program(bytecode, forced);
     // Timeouts are discarded, mirroring the paper's cutoff.
     if matches!(default_run.outcome, Outcome::Timeout)
         || matches!(forced_run.outcome, Outcome::Timeout)

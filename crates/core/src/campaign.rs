@@ -18,12 +18,11 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use cse_vm::supervise::contain_panics;
 use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
-use crate::baseline;
-use crate::supervisor::{self, HarnessIncident, IncidentPhase, SupervisorConfig};
-use crate::validate::{self, DiscrepancyKind, ValidateConfig};
+use crate::executor;
+use crate::supervisor::{self, HarnessIncident, SupervisorConfig};
+use crate::validate::ValidateConfig;
 
 /// Campaign settings.
 #[derive(Debug, Clone)]
@@ -43,6 +42,14 @@ pub struct CampaignConfig {
     /// fully passive (no checkpoints, no quarantine, no deadline) —
     /// panic containment inside validation is always on.
     pub supervisor: SupervisorConfig,
+    /// Worker threads for seed processing. `1` (the default) runs the
+    /// serial reference loop; `N > 1` shards seeds across `N` workers
+    /// with a deterministic in-order merge, producing a **bit-identical**
+    /// [`CampaignResult::digest`] for every value (see
+    /// [`crate::executor`]). Deliberately not part of the checkpoint
+    /// identity: a campaign checkpointed at one `jobs` setting resumes
+    /// under any other.
+    pub jobs: usize,
 }
 
 impl CampaignConfig {
@@ -56,7 +63,14 @@ impl CampaignConfig {
             run_traditional: false,
             fuzz: cse_fuzz::FuzzConfig::default(),
             supervisor: SupervisorConfig::default(),
+            jobs: 1,
         }
+    }
+
+    /// Same campaign, processed by `jobs` worker threads.
+    pub fn with_jobs(mut self, jobs: usize) -> CampaignConfig {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 
@@ -159,6 +173,10 @@ impl CampaignResult {
 
 /// Runs a campaign (resuming from the supervisor's checkpoint when one
 /// exists).
+///
+/// `config.jobs` selects the execution engine — the serial reference
+/// loop or the deterministic parallel executor (see [`crate::executor`]);
+/// the result (and its digest) is identical either way.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let start = Instant::now();
     let sup = &config.supervisor;
@@ -188,126 +206,6 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         params: crate::synth::SynthParams::for_kind(config.vm.kind),
         verify_neutrality: true,
     };
-    let mut processed_this_run: u64 = 0;
-    let mut stopped_early = false;
-    while next < config.seeds {
-        if let Some(deadline) = sup.deadline {
-            if start.elapsed() >= deadline {
-                stopped_early = true;
-                break;
-            }
-        }
-        if let Some(stop) = sup.stop_after_seeds {
-            if processed_this_run >= stop {
-                stopped_early = true;
-                break;
-            }
-        }
-        let seed_value = config.first_seed + next;
-        let seed_program = cse_fuzz::generate(seed_value, &config.fuzz);
-        let mut seed_vconfig = validate_config.clone();
-        if let Some(chaos) = sup.chaos {
-            if chaos.panic_on_seed == seed_value {
-                seed_vconfig.vm.chaos_panic_at_ops = Some(chaos.after_ops);
-            }
-        }
-        let mut outcome = validate::validate(&seed_program, &seed_vconfig, seed_value);
-        outcome.check_invariants();
-        result.totals.seeds += 1;
-        result.totals.mutants += outcome.mutants_run as u64;
-        result.totals.completed += outcome.completed as u64;
-        result.totals.vm_invocations += outcome.vm_invocations as u64;
-        result.totals.discarded += outcome.discarded as u64;
-        result.totals.seeds_discarded += outcome.seed_discarded as u64;
-        result.totals.mutant_compile_failures += outcome.mutant_compile_failures as u64;
-        result.totals.neutrality_violations += outcome.neutrality_violations as u64;
-        for incident in std::mem::take(&mut outcome.incidents) {
-            if let Some(dir) = &sup.quarantine_dir {
-                if let Err(e) = supervisor::quarantine_incident(dir, &incident, &seed_vconfig.vm) {
-                    eprintln!("warning: quarantine write failed: {e}");
-                }
-            }
-            result.incidents.push(incident);
-        }
-        if outcome.found_bug() {
-            result.cse_seeds.push(seed_value);
-        }
-        for discrepancy in outcome.discrepancies {
-            if let DiscrepancyKind::Crash(info) = &discrepancy.kind {
-                if let Some(dir) = &sup.quarantine_dir {
-                    if let Err(e) = supervisor::quarantine_crash(
-                        dir,
-                        seed_value,
-                        seed_value,
-                        discrepancy.culprit,
-                        info,
-                        &discrepancy.mutant_source,
-                        &config.vm,
-                    ) {
-                        eprintln!("warning: quarantine write failed: {e}");
-                    }
-                }
-            }
-            match discrepancy.culprit {
-                Some(bug) => {
-                    let evidence = result.bugs.entry(bug).or_insert_with(|| BugEvidence {
-                        bug,
-                        component: bug.component(),
-                        symptom: bug.symptom(),
-                        occurrences: 0,
-                        first_seed: seed_value,
-                        reproducer: discrepancy.mutant_source.clone(),
-                    });
-                    evidence.occurrences += 1;
-                    // Trust the *observed* symptom over the catalog when a
-                    // bug manifests differently (e.g. a mis-compilation
-                    // that crashes downstream).
-                    if let DiscrepancyKind::Crash(info) = &discrepancy.kind {
-                        evidence.symptom = Symptom::Crash;
-                        evidence.component = info.component;
-                    }
-                }
-                None => result.unattributed += 1,
-            }
-        }
-        if config.run_traditional {
-            match contain_panics(|| baseline::traditional(&seed_program, &config.vm)) {
-                Ok(b) => {
-                    result.totals.vm_invocations += b.vm_invocations as u64;
-                    if b.discrepancy {
-                        result.traditional_seeds.push(seed_value);
-                    }
-                }
-                Err(panic) => {
-                    result.incidents.push(HarnessIncident {
-                        phase: IncidentPhase::Baseline,
-                        seed: seed_value,
-                        rng_seed: seed_value,
-                        iteration: None,
-                        payload: panic.payload,
-                        source: Some(cse_lang::pretty::print(&seed_program)),
-                    });
-                }
-            }
-        }
-        next += 1;
-        processed_this_run += 1;
-        if let Some(path) = &sup.checkpoint_path {
-            if processed_this_run.is_multiple_of(sup.cadence()) {
-                result.totals.partial = next < config.seeds;
-                result.totals.wall = prior_wall + start.elapsed();
-                if let Err(e) = supervisor::save_checkpoint(path, config, next, &result) {
-                    eprintln!("warning: checkpoint write failed: {e}");
-                }
-            }
-        }
-    }
-    result.totals.partial = stopped_early && next < config.seeds;
-    result.totals.wall = prior_wall + start.elapsed();
-    if let Some(path) = &sup.checkpoint_path {
-        if let Err(e) = supervisor::save_checkpoint(path, config, next, &result) {
-            eprintln!("warning: checkpoint write failed: {e}");
-        }
-    }
-    result
+    let ctx = executor::ExecContext { config, validate_config, start, prior_wall };
+    executor::run(&ctx, result, next)
 }

@@ -15,6 +15,9 @@
 //!   baselines (§3.2, §4.3).
 //! * [`campaign`] — multi-seed fuzzing campaigns with Table 1/2-style
 //!   aggregation.
+//! * [`executor`] — the campaign engines: the serial reference loop and
+//!   the deterministic work-stealing parallel executor behind
+//!   `CampaignConfig::jobs`.
 //! * [`supervisor`] — crash isolation for long campaigns: harness
 //!   incidents, checkpoint/resume, and quarantine of crashing inputs.
 //!
@@ -37,6 +40,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod executor;
 pub mod mutate;
 pub mod skeleton;
 pub mod space;

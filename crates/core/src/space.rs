@@ -12,7 +12,7 @@
 //!   (the paper's Figure 1).
 
 use cse_bytecode::{BProgram, MethodId};
-use cse_vm::{ExecMode, ExecutionResult, ForcedPlan, Tier, TraceEvent, Vm, VmConfig};
+use cse_vm::{CodeCache, ExecMode, ExecutionResult, ForcedPlan, Tier, TraceEvent, Vm, VmConfig};
 
 /// Definition 3.2: the temperature band of a single counter value given
 /// the thresholds `Z_1 ≤ … ≤ Z_N`.
@@ -30,13 +30,10 @@ use cse_vm::{ExecMode, ExecutionResult, ForcedPlan, Tier, TraceEvent, Vm, VmConf
 /// assert_eq!(counter_temperature(5000, &thresholds), Tier(2));
 /// ```
 pub fn counter_temperature(counter: u64, thresholds: &[u64]) -> Tier {
-    let mut temp = 0u8;
-    for (i, &z) in thresholds.iter().enumerate() {
-        if counter >= z {
-            temp = i as u8 + 1;
-        }
-    }
-    Tier(temp)
+    // The thresholds are sorted (Def 3.1: `Z_1 ≤ … ≤ Z_N`), so the band
+    // is the partition point — the count of thresholds at or below the
+    // counter — rather than a linear scan.
+    Tier(thresholds.partition_point(|&z| z <= counter) as u8)
 }
 
 /// Definition 3.2: a method's temperature is the maximum over its counter
@@ -162,6 +159,11 @@ pub fn enumerate_space(
 ) -> Vec<SpacePoint> {
     assert!(calls.len() <= 20, "space of 2^{} is too large to enumerate", calls.len());
     let top = base_config.top_tier();
+    // The `2^n` points all execute the same program and differ only in
+    // their forced plan — which is not a compilation input — so one code
+    // cache serves the whole space: a method force-compiled by many plans
+    // is compiled once.
+    let cache = CodeCache::for_program(program);
     let mut points = Vec::with_capacity(1 << calls.len());
     for mask in 0u32..(1 << calls.len()) {
         let mut plan = ForcedPlan::all_interpreted();
@@ -175,7 +177,7 @@ pub fn enumerate_space(
         let mut config = base_config.clone();
         config.plan = Some(plan);
         config.record_method_entries = true;
-        let result = Vm::run_program(program, config);
+        let result = Vm::run_program_cached(program, config, &cache);
         points.push(SpacePoint { choices, result });
     }
     points
@@ -208,6 +210,47 @@ mod tests {
         assert_eq!(counter_temperature(999, &z), Tier(2));
         assert_eq!(counter_temperature(1000, &z), Tier(3));
         assert_eq!(counter_temperature(u64::MAX, &z), Tier(3));
+    }
+
+    #[test]
+    fn temperature_boundaries() {
+        // No thresholds: one band, everything is t0.
+        assert_eq!(counter_temperature(0, &[]), Tier(0));
+        assert_eq!(counter_temperature(u64::MAX, &[]), Tier(0));
+        // Duplicate thresholds collapse bands: Z = [10, 10] jumps t0 → t2.
+        assert_eq!(counter_temperature(9, &[10, 10]), Tier(0));
+        assert_eq!(counter_temperature(10, &[10, 10]), Tier(2));
+        // A zero threshold makes t0 unreachable.
+        assert_eq!(counter_temperature(0, &[0, 100]), Tier(1));
+        // Extreme thresholds and counters.
+        assert_eq!(counter_temperature(u64::MAX - 1, &[u64::MAX]), Tier(0));
+        assert_eq!(counter_temperature(u64::MAX, &[u64::MAX]), Tier(1));
+    }
+
+    #[test]
+    fn partition_point_matches_linear_scan() {
+        // The reference implementation of Definition 3.2, kept as an
+        // executable spec for the partition-point version.
+        fn linear(counter: u64, thresholds: &[u64]) -> Tier {
+            let mut temp = 0u8;
+            for (i, &z) in thresholds.iter().enumerate() {
+                if counter >= z {
+                    temp = i as u8 + 1;
+                }
+            }
+            Tier(temp)
+        }
+        let threshold_sets: [&[u64]; 5] =
+            [&[], &[10], &[10, 100, 1000], &[5, 5, 5], &[0, 1, 2, 3, u64::MAX]];
+        for thresholds in threshold_sets {
+            for c in (0..12).chain([99, 100, 101, 999, 1000, 1001, u64::MAX - 1, u64::MAX]) {
+                assert_eq!(
+                    counter_temperature(c, thresholds),
+                    linear(c, thresholds),
+                    "c={c}, Z={thresholds:?}"
+                );
+            }
+        }
     }
 
     #[test]

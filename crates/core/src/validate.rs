@@ -21,10 +21,13 @@
 //! quarantined as mutator bugs ([`try_compile_checked`]) rather than
 //! aborting the process.
 
+use std::rc::Rc;
+use std::sync::Arc;
+
 use cse_bytecode::BProgram;
 use cse_lang::Program;
-use cse_vm::supervise::{contain_panics, supervised_run};
-use cse_vm::{BugId, ExecutionResult, FaultInjector, Outcome, Symptom, VmConfig};
+use cse_vm::supervise::{contain_panics, supervised_run, supervised_run_cached};
+use cse_vm::{BugId, CodeCache, ExecutionResult, FaultInjector, Outcome, Symptom, VmConfig};
 
 use crate::mutate::{AppliedMutation, Artemis};
 use crate::supervisor::{HarnessIncident, IncidentPhase};
@@ -246,8 +249,29 @@ pub fn validate_with(
     rng_seed: u64,
     configure: impl FnOnce(&mut Artemis),
 ) -> ValidationOutcome {
+    validate_compiled_with(
+        seed,
+        try_compile_checked(seed).map(Arc::new),
+        config,
+        rng_seed,
+        configure,
+    )
+}
+
+/// [`validate_with`] for a seed whose bytecode compilation already
+/// happened (or already failed). The campaign driver compiles each seed
+/// exactly once and shares the `Arc<BProgram>` between validation and the
+/// traditional-fuzzing baseline instead of re-running the front end per
+/// consumer.
+pub fn validate_compiled_with(
+    seed: &Program,
+    seed_bytecode: Result<Arc<BProgram>, String>,
+    config: &ValidateConfig,
+    rng_seed: u64,
+    configure: impl FnOnce(&mut Artemis),
+) -> ValidationOutcome {
     let mut outcome = ValidationOutcome::default();
-    let seed_bytecode = match try_compile_checked(seed) {
+    let seed_bytecode = match seed_bytecode {
         Ok(bytecode) => bytecode,
         Err(message) => {
             // Fuzzer seeds are valid by construction, so this is a
@@ -341,22 +365,29 @@ pub fn validate_with(
             }
         };
         // R' ← LVM(P').
+        //
+        // One JIT code cache per mutant, shared with the attribution
+        // reruns below. Sharing is conservative — the fault set is part
+        // of the cache key, so an ablated rerun only reuses code whose
+        // compilation the ablation cannot have changed.
+        let mutant_cache = CodeCache::for_program(&mutant_bytecode);
         outcome.vm_invocations += 1;
         outcome.mutants_run += 1;
-        let mutant_result = match supervised_run(&mutant_bytecode, config.vm.clone()) {
-            Ok(result) => result,
-            Err(panic) => {
-                outcome.discarded += 1;
-                outcome.incident(
-                    IncidentPhase::MutantRun,
-                    rng_seed,
-                    Some(iteration),
-                    panic.payload,
-                    Some(cse_lang::pretty::print(&mutant)),
-                );
-                continue;
-            }
-        };
+        let mutant_result =
+            match supervised_run_cached(&mutant_bytecode, config.vm.clone(), &mutant_cache) {
+                Ok(result) => result,
+                Err(panic) => {
+                    outcome.discarded += 1;
+                    outcome.incident(
+                        IncidentPhase::MutantRun,
+                        rng_seed,
+                        Some(iteration),
+                        panic.payload,
+                        Some(cse_lang::pretty::print(&mutant)),
+                    );
+                    continue;
+                }
+            };
         // Reference run: neutrality check + performance baseline.
         let mutant_reference = if config.verify_neutrality {
             outcome.vm_invocations += 1;
@@ -403,6 +434,7 @@ pub fn validate_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
+                    &mutant_cache,
                     rng_seed,
                     iteration,
                     &mut outcome,
@@ -431,6 +463,7 @@ pub fn validate_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
+                    &mutant_cache,
                     rng_seed,
                     iteration,
                     &mut outcome,
@@ -454,6 +487,7 @@ pub fn validate_with(
                 &mutant_result,
                 config,
                 &mutant_bytecode,
+                &mutant_cache,
                 rng_seed,
                 iteration,
                 &mut outcome,
@@ -474,6 +508,7 @@ fn make_discrepancy(
     mutant_result: &ExecutionResult,
     config: &ValidateConfig,
     mutant_bytecode: &BProgram,
+    mutant_cache: &Rc<CodeCache>,
     rng_seed: u64,
     iteration: usize,
     outcome: &mut ValidationOutcome,
@@ -482,7 +517,15 @@ fn make_discrepancy(
         // Crashes carry ground truth directly.
         DiscrepancyKind::Crash(info) => Some(info.bug),
         // Mis-compilations and perf bugs are attributed by ablation.
-        _ => attribute(mutant_bytecode, config, mutant_result, rng_seed, iteration, outcome),
+        _ => attribute(
+            mutant_bytecode,
+            mutant_cache,
+            config,
+            mutant_result,
+            rng_seed,
+            iteration,
+            outcome,
+        ),
     };
     Discrepancy {
         kind,
@@ -498,8 +541,10 @@ fn make_discrepancy(
 /// disabled; the first whose removal changes the observable behavior is
 /// the culprit. A panicking rerun skips that candidate (recorded as an
 /// incident) instead of aborting.
+#[allow(clippy::too_many_arguments)]
 fn attribute(
     mutant_bytecode: &BProgram,
+    mutant_cache: &Rc<CodeCache>,
     config: &ValidateConfig,
     buggy_result: &ExecutionResult,
     rng_seed: u64,
@@ -512,7 +557,7 @@ fn attribute(
         let mut vm = config.vm.clone();
         vm.faults = FaultInjector::with(remaining);
         outcome.vm_invocations += 1;
-        let result = match supervised_run(mutant_bytecode, vm) {
+        let result = match supervised_run_cached(mutant_bytecode, vm, mutant_cache) {
             Ok(result) => result,
             Err(panic) => {
                 outcome.incident(

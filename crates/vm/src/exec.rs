@@ -74,6 +74,11 @@ pub struct ExecStats {
     pub compilations: u32,
     /// OSR compilations performed.
     pub osr_compilations: u32,
+    /// Compilations served from a cross-run [`CodeCache`]
+    /// (`crate::jit::CodeCache`); always a subset of `compilations +
+    /// osr_compilations` — a hit still counts as a compilation, it only
+    /// skips the work.
+    pub code_cache_hits: u32,
     /// De-optimizations taken.
     pub deopts: u32,
     /// Garbage collections run.

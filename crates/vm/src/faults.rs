@@ -344,6 +344,20 @@ impl FaultInjector {
     pub fn is_empty(&self) -> bool {
         self.active.is_empty()
     }
+
+    /// Order-stable fingerprint of the active bug set (the `BTreeSet`
+    /// iterates in `BugId` order). Part of the JIT code-cache key: buggy
+    /// passes compile differently depending on which bugs are seeded, so
+    /// code compiled under one fault set must never be reused under
+    /// another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::profile::Fnv::new();
+        fp.u64(self.active.len() as u64);
+        for &bug in &self.active {
+            fp.u64(bug as u64);
+        }
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

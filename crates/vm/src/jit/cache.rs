@@ -1,0 +1,239 @@
+//! Cross-run JIT code cache.
+//!
+//! A [`Vm`](crate::Vm) already memoizes compiled code *within* one run,
+//! but campaign workloads execute the **same program many times**:
+//! forced-plan compilation-space enumeration runs `2^n` plans over one
+//! program, validation re-runs a mutant for attribution with each bug
+//! ablated, and recompile-heavy plans rebuild method bodies after every
+//! de-optimization. A `CodeCache` lets all of those runs share compiled
+//! IR instead of rebuilding the CFG and re-running the pass pipeline per
+//! execution.
+//!
+//! # Soundness
+//!
+//! A cache hit must be indistinguishable from a fresh compilation.
+//! `jit::compile` is a pure function of:
+//!
+//! * the program (a cache is pinned to one [`BProgram`]),
+//! * `(method, tier, osr)` — what is being compiled,
+//! * `speculate` and `has_osr_code` — compile-mode flags,
+//! * the root method's [`MethodProfile`](crate::profile::MethodProfile)
+//!   (speculation inputs, warmth predicates, deopt history), captured by
+//!   [`MethodProfile::compile_fingerprint`](crate::profile::MethodProfile::compile_fingerprint),
+//! * the environment: VM kind, inline budget, and the active fault set
+//!   (buggy passes compile *differently* when their bug is seeded),
+//!   captured by [`CodeCache::env_fingerprint`].
+//!
+//! Every one of those inputs is part of [`CacheKey`], so a hit can only
+//! occur when a fresh compilation would have produced byte-identical IR
+//! (including injected compile-time crashes, which are cached as `Err`).
+//! The VM still records the `Compiled` trace event and bumps
+//! `stats.compilations` on a hit — the cache saves the *work*, never the
+//! observable semantics.
+//!
+//! The cache is deliberately single-threaded (`Rc` + `RefCell`): parallel
+//! campaign workers each own a cache per program on their own thread,
+//! which keeps the hot path free of locks.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cse_bytecode::{BProgram, MethodId};
+
+use crate::config::{Tier, VmConfig};
+use crate::exec::CrashInfo;
+use crate::jit::ir::IrFunc;
+use crate::profile::Fnv;
+
+/// Everything that distinguishes one compilation from another for a
+/// fixed program (see the module docs for the soundness argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub method: MethodId,
+    pub tier: Tier,
+    pub osr: Option<u32>,
+    pub speculate: bool,
+    pub has_osr_code: bool,
+    /// `MethodProfile::compile_fingerprint` of the root method at compile
+    /// time.
+    pub profile_fp: u64,
+    /// `CodeCache::env_fingerprint` of the executing configuration.
+    pub env_fp: u64,
+}
+
+/// A shared cache of compiled IR for **one** program.
+///
+/// Create with [`CodeCache::for_program`], then run any number of VMs
+/// against the same program via [`Vm::run_program_cached`](crate::Vm::run_program_cached)
+/// (or [`supervised_run_cached`](crate::supervise::supervised_run_cached)).
+/// Different configurations (fault sets, plans, thresholds) may share one
+/// cache: configuration facets that affect compilation are part of the
+/// key; facets that only affect execution (fuel, plans, GC interval) are
+/// deliberately not.
+pub struct CodeCache {
+    /// Structural fingerprint of the program this cache is pinned to;
+    /// checked (debug builds) whenever a VM attaches.
+    program_fp: u64,
+    entries: RefCell<HashMap<CacheKey, Result<Rc<IrFunc>, CrashInfo>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl CodeCache {
+    /// An empty cache pinned to `program`.
+    pub fn for_program(program: &BProgram) -> Rc<CodeCache> {
+        Rc::new(CodeCache {
+            program_fp: program_fingerprint(program),
+            entries: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        })
+    }
+
+    /// Whether this cache was built for `program`.
+    pub fn is_for(&self, program: &BProgram) -> bool {
+        self.program_fp == program_fingerprint(program)
+    }
+
+    /// Fingerprint of the compilation-relevant configuration facets.
+    pub(crate) fn env_fingerprint(config: &VmConfig) -> u64 {
+        let mut fp = Fnv::new();
+        fp.u64(config.kind as u64);
+        fp.u64(config.inline_limit as u64);
+        fp.u64(config.faults.fingerprint());
+        fp.finish()
+    }
+
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Result<Rc<IrFunc>, CrashInfo>> {
+        let entry = self.entries.borrow().get(key).cloned();
+        match &entry {
+            Some(_) => self.hits.set(self.hits.get() + 1),
+            None => self.misses.set(self.misses.get() + 1),
+        }
+        entry
+    }
+
+    pub(crate) fn insert(&self, key: CacheKey, value: Result<Rc<IrFunc>, CrashInfo>) {
+        self.entries.borrow_mut().insert(key, value);
+    }
+
+    /// Cached compilations (successful and crashing).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// `(hits, misses)` over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+}
+
+/// Cheap structural fingerprint of a program — enough to catch a cache
+/// attached to the wrong program, without hashing every instruction.
+fn program_fingerprint(program: &BProgram) -> u64 {
+    let mut fp = Fnv::new();
+    fp.u64(program.classes.len() as u64);
+    fp.u64(program.methods.len() as u64);
+    fp.u64(program.strings.len() as u64);
+    fp.u64(program.entry.0 as u64);
+    fp.u64(program.clinit.map(|m| m.0 as u64 + 1).unwrap_or(0));
+    for method in &program.methods {
+        fp.u64(method.code.len() as u64);
+        fp.u64(method.num_locals as u64);
+        fp.u64(method.handlers.len() as u64);
+        fp.u64(method.loop_headers.len() as u64);
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Vm, VmConfig, VmKind};
+
+    fn compile(source: &str) -> BProgram {
+        let program = cse_lang::parse_and_check(source).unwrap();
+        cse_bytecode::compile(&program).unwrap()
+    }
+
+    const HOT: &str = r#"
+    class T {
+        static int f(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) { acc += i; }
+            return acc;
+        }
+        static void main() {
+            int total = 0;
+            for (int i = 0; i < 3000; i++) { total = f(100); }
+            println(total);
+        }
+    }
+    "#;
+
+    #[test]
+    fn cached_runs_are_observably_identical() {
+        let program = compile(HOT);
+        let config = VmConfig::for_kind(VmKind::HotSpotLike);
+        let plain = Vm::run_program(&program, config.clone());
+        let cache = CodeCache::for_program(&program);
+        let first = Vm::run_program_cached(&program, config.clone(), &cache);
+        let second = Vm::run_program_cached(&program, config, &cache);
+        assert_eq!(plain.observable(), first.observable());
+        assert_eq!(plain.observable(), second.observable());
+        assert_eq!(plain.output, second.output);
+        assert_eq!(plain.events, first.events);
+        assert_eq!(plain.events, second.events);
+        assert_eq!(plain.stats.compilations, second.stats.compilations);
+    }
+
+    #[test]
+    fn second_run_hits_the_cache() {
+        let program = compile(HOT);
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let cache = CodeCache::for_program(&program);
+        let first = Vm::run_program_cached(&program, config.clone(), &cache);
+        assert!(first.stats.compilations > 0, "calibration: HOT must trigger the JIT");
+        assert_eq!(first.stats.code_cache_hits, 0, "an empty cache cannot hit");
+        let (_, misses_after_first) = cache.stats();
+        assert!(misses_after_first > 0);
+        let second = Vm::run_program_cached(&program, config, &cache);
+        assert_eq!(
+            second.stats.code_cache_hits,
+            second.stats.compilations + second.stats.osr_compilations,
+            "a deterministic re-run must be served entirely from the cache"
+        );
+        let (hits, _) = cache.stats();
+        assert!(hits >= second.stats.code_cache_hits as u64);
+    }
+
+    #[test]
+    fn different_fault_sets_do_not_share_code() {
+        use crate::faults::{BugId, FaultInjector};
+        let program = compile(HOT);
+        let cache = CodeCache::for_program(&program);
+        let correct = VmConfig::correct(VmKind::HotSpotLike);
+        let buggy = correct.clone().with_faults(FaultInjector::with([BugId::HsGcmStoreSink]));
+        assert_ne!(CodeCache::env_fingerprint(&correct), CodeCache::env_fingerprint(&buggy));
+        let a = Vm::run_program_cached(&program, correct, &cache);
+        let b = Vm::run_program_cached(&program, buggy, &cache);
+        // The second config must not be served the first config's code.
+        assert_eq!(b.stats.code_cache_hits, 0);
+        assert!(a.outcome.is_completed() && b.outcome.is_completed());
+    }
+
+    #[test]
+    fn cache_is_pinned_to_its_program() {
+        let program = compile(HOT);
+        let other = compile("class T { static void main() { println(1); } }");
+        let cache = CodeCache::for_program(&program);
+        assert!(cache.is_for(&program));
+        assert!(!cache.is_for(&other));
+    }
+}

@@ -18,6 +18,7 @@
 //! like a `guarantee()` failure inside a production JIT.
 
 pub mod build;
+pub mod cache;
 pub mod cfg;
 pub mod exec;
 pub mod ir;
@@ -31,6 +32,7 @@ use crate::faults::{BugId, FaultInjector};
 use crate::profile::MethodProfile;
 
 pub(crate) use build::can_osr;
+pub use cache::CodeCache;
 pub(crate) use exec::run_ir;
 pub use exec::IrOutcome;
 

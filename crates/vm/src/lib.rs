@@ -42,8 +42,9 @@ pub use config::{Tier, TierThresholds, VmConfig, VmKind};
 pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
+pub use jit::CodeCache;
 pub use plan::{ExecMode, ForcedPlan};
-pub use supervise::{contain_panics, supervised_run, VmPanic};
+pub use supervise::{contain_panics, supervised_run, supervised_run_cached, VmPanic};
 pub use value::Value;
 
 use heap::{ArrData, Heap, HeapError, HeapObj};
@@ -109,6 +110,13 @@ pub struct Vm<'p> {
     next_watchdog_check: u64,
     /// Burned-ops threshold for the chaos panic knob (`u64::MAX` = off).
     chaos_panic_at: u64,
+    /// Cross-run JIT code cache shared with other VMs executing the same
+    /// program (see [`jit::CodeCache`]); `None` compiles everything
+    /// per-run as before.
+    code_cache: Option<Rc<jit::CodeCache>>,
+    /// Compilation-relevant configuration fingerprint, precomputed for
+    /// cache keys.
+    env_fp: u64,
 }
 
 /// How many burned operations pass between wall-clock samples. Keeps
@@ -136,6 +144,7 @@ impl<'p> Vm<'p> {
         let max_objects = config.max_objects;
         let wall_deadline = config.wall_clock_limit.map(|limit| std::time::Instant::now() + limit);
         let chaos_panic_at = config.chaos_panic_at_ops.unwrap_or(u64::MAX);
+        let env_fp = jit::cache::CodeCache::env_fingerprint(&config);
         Vm {
             program,
             config,
@@ -156,7 +165,17 @@ impl<'p> Vm<'p> {
             wall_deadline,
             next_watchdog_check: WATCHDOG_STRIDE,
             chaos_panic_at,
+            code_cache: None,
+            env_fp,
         }
+    }
+
+    /// Attaches a cross-run [`CodeCache`]; the cache must have been built
+    /// for this VM's program (see [`CodeCache::for_program`]).
+    pub fn with_code_cache(mut self, cache: &Rc<jit::CodeCache>) -> Vm<'p> {
+        debug_assert!(cache.is_for(self.program), "code cache attached to a different program");
+        self.code_cache = Some(cache.clone());
+        self
     }
 
     /// Runs `$clinit` (if present) and `main`, producing the final result.
@@ -203,6 +222,16 @@ impl<'p> Vm<'p> {
     /// Convenience: build a VM, run the program, return the result.
     pub fn run_program(program: &BProgram, config: VmConfig) -> ExecutionResult {
         Vm::new(program, config).run()
+    }
+
+    /// Like [`Vm::run_program`], but sharing compiled code with other
+    /// runs of the same program through `cache`.
+    pub fn run_program_cached(
+        program: &BProgram,
+        config: VmConfig,
+        cache: &Rc<jit::CodeCache>,
+    ) -> ExecutionResult {
+        Vm::new(program, config).with_code_cache(cache).run()
     }
 
     // ----- output ---------------------------------------------------------
@@ -574,6 +603,43 @@ impl<'p> Vm<'p> {
         if let Some(func) = self.compiled.get(&key) {
             return Ok(func.clone());
         }
+        let has_osr_code = self.compiled.keys().any(|k| k.method == method && k.osr.is_some());
+        // Cross-run cache probe: every compile-relevant input is part of
+        // the key (see the soundness notes on `jit::cache`), so a hit is
+        // indistinguishable from compiling — it still records the event
+        // and counts as a compilation, it only skips the work.
+        let shared = self.code_cache.clone();
+        let shared_key = shared.as_ref().map(|_| jit::cache::CacheKey {
+            method,
+            tier,
+            osr,
+            speculate,
+            has_osr_code,
+            profile_fp: self.profiles[method.0 as usize].compile_fingerprint(),
+            env_fp: self.env_fp,
+        });
+        if let (Some(cache), Some(k)) = (&shared, &shared_key) {
+            if let Some(entry) = cache.lookup(k) {
+                return match entry {
+                    Ok(func) => {
+                        self.stats.code_cache_hits += 1;
+                        self.compiled.insert(key, func.clone());
+                        match reason {
+                            CompileReason::Osr { .. } => self.stats.osr_compilations += 1,
+                            _ => self.stats.compilations += 1,
+                        }
+                        self.push_event(TraceEvent::Compiled {
+                            method,
+                            tier,
+                            reason,
+                            invocation: self.invocations[method.0 as usize],
+                        });
+                        Ok(func)
+                    }
+                    Err(info) => Err(Exit::Crash(info)),
+                };
+            }
+        }
         let ctx = jit::CompileCtx {
             program: self.program,
             profiles: &self.profiles,
@@ -582,7 +648,7 @@ impl<'p> Vm<'p> {
             tier,
             speculate,
             inline_limit: self.config.inline_limit,
-            has_osr_code: self.compiled.keys().any(|k| k.method == method && k.osr.is_some()),
+            has_osr_code,
         };
         match jit::compile(&ctx, method, osr) {
             Ok(func) => {
@@ -590,6 +656,9 @@ impl<'p> Vm<'p> {
                     eprintln!("=== compiled m{} {:?} osr={osr:?} ===\n{func:#?}", method.0, tier);
                 }
                 let func = Rc::new(func);
+                if let (Some(cache), Some(k)) = (&shared, shared_key) {
+                    cache.insert(k, Ok(func.clone()));
+                }
                 self.compiled.insert(key, func.clone());
                 match reason {
                     CompileReason::Osr { .. } => self.stats.osr_compilations += 1,
@@ -603,7 +672,12 @@ impl<'p> Vm<'p> {
                 });
                 Ok(func)
             }
-            Err(jit::CompileFail::Crash(info)) => Err(Exit::Crash(info)),
+            Err(jit::CompileFail::Crash(info)) => {
+                if let (Some(cache), Some(k)) = (&shared, shared_key) {
+                    cache.insert(k, Err(info.clone()));
+                }
+                Err(Exit::Crash(info))
+            }
             Err(jit::CompileFail::OsrUnsupported) => {
                 // Callers must check OSR feasibility first; reaching this is
                 // a VM bug, not a program behavior.

@@ -86,6 +86,71 @@ impl MethodProfile {
     pub fn temperature(&self) -> Tier {
         self.tier
     }
+
+    /// Order-stable fingerprint of every field a compilation can read
+    /// (see [`crate::jit::CompileCtx`]): speculation inputs (branch and
+    /// switch profiles, trap history), warmth predicates (invocation and
+    /// back-edge counters), and recompilation state (deopt count). Two
+    /// profiles with equal fingerprints produce identical compiled code
+    /// for the same method, tier, and configuration — the soundness basis
+    /// of the cross-run JIT code cache ([`crate::jit::CodeCache`]).
+    pub fn compile_fingerprint(&self) -> u64 {
+        let mut fp = Fnv::new();
+        fp.u64(self.invocations);
+        fp.u64(self.backedges.len() as u64);
+        for &c in &self.backedges {
+            fp.u64(c);
+        }
+        // HashMap / HashSet iteration order is unspecified: sort by key so
+        // the fingerprint is a pure function of the profile's contents.
+        let mut branches: Vec<(u32, BranchProfile)> =
+            self.branches.iter().map(|(&pc, &b)| (pc, b)).collect();
+        branches.sort_unstable_by_key(|&(pc, _)| pc);
+        fp.u64(branches.len() as u64);
+        for (pc, b) in branches {
+            fp.u64(pc as u64);
+            fp.u64(b.taken);
+            fp.u64(b.not_taken);
+        }
+        let mut switches: Vec<((u32, usize), u64)> =
+            self.switch_hits.iter().map(|(&k, &v)| (k, v)).collect();
+        switches.sort_unstable_by_key(|&(k, _)| k);
+        fp.u64(switches.len() as u64);
+        for ((pc, arm), hits) in switches {
+            fp.u64(pc as u64);
+            fp.u64(arm as u64);
+            fp.u64(hits);
+        }
+        fp.u64(self.deopts as u64);
+        fp.u64(self.compile_banned as u64);
+        let mut no_speculate: Vec<u32> = self.no_speculate.iter().copied().collect();
+        no_speculate.sort_unstable();
+        fp.u64(no_speculate.len() as u64);
+        for pc in no_speculate {
+            fp.u64(pc as u64);
+        }
+        fp.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator (the workspace is dependency-free).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +176,29 @@ mod tests {
         assert_eq!(p.switch_arm_hits(10, 0), 1);
         assert_eq!(p.switch_arm_hits(10, usize::MAX), 2);
         assert_eq!(p.switch_arm_hits(10, 3), 0);
+    }
+
+    #[test]
+    fn compile_fingerprint_tracks_compile_relevant_state() {
+        let mut a = MethodProfile::default();
+        let mut b = MethodProfile::default();
+        assert_eq!(a.compile_fingerprint(), b.compile_fingerprint());
+        // Insertion order must not matter (HashMap iteration is unordered).
+        a.record_branch(4, true);
+        a.record_branch(9, false);
+        b.record_branch(9, false);
+        b.record_branch(4, true);
+        assert_eq!(a.compile_fingerprint(), b.compile_fingerprint());
+        // Any compile-visible change must move the fingerprint.
+        let before = a.compile_fingerprint();
+        a.record_branch(4, true);
+        assert_ne!(a.compile_fingerprint(), before);
+        let before = a.compile_fingerprint();
+        a.no_speculate.insert(12);
+        assert_ne!(a.compile_fingerprint(), before);
+        let before = a.compile_fingerprint();
+        a.invocations += 1;
+        assert_ne!(a.compile_fingerprint(), before);
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub fn supervised_run(program: &BProgram, config: VmConfig) -> Result<ExecutionR
     contain_panics(|| Vm::run_program(program, config))
 }
 
+/// [`Vm::run_program_cached`] behind the crash barrier: like
+/// [`supervised_run`], but sharing compiled code with other runs of the
+/// same program through `cache`.
+pub fn supervised_run_cached(
+    program: &BProgram,
+    config: VmConfig,
+    cache: &std::rc::Rc<crate::jit::CodeCache>,
+) -> Result<ExecutionResult, VmPanic> {
+    contain_panics(|| Vm::run_program_cached(program, config, cache))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,10 +13,12 @@ use artemis_cse::vm::{Outcome, Vm, VmConfig, VmKind};
 fn main() {
     let seeds = std::env::var("CSE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(40);
     println!("hunting with {seeds} seeds x 8 mutants against the OpenJ9-like VM ...\n");
-    let mut config = CampaignConfig::for_kind(VmKind::OpenJ9Like, seeds);
-    // Run supervised: checkpoint + quarantine under target/. Kill the
+    let jobs = std::env::var("CSE_JOBS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut config = CampaignConfig::for_kind(VmKind::OpenJ9Like, seeds).with_jobs(jobs);
+    // Run supervised: checkpoint + quarantine under results/bughunt
+    // (gitignored — unlike the curated reports in results/). Kill the
     // hunt at any point and re-run to resume from the checkpoint.
-    let workdir = std::path::Path::new("target").join("bughunt");
+    let workdir = std::path::Path::new("results").join("bughunt");
     config.supervisor.checkpoint_path = Some(workdir.join("campaign.checkpoint"));
     config.supervisor.checkpoint_every = 8;
     config.supervisor.quarantine_dir = Some(workdir.join("quarantine"));
