@@ -27,6 +27,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test -q under CSE_VERIFY_IR=each (IR verifier after every pass)"
+CSE_VERIFY_IR=each cargo test -q
+
 if [ "$mode" != "quick" ]; then
     echo "==> parallel-engine digest equality under --release"
     cargo test --release -q --test parallel_determinism

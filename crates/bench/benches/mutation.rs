@@ -1,6 +1,8 @@
 //! Timing counterpart of Table 3: JoNM mutation cost, single-run
 //! (parse + boot + mutate) vs large-scale (mutate only).
 
+#![forbid(unsafe_code)]
+
 use cse_bench::stopwatch::bench_function;
 use cse_core::mutate::Artemis;
 use cse_core::synth::SynthParams;

@@ -1,5 +1,7 @@
 //! Cost of exhaustively enumerating a small compilation space (Figure 1).
 
+#![forbid(unsafe_code)]
+
 use cse_bench::stopwatch::bench_function;
 use cse_core::space::enumerate_space;
 use cse_vm::{VmConfig, VmKind};

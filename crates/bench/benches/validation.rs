@@ -1,6 +1,8 @@
 //! End-to-end Algorithm 1 cost: one seed, 8 mutants, both with and
 //! without the reference-interpreter neutrality runs.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::stopwatch::bench_function;
 use cse_core::validate::{validate, ValidateConfig};
 use cse_vm::{VmConfig, VmKind};

@@ -3,6 +3,8 @@
 //! be slower than interpretation (our JIT "speedup" shows up as fewer
 //! executed operations; wall time tracks it).
 
+#![forbid(unsafe_code)]
+
 use cse_bench::stopwatch::bench_function;
 use cse_vm::{Vm, VmConfig, VmKind};
 

@@ -1,6 +1,8 @@
 //! Ablation: MAX_ITER (mutants per seed). The paper picked 8 as the
 //! cost/effectiveness sweet spot (§4.1); this sweep shows the yield curve.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::campaign_seeds;
 use cse_core::validate::{validate, ValidateConfig};
 use cse_vm::{VmConfig, VmKind};

@@ -4,6 +4,8 @@
 //! code with a loop template ... specific to the loop template"); the
 //! full mix should find at least as many discrepancy seeds.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::campaign_seeds;
 use cse_core::mutate::Mutator;
 use cse_core::validate::{validate, ValidateConfig};

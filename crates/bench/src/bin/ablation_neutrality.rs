@@ -5,6 +5,8 @@
 //! quantifies the false-positive rate a naive non-neutral mutator would
 //! have on a *correct* VM — versus JoNM's zero.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::campaign_seeds;
 use cse_core::mutate::Artemis;
 use cse_core::synth::SynthParams;

@@ -6,6 +6,8 @@
 //! interleaving left to explore). This ablation compares discrepancy
 //! yield under default thresholds vs thresholds divided by 50.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::campaign_seeds;
 use cse_core::validate::{validate, ValidateConfig};
 use cse_vm::{VmConfig, VmKind};

@@ -12,6 +12,8 @@
 //! The ≥ 2× speedup target only applies on multi-core runners; the
 //! report records `cores` so single-core results are interpretable.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cse_bench::campaign_seeds;

@@ -7,6 +7,8 @@
 //! then repeats on a VM with a seeded mis-compilation to show the oracle
 //! firing inside the space.
 
+#![forbid(unsafe_code)]
+
 use cse_core::space::{enumerate_space, find_space_discrepancy, JitTrace};
 use cse_vm::{VmConfig, VmKind};
 

@@ -10,6 +10,8 @@
 //! to the top tier, where the seeded GCM bug moves the `l += 2` chain
 //! into the inner loop — and the byte accumulator diverges.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::{FIG2_MUTANT, FIG2_SEED};
 use cse_core::space::JitTrace;
 use cse_core::validate::compile_checked;

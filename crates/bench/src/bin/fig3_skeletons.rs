@@ -1,6 +1,8 @@
 //! Figure 3 — the loop skeletons of the LI, SW, and MI mutators, plus one
 //! live instantiation of each produced by the synthesis engine.
 
+#![forbid(unsafe_code)]
+
 use cse_core::synth::{Synth, SynthParams};
 use cse_lang::scope::VarInfo;
 use cse_lang::Ty;

@@ -5,6 +5,8 @@
 //! (ground-truth-deduplicated) bugs, duplicates, and the symptom split
 //! (mis-compilation / crash / performance). Scale with `CSE_SEEDS`.
 
+#![forbid(unsafe_code)]
+
 use cse_bench::{campaign_seeds, row, supervisor_from_env, ALL_KINDS};
 use cse_core::campaign::{run_campaign, CampaignConfig, CampaignResult};
 use cse_vm::Symptom;

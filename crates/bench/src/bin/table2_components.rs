@@ -4,6 +4,8 @@
 //! for the HotSpot-like and OpenJ9-like profiles (the paper excludes VMs
 //! with fewer than 10 crashes; ART is reported for context here).
 
+#![forbid(unsafe_code)]
+
 use cse_bench::{campaign_seeds, row, ALL_KINDS};
 use cse_core::campaign::{run_campaign, CampaignConfig};
 

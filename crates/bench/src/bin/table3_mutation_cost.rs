@@ -10,6 +10,8 @@
 //! this front end is far lighter, so absolute numbers are milliseconds —
 //! the *ratio* (boot cost dominating single runs) is the reproduced shape.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cse_bench::campaign_seeds;

@@ -7,6 +7,8 @@
 //! their default traces (CSE). Count seeds where each approach spots a
 //! discrepancy, and their overlap.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cse_bench::campaign_seeds;

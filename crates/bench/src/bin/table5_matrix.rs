@@ -5,6 +5,8 @@
 //! semantic preservation of sampled mutants, and compilation-space
 //! exploration (distinct JIT-traces across mutants of one seed).
 
+#![forbid(unsafe_code)]
+
 use cse_core::mutate::Artemis;
 use cse_core::space::JitTrace;
 use cse_core::synth::SynthParams;

@@ -6,6 +6,8 @@
 //! each. Campaign sizes default to laptop-friendly values and scale with
 //! the `CSE_SEEDS` environment variable.
 
+#![forbid(unsafe_code)]
+
 use cse_vm::VmKind;
 
 pub mod stopwatch;

@@ -19,6 +19,8 @@
 //! cse_bytecode::verify::verify_program(&compiled).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod disasm;
 pub mod insn;

@@ -107,6 +107,10 @@ pub struct CampaignTotals {
     /// Mutants quarantined for failing compilation (mutator bugs).
     pub mutant_compile_failures: u64,
     pub neutrality_violations: u64,
+    /// Defects flagged by the static IR verifier (`cse_vm::jit::verify`)
+    /// across seed and mutant runs; 0 unless `vm.verify_ir` enables the
+    /// third oracle.
+    pub ir_verify_defects: u64,
     /// True when the campaign stopped before exhausting its seed range
     /// (deadline expiry or a simulated kill); resume from the checkpoint
     /// to finish it.

@@ -135,6 +135,7 @@ fn merge_seed(ctx: &ExecContext<'_>, result: &mut CampaignResult, record: SeedRe
     result.totals.seeds_discarded += outcome.seed_discarded as u64;
     result.totals.mutant_compile_failures += outcome.mutant_compile_failures as u64;
     result.totals.neutrality_violations += outcome.neutrality_violations as u64;
+    result.totals.ir_verify_defects += outcome.ir_verify_defects;
     let quarantine_vm = seed_vconfig(ctx, seed_value).vm;
     for incident in std::mem::take(&mut outcome.incidents) {
         if let Some(dir) = &sup.quarantine_dir {

@@ -38,6 +38,8 @@
 //! assert!(applied.len() <= seed.method_count());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod campaign;
 pub mod executor;

@@ -20,14 +20,15 @@
 //! for multi-line strings:
 //!
 //! ```text
-//! cse-checkpoint v1
+//! cse-checkpoint v2
 //! config HotSpot 100 0 8
 //! next_seed 42
 //! partial 1
 //! unattributed 0
 //! totals <seeds> <mutants> <completed> <vm_invocations> <discarded>
 //!        <seeds_discarded> <mutant_compile_failures>
-//!        <neutrality_violations> <wall_nanos>       (one line)
+//!        <neutrality_violations> <ir_verify_defects>
+//!        <wall_nanos>       (one line)
 //! cse_seeds <n>        (then n lines, one seed each)
 //! traditional_seeds <n>
 //! bugs <n>
@@ -70,10 +71,14 @@ pub enum IncidentPhase {
     Attribution,
     /// The traditional-fuzzing baseline (§4.3 comparative study).
     Baseline,
+    /// The static IR verifier flagged malformed IR at a pass boundary —
+    /// the third oracle (alongside output differencing and crash
+    /// detection); see `cse_vm::jit::verify`.
+    IrVerifyDefect,
 }
 
 impl IncidentPhase {
-    pub const ALL: [IncidentPhase; 9] = [
+    pub const ALL: [IncidentPhase; 10] = [
         IncidentPhase::SeedCompile,
         IncidentPhase::SeedRun,
         IncidentPhase::ReferenceRun,
@@ -83,6 +88,7 @@ impl IncidentPhase {
         IncidentPhase::NeutralityRun,
         IncidentPhase::Attribution,
         IncidentPhase::Baseline,
+        IncidentPhase::IrVerifyDefect,
     ];
 
     pub fn name(self) -> &'static str {
@@ -96,6 +102,7 @@ impl IncidentPhase {
             IncidentPhase::NeutralityRun => "NeutralityRun",
             IncidentPhase::Attribution => "Attribution",
             IncidentPhase::Baseline => "Baseline",
+            IncidentPhase::IrVerifyDefect => "IrVerifyDefect",
         }
     }
 
@@ -177,7 +184,10 @@ pub struct Checkpoint {
     pub result: CampaignResult,
 }
 
-const MAGIC: &str = "cse-checkpoint v1";
+// v2 added the `ir_verify_defects` totals field; v1 checkpoints are
+// rejected by the magic check, so an interrupted v1 campaign restarts
+// from scratch rather than resuming with silently-zeroed counters.
+const MAGIC: &str = "cse-checkpoint v2";
 
 // ----- encoding -----------------------------------------------------------
 
@@ -211,7 +221,7 @@ pub(crate) fn encode(
     let t = &result.totals;
     let _ = writeln!(
         out,
-        "totals {} {} {} {} {} {} {} {} {}",
+        "totals {} {} {} {} {} {} {} {} {} {}",
         t.seeds,
         t.mutants,
         t.completed,
@@ -220,6 +230,7 @@ pub(crate) fn encode(
         t.seeds_discarded,
         t.mutant_compile_failures,
         t.neutrality_violations,
+        t.ir_verify_defects,
         wall_nanos
     );
     let _ = writeln!(out, "cse_seeds {}", result.cse_seeds.len());
@@ -413,7 +424,8 @@ pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpo
     result.totals.seeds_discarded = parse_field(&t, 5, "totals")?;
     result.totals.mutant_compile_failures = parse_field(&t, 6, "totals")?;
     result.totals.neutrality_violations = parse_field(&t, 7, "totals")?;
-    let wall_nanos: u128 = parse_field(&t, 8, "totals")?;
+    result.totals.ir_verify_defects = parse_field(&t, 8, "totals")?;
+    let wall_nanos: u128 = parse_field(&t, 9, "totals")?;
     result.totals.wall = Duration::from_nanos(wall_nanos.min(u64::MAX as u128) as u64);
     let n: usize = r.tagged_num("cse_seeds")?;
     for _ in 0..n {
@@ -600,6 +612,7 @@ mod tests {
         result.totals.seeds_discarded = 1;
         result.totals.mutant_compile_failures = 2;
         result.totals.neutrality_violations = 0;
+        result.totals.ir_verify_defects = 3;
         result.totals.partial = true;
         result.totals.wall = Duration::from_millis(1234);
         result.unattributed = 3;

@@ -138,6 +138,10 @@ pub struct ValidationOutcome {
     /// Non-neutral mutants detected and skipped (harness bugs; must stay
     /// zero with the stock mutators).
     pub neutrality_violations: usize,
+    /// Defects reported by the static IR verifier (the third oracle; see
+    /// `cse_vm::jit::verify`) across seed and mutant runs. Orthogonal to
+    /// the mutant counters: a defect never changes a run's verdict.
+    pub ir_verify_defects: u64,
     /// Contained harness failures (panics in the VM, the compilers, or
     /// the mutation engine).
     pub incidents: Vec<HarnessIncident>,
@@ -183,6 +187,31 @@ impl ValidationOutcome {
             source,
         });
     }
+
+    /// Harvests IR-verifier defects from a run into the counter and an
+    /// [`IncidentPhase::IrVerifyDefect`] incident. Applied to the seed run
+    /// and to first mutant runs only — neutrality references run the
+    /// interpreter (nothing to verify) and attribution reruns would
+    /// re-report the same compilations.
+    fn note_ir_defects(
+        &mut self,
+        result: &ExecutionResult,
+        rng_seed: u64,
+        iteration: Option<usize>,
+        source: &Program,
+    ) {
+        if result.ir_verify.is_empty() {
+            return;
+        }
+        self.ir_verify_defects += result.ir_verify.len() as u64;
+        self.incident(
+            IncidentPhase::IrVerifyDefect,
+            rng_seed,
+            iteration,
+            result.ir_verify.join("\n"),
+            Some(cse_lang::pretty::print(source)),
+        );
+    }
 }
 
 /// Compiles a checked program, panicking on front-end failure (inputs are
@@ -201,7 +230,15 @@ pub fn try_compile_checked(program: &Program) -> Result<BProgram, String> {
     contain_panics(|| {
         let mut program = program.clone();
         cse_lang::typeck::check(&mut program).map_err(|e| format!("type check failed: {e}"))?;
-        cse_bytecode::compile(&program).map_err(|e| format!("bytecode compilation failed: {e}"))
+        let bytecode = cse_bytecode::compile(&program)
+            .map_err(|e| format!("bytecode compilation failed: {e}"))?;
+        // Mutants are only as trusted as the mutator that made them: a
+        // JoNM product that compiles but fails bytecode verification is a
+        // mutator (or compiler) bug and must be quarantined before the VM
+        // executes it.
+        cse_bytecode::verify::verify_program(&bytecode)
+            .map_err(|e| format!("bytecode verification failed: {e}"))?;
+        Ok(bytecode)
     })
     .map_err(|p| format!("compiler panicked: {}", p.payload))?
 }
@@ -303,6 +340,7 @@ pub fn validate_compiled_with(
             return outcome;
         }
     };
+    outcome.note_ir_defects(&seed_result, rng_seed, None, seed);
     if matches!(seed_result.outcome, Outcome::Timeout) {
         // An expensive seed: the paper's two-minute cutoff (§4.3). Not a
         // mutant discard — no mutants were attempted.
@@ -388,6 +426,7 @@ pub fn validate_compiled_with(
                     continue;
                 }
             };
+        outcome.note_ir_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
         // Reference run: neutrality check + performance baseline.
         let mutant_reference = if config.verify_neutrality {
             outcome.vm_invocations += 1;

@@ -25,6 +25,8 @@
 //! cse_lang::parse_and_check(&printed).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod gen;
 
 pub use gen::{generate, FuzzConfig};

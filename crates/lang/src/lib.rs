@@ -25,6 +25,8 @@
 //! assert_eq!(program, reparsed);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

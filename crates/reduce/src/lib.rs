@@ -38,6 +38,8 @@
 //! assert_eq!(main.body.stmts.len(), 1, "only the println survives");
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cse_lang::ast::*;
 use cse_lang::Program;
 

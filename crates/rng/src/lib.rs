@@ -14,6 +14,8 @@
 //! releases: campaign seeds, checkpoints, and stored reproducers rely on
 //! that.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// SplitMix64 step — used to expand one `u64` seed into a full xoshiro

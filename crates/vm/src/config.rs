@@ -27,6 +27,55 @@ impl std::fmt::Display for VmKind {
     }
 }
 
+/// When the static IR verifier ([`crate::jit::verify`]) runs during a
+/// compilation. Selected per [`VmConfig`]; the default comes from the
+/// `CSE_VERIFY_IR` environment variable (`off`/`boundary`/`each`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyMode {
+    /// No IR verification (zero overhead).
+    #[default]
+    Off,
+    /// Verify at the pipeline boundaries only: once after `build()` and
+    /// once after the last pass. Cheap enough for long campaigns.
+    Boundary,
+    /// Verify after `build()` and after *every* pass, attributing any
+    /// defect to the pass that introduced it. Used in CI and triage.
+    Each,
+}
+
+impl VerifyMode {
+    /// Reads the mode from `CSE_VERIFY_IR`. Unset or `off` means [`Off`];
+    /// an unrecognized value warns once and falls back to [`Off`] rather
+    /// than tearing down a campaign.
+    ///
+    /// [`Off`]: VerifyMode::Off
+    pub fn from_env() -> VerifyMode {
+        match std::env::var("CSE_VERIFY_IR") {
+            Ok(v) if v == "boundary" => VerifyMode::Boundary,
+            Ok(v) if v == "each" => VerifyMode::Each,
+            Ok(v) if v == "off" || v.is_empty() => VerifyMode::Off,
+            Ok(v) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("[cse-vm] unknown CSE_VERIFY_IR={v:?}; expected off/boundary/each");
+                });
+                VerifyMode::Off
+            }
+            Err(_) => VerifyMode::Off,
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyMode::Off => write!(f, "off"),
+            VerifyMode::Boundary => write!(f, "boundary"),
+            VerifyMode::Each => write!(f, "each"),
+        }
+    }
+}
+
 /// A compilation tier (0 = interpreter). Tier numbers are the paper's
 /// temperature levels `t_0 .. t_N` (Definition 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -96,6 +145,11 @@ pub struct VmConfig {
     /// tests can exercise panic containment reproducibly; `None` (the
     /// default everywhere) never panics.
     pub chaos_panic_at_ops: Option<u64>,
+    /// Static IR verification mode (see [`crate::jit::verify`]). Defaults
+    /// to `CSE_VERIFY_IR` (off when unset). Verification never changes
+    /// observable behavior; defects are reported out-of-band through
+    /// `ExecutionResult::ir_verify` / `ExecStats::ir_verify_defects`.
+    pub verify_ir: VerifyMode,
 }
 
 impl VmConfig {
@@ -137,6 +191,7 @@ impl VmConfig {
             max_deopts_per_method: 3,
             wall_clock_limit: None,
             chaos_panic_at_ops: None,
+            verify_ir: VerifyMode::from_env(),
         }
     }
 
@@ -171,6 +226,12 @@ impl VmConfig {
     /// Replaces the forced plan.
     pub fn with_plan(mut self, plan: ForcedPlan) -> VmConfig {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Replaces the IR verification mode.
+    pub fn with_verify_ir(mut self, mode: VerifyMode) -> VmConfig {
+        self.verify_ir = mode;
         self
     }
 }

@@ -92,6 +92,11 @@ pub struct ExecStats {
     /// run. Lets supervisors distinguish "program too expensive" from
     /// "VM wedged in real time".
     pub watchdog_fired: bool,
+    /// Defects the static IR verifier found across this run's
+    /// compilations (0 unless `VmConfig::verify_ir` enables it). The
+    /// verifier is an oracle: defects are counted and reported, never
+    /// acted on.
+    pub ir_verify_defects: u32,
 }
 
 impl ExecStats {
@@ -111,6 +116,12 @@ pub struct ExecutionResult {
     /// Compilation-state transition log.
     pub events: Vec<TraceEvent>,
     pub stats: ExecStats,
+    /// Rendered IR-verifier defect reports, in compilation order (empty
+    /// unless `VmConfig::verify_ir` enables verification and a pass
+    /// produced malformed IR). Deliberately *not* part of
+    /// [`ExecutionResult::observable`]: the verifier is a third oracle
+    /// and must never perturb the differential one.
+    pub ir_verify: Vec<String>,
 }
 
 impl ExecutionResult {
@@ -146,12 +157,14 @@ mod tests {
             outcome: Outcome::Completed { uncaught_exception: false },
             events: vec![],
             stats: ExecStats::default(),
+            ir_verify: vec![],
         };
         let timeout = ExecutionResult {
             output: "3\n".into(),
             outcome: Outcome::Timeout,
             events: vec![],
             stats: ExecStats::default(),
+            ir_verify: vec![],
         };
         assert_ne!(ok.observable(), timeout.observable());
         assert!(ok.outcome.is_completed());

@@ -334,6 +334,90 @@ impl Op {
     }
 }
 
+impl std::fmt::Display for Op {
+    /// One-line disassembly, used by `CSE_DUMP_IR` dumps and by
+    /// [`crate::jit::verify::IrVerifyError`] reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::ConstI(v) => write!(f, "const.i {v}"),
+            Op::ConstL(v) => write!(f, "const.l {v}"),
+            Op::ConstS(s) => write!(f, "const.s str{}", s.0),
+            Op::ConstNull => write!(f, "const.null"),
+            Op::Copy(r) => write!(f, "copy r{r}"),
+            Op::BinI(kind, a, b) => write!(f, "{}.i r{a}, r{b}", bin_mnemonic(*kind)),
+            Op::BinL(kind, a, b) => write!(f, "{}.l r{a}, r{b}", bin_mnemonic(*kind)),
+            Op::NegI(r) => write!(f, "neg.i r{r}"),
+            Op::NegL(r) => write!(f, "neg.l r{r}"),
+            Op::I2L(r) => write!(f, "i2l r{r}"),
+            Op::L2I(r) => write!(f, "l2i r{r}"),
+            Op::I2B(r) => write!(f, "i2b r{r}"),
+            Op::I2S(r) => write!(f, "i2s r{r}"),
+            Op::L2S(r) => write!(f, "l2s r{r}"),
+            Op::Bool2S(r) => write!(f, "bool2s r{r}"),
+            Op::Concat(a, b) => write!(f, "concat r{a}, r{b}"),
+            Op::CmpI(op, a, b) => write!(f, "cmp.i.{op:?} r{a}, r{b}"),
+            Op::CmpL(op, a, b) => write!(f, "cmp.l.{op:?} r{a}, r{b}"),
+            Op::RefCmp { eq, a, b } => {
+                write!(f, "refcmp.{} r{a}, r{b}", if *eq { "eq" } else { "ne" })
+            }
+            Op::GetStatic { class, field } => write!(f, "getstatic c{}.{field}", class.0),
+            Op::PutStatic { class, field, val } => {
+                write!(f, "putstatic c{}.{field}, r{val}", class.0)
+            }
+            Op::GetField { obj, field } => write!(f, "getfield r{obj}.{field}"),
+            Op::PutField { obj, field, val } => write!(f, "putfield r{obj}.{field}, r{val}"),
+            Op::NewObject(class) => write!(f, "new c{}", class.0),
+            Op::NewArray { kind, len } => write!(f, "newarray {kind:?}, r{len}"),
+            Op::NewMultiArray { kind, dims } => {
+                write!(f, "newmultiarray {kind:?}")?;
+                for d in dims {
+                    write!(f, ", r{d}")?;
+                }
+                Ok(())
+            }
+            Op::ArrLoad { kind, arr, idx } => write!(f, "arrload {kind:?}, r{arr}[r{idx}]"),
+            Op::ArrStore { kind, arr, idx, val } => {
+                write!(f, "arrstore {kind:?}, r{arr}[r{idx}], r{val}")
+            }
+            Op::ArrLen(r) => write!(f, "arrlen r{r}"),
+            Op::Call { method, args } => {
+                write!(f, "call m{}(", method.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "r{a}")?;
+                }
+                write!(f, ")")
+            }
+            Op::Println { kind, val } => write!(f, "println.{kind:?} r{val}"),
+            Op::Mute => write!(f, "mute"),
+            Op::Unmute => write!(f, "unmute"),
+            Op::ThrowUser(r) => write!(f, "throw r{r}"),
+            Op::Rethrow(r) => write!(f, "rethrow r{r}"),
+            Op::CorruptHeap { bug } => write!(f, "corrupt-heap {bug:?}"),
+            Op::CrashOnExec { bug } => write!(f, "crash-on-exec {bug:?}"),
+            Op::BurnFuel { factor } => write!(f, "burn-fuel {factor}"),
+        }
+    }
+}
+
+fn bin_mnemonic(kind: BinKind) -> &'static str {
+    match kind {
+        BinKind::Add => "add",
+        BinKind::Sub => "sub",
+        BinKind::Mul => "mul",
+        BinKind::Div => "div",
+        BinKind::Rem => "rem",
+        BinKind::Shl => "shl",
+        BinKind::Shr => "shr",
+        BinKind::Ushr => "ushr",
+        BinKind::And => "and",
+        BinKind::Or => "or",
+        BinKind::Xor => "xor",
+    }
+}
+
 /// An IR instruction with provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
@@ -344,6 +428,16 @@ pub struct Inst {
     pub frame: u16,
     /// The bytecode pc (within that frame's method) it lowers.
     pub bc_pc: u32,
+}
+
+impl std::fmt::Display for Inst {
+    /// `r5 = add.i r1, r2  @f0:pc12` (destination omitted when absent).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(dst) = self.dst {
+            write!(f, "r{dst} = ")?;
+        }
+        write!(f, "{}  @f{}:pc{}", self.op, self.frame, self.bc_pc)
+    }
 }
 
 /// Block terminators.
@@ -402,6 +496,30 @@ impl Term {
             Term::Switch { scrut, .. } => *scrut = f(*scrut),
             Term::Return(Some(r)) => *r = f(*r),
             _ => {}
+        }
+    }
+}
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Term::Jump(b) => write!(f, "jump b{b}"),
+            Term::Branch { cond, if_true, if_false } => {
+                write!(f, "branch r{cond} ? b{if_true} : b{if_false}")
+            }
+            Term::Switch { scrut, cases, default } => {
+                write!(f, "switch r{scrut} [")?;
+                for (i, (v, b)) in cases.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v} => b{b}")?;
+                }
+                write!(f, "] else b{default}")
+            }
+            Term::Return(Some(r)) => write!(f, "return r{r}"),
+            Term::Return(None) => write!(f, "return"),
+            Term::Trap { bc_pc, reason } => write!(f, "trap @pc{bc_pc} ({reason:?})"),
         }
     }
 }
@@ -492,6 +610,43 @@ impl IrFunc {
             }
         }
         preds
+    }
+
+    /// Full-function disassembly (used by the `CSE_DUMP_IR` debug path and
+    /// verifier incident payloads).
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fn m{} {} regs={} osr={:?}",
+            self.method.0, self.tier, self.num_regs, self.osr_entry
+        );
+        for (i, frame) in self.frames.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  frame f{i}: m{} locals r{}..r{} parent={:?}",
+                frame.method.0,
+                frame.local_base,
+                frame.local_base + frame.num_locals,
+                frame.parent
+            );
+        }
+        for h in &self.handlers {
+            let _ = writeln!(
+                out,
+                "  handler f{} pc[{}, {}) -> b{} save={:?}",
+                h.frame, h.start_bc, h.end_bc, h.target, h.save_reg
+            );
+        }
+        for (id, block) in self.blocks.iter().enumerate() {
+            let _ = writeln!(out, "b{id}:");
+            for inst in &block.insts {
+                let _ = writeln!(out, "    {inst}");
+            }
+            let _ = writeln!(out, "    {}", block.term);
+        }
+        out
     }
 }
 

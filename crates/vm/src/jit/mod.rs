@@ -23,10 +23,11 @@ pub mod cfg;
 pub mod exec;
 pub mod ir;
 pub mod passes;
+pub mod verify;
 
 use cse_bytecode::{BProgram, MethodId};
 
-use crate::config::{Tier, VmKind};
+use crate::config::{Tier, VerifyMode, VmKind};
 use crate::exec::{CrashInfo, CrashKind, CrashPhase};
 use crate::faults::{BugId, FaultInjector};
 use crate::profile::MethodProfile;
@@ -50,6 +51,8 @@ pub struct CompileCtx<'a> {
     /// Whether an OSR body for this method is already installed
     /// (recompilation-interaction bug trigger).
     pub has_osr_code: bool,
+    /// Static IR verification mode (see [`verify`]).
+    pub verify: VerifyMode,
 }
 
 impl CompileCtx<'_> {
@@ -83,12 +86,21 @@ pub enum CompileFail {
 
 /// Compiles `method` at `ctx.tier`, optionally as an OSR variant entering
 /// at loop header `osr`.
+///
+/// When `ctx.verify` is not [`VerifyMode::Off`], the IR is statically
+/// verified (after `build()`, and per [`passes::run_pipeline`]'s mode
+/// rules thereafter); defects accumulate in `defects` and never change
+/// the compilation result.
 pub fn compile(
     ctx: &CompileCtx<'_>,
     method: MethodId,
     osr: Option<u32>,
+    defects: &mut Vec<verify::IrVerifyError>,
 ) -> Result<ir::IrFunc, CompileFail> {
     let mut func = build::build(ctx, method, osr)?;
+    if ctx.verify != VerifyMode::Off {
+        defects.extend(verify::check_func(&func, ctx.program, verify::PASS_BUILD));
+    }
     let has_long_ops =
         func.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, ir::Op::BinL(..)));
     let profile = &ctx.profiles[method.0 as usize];
@@ -152,7 +164,10 @@ pub fn compile(
             ));
         }
     }
-    passes::run_pipeline(ctx, &mut func).map_err(CompileFail::Crash)?;
+    passes::run_pipeline(ctx, &mut func, defects).map_err(CompileFail::Crash)?;
+    if ctx.verify == VerifyMode::Boundary {
+        defects.extend(verify::check_func(&func, ctx.program, verify::PASS_PIPELINE_EXIT));
+    }
     Ok(func)
 }
 

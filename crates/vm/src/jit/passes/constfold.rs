@@ -192,6 +192,7 @@ mod tests {
             speculate: true,
             inline_limit: 48,
             has_osr_code: false,
+            verify: crate::config::VerifyMode::Off,
         }
     }
 

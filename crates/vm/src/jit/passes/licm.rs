@@ -184,6 +184,7 @@ mod tests {
             speculate: false,
             inline_limit: 48,
             has_osr_code: false,
+            verify: crate::config::VerifyMode::Off,
         }
     }
 

@@ -6,6 +6,11 @@
 //! code-generation lowering checks, with dead-code elimination last.
 //! Passes host the trigger logic of the injected bugs whose component
 //! they implement.
+//!
+//! Each pipeline is a *named pass table* rather than a call sequence, so
+//! the pass-boundary verifier ([`super::verify`]) can attribute a defect
+//! to the pass that introduced it, and tools can enumerate the pipeline a
+//! configuration will run.
 
 pub mod codegen;
 pub mod constfold;
@@ -19,66 +24,111 @@ pub mod regalloc;
 pub mod vp;
 
 use super::ir::IrFunc;
-use super::CompileCtx;
-use crate::config::VmKind;
+use super::{verify, CompileCtx};
+use crate::config::{VerifyMode, VmKind};
 use crate::exec::CrashInfo;
 
+/// One pipeline stage: fallible in-place IR transform.
+pub type PassFn = fn(&CompileCtx<'_>, &mut IrFunc) -> Result<(), CrashInfo>;
+
+/// A named pipeline stage.
+pub type Pass = (&'static str, PassFn);
+
+fn run_copyprop(_: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
+    copyprop::run(func);
+    Ok(())
+}
+
+fn run_dce(_: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
+    dce::run(func);
+    Ok(())
+}
+
+/// HotSpot C1: quick tier.
+const HOTSPOT_QUICK: &[Pass] = &[
+    ("copyprop", run_copyprop),
+    ("constfold", constfold::run),
+    ("gvn-local", gvn::run_local),
+    ("dce", run_dce),
+];
+
+/// HotSpot C2: optimizing tier. Cleanup passes run twice: value numbering
+/// introduces copies that expose further local CSE (classic
+/// iterate-to-fixpoint, bounded to two rounds).
+const HOTSPOT_OPT: &[Pass] = &[
+    ("copyprop", run_copyprop),
+    ("constfold", constfold::run),
+    ("gvn-local", gvn::run_local),
+    ("copyprop", run_copyprop),
+    ("gvn-local", gvn::run_local),
+    ("gvn", gvn::run),
+    ("licm", licm::run),
+    ("gcm", gcm::run),
+    ("loopopt", loopopt::run),
+    ("regalloc", regalloc::run),
+    ("codegen", codegen::run),
+    ("dce", run_dce),
+];
+
+const OPENJ9_QUICK: &[Pass] = &[
+    ("copyprop", run_copyprop),
+    ("vp-local", vp::run_local),
+    ("gvn-local", gvn::run_local),
+    ("dce", run_dce),
+];
+
+const OPENJ9_OPT: &[Pass] = &[
+    ("copyprop", run_copyprop),
+    ("vp-local", vp::run_local),
+    ("vp-global", vp::run_global),
+    ("constfold", constfold::run),
+    ("gvn-local", gvn::run_local),
+    ("copyprop", run_copyprop),
+    ("gvn-local", gvn::run_local),
+    ("gvn", gvn::run),
+    ("licm", licm::run),
+    ("loopopt", loopopt::run),
+    ("regalloc", regalloc::run),
+    ("codegen", codegen::run),
+    ("dce", run_dce),
+];
+
+/// ART's single "OptimizingCompiler" tier.
+const ART_OPT: &[Pass] = &[
+    ("copyprop", run_copyprop),
+    ("constfold", constfold::run),
+    ("gvn-local", gvn::run_local),
+    ("licm", licm::run),
+    ("codegen", codegen::run),
+    ("dce", run_dce),
+];
+
+/// The pass table a VM kind runs at the given optimization level.
+pub fn pipeline(kind: VmKind, optimizing: bool) -> &'static [Pass] {
+    match (kind, optimizing) {
+        (VmKind::HotSpotLike, false) => HOTSPOT_QUICK,
+        (VmKind::HotSpotLike, true) => HOTSPOT_OPT,
+        (VmKind::OpenJ9Like, false) => OPENJ9_QUICK,
+        (VmKind::OpenJ9Like, true) => OPENJ9_OPT,
+        (VmKind::ArtLike, _) => ART_OPT,
+    }
+}
+
 /// Runs the pipeline for `ctx.kind` / `ctx.tier` over `func` in place.
-pub fn run_pipeline(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
-    match (ctx.kind, ctx.optimizing()) {
-        (VmKind::HotSpotLike, false) => {
-            // C1: quick tier.
-            copyprop::run(func);
-            constfold::run(ctx, func)?;
-            gvn::run_local(ctx, func)?;
-            dce::run(func);
-        }
-        (VmKind::HotSpotLike, true) => {
-            // C2: optimizing tier. Cleanup passes run twice: value
-            // numbering introduces copies that expose further local CSE
-            // (classic iterate-to-fixpoint, bounded to two rounds).
-            copyprop::run(func);
-            constfold::run(ctx, func)?;
-            gvn::run_local(ctx, func)?;
-            copyprop::run(func);
-            gvn::run_local(ctx, func)?;
-            gvn::run(ctx, func)?;
-            licm::run(ctx, func)?;
-            gcm::run(ctx, func)?;
-            loopopt::run(ctx, func)?;
-            regalloc::run(ctx, func)?;
-            codegen::run(ctx, func)?;
-            dce::run(func);
-        }
-        (VmKind::OpenJ9Like, false) => {
-            copyprop::run(func);
-            vp::run_local(ctx, func)?;
-            gvn::run_local(ctx, func)?;
-            dce::run(func);
-        }
-        (VmKind::OpenJ9Like, true) => {
-            copyprop::run(func);
-            vp::run_local(ctx, func)?;
-            vp::run_global(ctx, func)?;
-            constfold::run(ctx, func)?;
-            gvn::run_local(ctx, func)?;
-            copyprop::run(func);
-            gvn::run_local(ctx, func)?;
-            gvn::run(ctx, func)?;
-            licm::run(ctx, func)?;
-            loopopt::run(ctx, func)?;
-            regalloc::run(ctx, func)?;
-            codegen::run(ctx, func)?;
-            dce::run(func);
-        }
-        (VmKind::ArtLike, _) => {
-            // The single "OptimizingCompiler" tier.
-            copyprop::run(func);
-            constfold::run(ctx, func)?;
-            gvn::run_local(ctx, func)?;
-            licm::run(ctx, func)?;
-            codegen::run(ctx, func)?;
-            dce::run(func);
+///
+/// In [`VerifyMode::Each`] the IR is statically verified after every
+/// pass; defects (attributed to the pass's table name) accumulate in
+/// `defects` without altering compilation — the verifier is an oracle,
+/// not a gate.
+pub fn run_pipeline(
+    ctx: &CompileCtx<'_>,
+    func: &mut IrFunc,
+    defects: &mut Vec<verify::IrVerifyError>,
+) -> Result<(), CrashInfo> {
+    for (name, pass) in pipeline(ctx.kind, ctx.optimizing()) {
+        pass(ctx, func)?;
+        if ctx.verify == VerifyMode::Each {
+            defects.extend(verify::check_func(func, ctx.program, name));
         }
     }
     Ok(())

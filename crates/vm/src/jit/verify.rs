@@ -1,0 +1,979 @@
+//! Pass-boundary static verifier for the JIT IR — the third oracle.
+//!
+//! The CSE differential oracle only notices a miscompile once it changes
+//! *output*; a pass that corrupts IR which a later pass masks (or which
+//! only mis-executes on unexercised paths) is invisible to it. This module
+//! is the engineering analogue of LLVM's `-verify-each`: after `build()`
+//! and (in [`VerifyMode::Each`]) after every optimization pass it proves
+//!
+//! 1. **CFG well-formedness** — terminator successors and handler targets
+//!    in-bounds, register operands within `num_regs`, frame/handler tables
+//!    internally consistent with `anchor_limit_per_frame`;
+//! 2. **def-before-use** — a forward definite-assignment dataflow over all
+//!    paths (including per-throw-point exceptional edges), plus a
+//!    dominance check via [`cfg::Dominators`] for single-assignment
+//!    registers;
+//! 3. **a type lattice** — int/long/str/ref categories inferred from `Op`
+//!    signatures and joined at merge points, exactly as the bytecode
+//!    verifier does for stack slots;
+//! 4. **effect-flag soundness** — `is_pure()` / `can_throw()` /
+//!    `is_memory_write()` audited against an independent table of each
+//!    op's actual shape, so LICM/GCM/DCE cannot be lied to.
+//!
+//! Verification is *observation only*: defects are collected and reported
+//! through `ExecutionResult::ir_verify`, never altering compilation or
+//! execution, so enabling the verifier cannot perturb the differential
+//! oracle. Checking is deterministic (fixed iteration order, no hashing),
+//! which keeps campaign digests bit-identical across worker counts.
+//!
+//! Deliberate leniencies, each matched to how the IR is actually built and
+//! executed (`run_ir` starts every register as `I(0)`, so "undefined" is a
+//! static notion here, not a runtime trap):
+//!
+//! * Anchor registers (frame locals) are treated as defined at entry with
+//!   their declared bytecode types — the interpreter seeds frame-0 args
+//!   and deopt rebuilds frames from anchors, and the front end enforces
+//!   source-level definite assignment for locals.
+//! * Conflicting types only join to `Any` (reported at a *use* that needs
+//!   a specific category), since dead merge paths legitimately carry
+//!   mismatched slots.
+//! * Unreachable blocks are shape-checked but excluded from dataflow; the
+//!   builder emits unreachable `Trap` filler blocks by design.
+
+use std::collections::VecDeque;
+
+use cse_bytecode::{ArrKind, BProgram, PrintKind};
+use cse_lang::Ty;
+
+use super::cfg::Dominators;
+use super::ir::{BinKind, BlockId, Inst, IrFunc, Op, Reg, Term};
+
+pub use crate::config::VerifyMode;
+
+/// Pass label for the IR as produced by `build()`.
+pub const PASS_BUILD: &str = "build";
+/// Pass label for the [`VerifyMode::Boundary`] check after the last pass.
+pub const PASS_PIPELINE_EXIT: &str = "pipeline-exit";
+
+/// Cap on reported defects per verification point, so one catastrophically
+/// corrupted function cannot flood incident logs.
+const MAX_ERRORS: usize = 8;
+
+/// A defect found in an [`IrFunc`], attributed to the pass after which it
+/// was first observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrVerifyError {
+    /// `Class.method` of the compiled function.
+    pub method: String,
+    /// The pass the IR was verified after ([`PASS_BUILD`] for fresh IR).
+    pub pass: &'static str,
+    /// Block containing the defect.
+    pub block: BlockId,
+    /// Instruction index within the block; `None` for function-level or
+    /// terminator defects.
+    pub inst: Option<usize>,
+    /// The violated invariant.
+    pub detail: String,
+    /// One-line disassembly of the offending instruction or terminator.
+    pub disasm: Option<String>,
+}
+
+impl std::fmt::Display for IrVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: after {}: b{}", self.method, self.pass, self.block)?;
+        if let Some(i) = self.inst {
+            write!(f, "[{i}]")?;
+        }
+        write!(f, ": {}", self.detail)?;
+        if let Some(disasm) = &self.disasm {
+            write!(f, " in `{disasm}`")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies one function, attributing defects to `pass`. Returns every
+/// violated invariant (capped at [`MAX_ERRORS`]); an empty vector means the
+/// IR is well-formed.
+pub fn check_func(func: &IrFunc, program: &BProgram, pass: &'static str) -> Vec<IrVerifyError> {
+    let mut checker = Checker {
+        func,
+        program,
+        pass,
+        method: program.qualified_name(func.method),
+        errors: Vec::new(),
+    };
+    checker.check_shape();
+    // The dataflow indexes blocks/registers/methods by id, so it only runs
+    // on shape-clean IR.
+    if checker.errors.is_empty() {
+        let in_states = checker.compute_states();
+        checker.check_dataflow(&in_states);
+        checker.check_single_defs(&in_states);
+    }
+    checker.errors
+}
+
+/// Audits claimed effect flags for `op` against an independent table of
+/// the op's actual shape. `Ok(())` means the claims are sound. Exposed so
+/// tests can feed deliberately wrong claims; the verifier itself calls it
+/// with the values `ir.rs` reports.
+pub fn check_effect_claims(op: &Op, pure: bool, throws: bool, writes: bool) -> Result<(), String> {
+    if pure && (throws || writes) {
+        return Err(format!(
+            "op claims is_pure but also can_throw={throws}/is_memory_write={writes}"
+        ));
+    }
+    let (want_pure, want_throw, want_write) = expected_effects(op);
+    if pure != want_pure {
+        return Err(format!("op claims is_pure={pure}, shape says {want_pure}"));
+    }
+    if throws != want_throw {
+        return Err(format!("op claims can_throw={throws}, shape says {want_throw}"));
+    }
+    if writes != want_write {
+        return Err(format!("op claims is_memory_write={writes}, shape says {want_write}"));
+    }
+    Ok(())
+}
+
+/// Ground-truth effect flags `(pure, can_throw, memory_write)` derived
+/// from each op's shape, independent of the methods on [`Op`].
+fn expected_effects(op: &Op) -> (bool, bool, bool) {
+    match op {
+        Op::ConstI(_)
+        | Op::ConstL(_)
+        | Op::ConstS(_)
+        | Op::ConstNull
+        | Op::Copy(_)
+        | Op::NegI(_)
+        | Op::NegL(_)
+        | Op::I2L(_)
+        | Op::L2I(_)
+        | Op::I2B(_)
+        | Op::I2S(_)
+        | Op::L2S(_)
+        | Op::Bool2S(_)
+        | Op::Concat(..)
+        | Op::CmpI(..)
+        | Op::CmpL(..)
+        | Op::RefCmp { .. } => (true, false, false),
+        Op::BinI(kind, ..) | Op::BinL(kind, ..) => {
+            // Division by zero throws; everything else is pure arithmetic.
+            if matches!(kind, BinKind::Div | BinKind::Rem) {
+                (false, true, false)
+            } else {
+                (true, false, false)
+            }
+        }
+        // Reads of mutable memory: not pure, but neither throwing nor
+        // writing.
+        Op::GetStatic { .. } => (false, false, false),
+        // Null check on the receiver / index check on the array.
+        Op::GetField { .. } | Op::ArrLoad { .. } | Op::ArrLen(_) => (false, true, false),
+        Op::PutField { .. } | Op::ArrStore { .. } => (false, true, true),
+        Op::PutStatic { .. } => (false, false, true),
+        // Allocation can exhaust the heap; NewArray also checks its length.
+        Op::NewObject(_) | Op::NewArray { .. } | Op::NewMultiArray { .. } => (false, true, false),
+        // A call may do anything.
+        Op::Call { .. } => (false, true, true),
+        Op::Println { .. } | Op::Mute | Op::Unmute => (false, false, true),
+        Op::ThrowUser(_) | Op::Rethrow(_) => (false, true, false),
+        Op::CorruptHeap { .. } => (false, false, true),
+        Op::CrashOnExec { .. } | Op::BurnFuel { .. } => (false, false, false),
+    }
+}
+
+/// Abstract register contents: a definite-assignment bit fused with a
+/// small type lattice. `Unset < {I, L, S, R, Null} < Any`, except that
+/// `Null` joins with either reference category without losing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VType {
+    /// Not assigned on every path (bottom: wins every join).
+    Unset,
+    /// 32-bit int (also byte and boolean).
+    I,
+    /// 64-bit long (also packed exceptions).
+    L,
+    /// String reference.
+    S,
+    /// Object or array reference.
+    R,
+    /// The null literal (compatible with both reference categories).
+    Null,
+    /// Assigned, but of merge-dependent category; accepted wherever a
+    /// specific category is not required.
+    Any,
+}
+
+fn join(a: VType, b: VType) -> VType {
+    match (a, b) {
+        _ if a == b => a,
+        (VType::Unset, _) | (_, VType::Unset) => VType::Unset,
+        (VType::Null, VType::R) | (VType::R, VType::Null) => VType::R,
+        (VType::Null, VType::S) | (VType::S, VType::Null) => VType::S,
+        _ => VType::Any,
+    }
+}
+
+fn of_ty(ty: &Ty) -> VType {
+    match ty {
+        Ty::Int | Ty::Byte | Ty::Bool => VType::I,
+        Ty::Long => VType::L,
+        Ty::Str => VType::S,
+        _ => VType::R,
+    }
+}
+
+fn of_elem(kind: ArrKind) -> VType {
+    match kind {
+        ArrKind::I32 | ArrKind::I8 | ArrKind::Bool => VType::I,
+        ArrKind::I64 => VType::L,
+        ArrKind::Str => VType::S,
+        ArrKind::Ref => VType::R,
+    }
+}
+
+fn int_ok(t: VType) -> bool {
+    matches!(t, VType::I | VType::Any)
+}
+
+fn long_ok(t: VType) -> bool {
+    matches!(t, VType::L | VType::Any)
+}
+
+fn str_ok(t: VType) -> bool {
+    matches!(t, VType::S | VType::Null | VType::Any)
+}
+
+fn obj_ok(t: VType) -> bool {
+    matches!(t, VType::R | VType::Null | VType::Any)
+}
+
+fn ref_like_ok(t: VType) -> bool {
+    matches!(t, VType::R | VType::S | VType::Null | VType::Any)
+}
+
+/// Whether `actual` fits a declared bytecode type's category.
+fn fits_declared(declared: &Ty, actual: VType) -> bool {
+    match of_ty(declared) {
+        VType::I => int_ok(actual),
+        VType::L => long_ok(actual),
+        VType::S => str_ok(actual),
+        VType::R => obj_ok(actual),
+        _ => true,
+    }
+}
+
+/// Mirrors `exec::find_handler`: the handler for an exception raised at
+/// (`frame`, `bc_pc`), walking outward through inline frames.
+fn handler_for(func: &IrFunc, mut frame: u16, mut bc_pc: u32) -> Option<usize> {
+    loop {
+        if let Some(idx) = func
+            .handlers
+            .iter()
+            .position(|h| h.frame == frame && bc_pc >= h.start_bc && bc_pc < h.end_bc)
+        {
+            return Some(idx);
+        }
+        match func.frames[frame as usize].parent {
+            Some((parent, call_pc)) => {
+                frame = parent;
+                bc_pc = call_pc;
+            }
+            None => return None,
+        }
+    }
+}
+
+struct Checker<'a> {
+    func: &'a IrFunc,
+    program: &'a BProgram,
+    pass: &'static str,
+    method: String,
+    errors: Vec<IrVerifyError>,
+}
+
+impl Checker<'_> {
+    fn report(&mut self, block: BlockId, inst: Option<usize>, detail: String) {
+        if self.errors.len() >= MAX_ERRORS {
+            return;
+        }
+        let disasm = inst.map_or_else(
+            || self.func.blocks.get(block as usize).map(|b| b.term.to_string()),
+            |i| {
+                self.func
+                    .blocks
+                    .get(block as usize)
+                    .and_then(|b| b.insts.get(i))
+                    .map(Inst::to_string)
+            },
+        );
+        self.errors.push(IrVerifyError {
+            method: self.method.clone(),
+            pass: self.pass,
+            block,
+            inst,
+            detail,
+            disasm,
+        });
+    }
+
+    // ---- Phase 1: shape (CFG, tables, indices, arity, effect flags) ----
+
+    fn check_shape(&mut self) {
+        let func = self.func;
+        let nblocks = func.blocks.len() as u32;
+        if func.blocks.is_empty() {
+            self.report(0, None, "function has no blocks (entry must be b0)".into());
+            return;
+        }
+        self.check_frames();
+        self.check_handlers();
+        for (b, block) in func.blocks.iter().enumerate() {
+            let b = b as BlockId;
+            for (i, inst) in block.insts.iter().enumerate() {
+                self.check_inst_shape(b, i, inst);
+            }
+            for succ in block.term.successors() {
+                if succ >= nblocks {
+                    self.report(b, None, format!("terminator targets dangling block b{succ}"));
+                }
+            }
+            for r in block.term.sources() {
+                if r >= func.num_regs {
+                    self.report(b, None, format!("terminator reads out-of-range register r{r}"));
+                }
+            }
+        }
+    }
+
+    fn check_frames(&mut self) {
+        let func = self.func;
+        if func.frames.is_empty() {
+            self.report(0, None, "function has no inline frames".into());
+            return;
+        }
+        if func.anchor_limit_per_frame.len() != func.frames.len() {
+            self.report(
+                0,
+                None,
+                format!(
+                    "anchor_limit_per_frame has {} entries for {} frames",
+                    func.anchor_limit_per_frame.len(),
+                    func.frames.len()
+                ),
+            );
+        }
+        for (f, frame) in func.frames.iter().enumerate() {
+            if frame.method.0 as usize >= self.program.methods.len() {
+                self.report(
+                    0,
+                    None,
+                    format!("frame f{f} references unknown method m{}", frame.method.0),
+                );
+                continue;
+            }
+            let declared = u32::from(self.program.method(frame.method).num_locals);
+            if frame.num_locals != declared {
+                self.report(
+                    0,
+                    None,
+                    format!(
+                        "frame f{f} has {} locals but m{} declares {declared}",
+                        frame.num_locals, frame.method.0
+                    ),
+                );
+            }
+            if frame.local_base + frame.num_locals > func.num_regs {
+                self.report(
+                    0,
+                    None,
+                    format!(
+                        "frame f{f} locals r{}..r{} exceed num_regs={}",
+                        frame.local_base,
+                        frame.local_base + frame.num_locals,
+                        func.num_regs
+                    ),
+                );
+            }
+            match (f, frame.parent) {
+                (0, Some(_)) => self.report(0, None, "frame f0 must not have a parent".into()),
+                (0, None) => {}
+                (_, None) => self.report(0, None, format!("inlined frame f{f} has no parent")),
+                (_, Some((p, _))) if usize::from(p) >= f => {
+                    self.report(0, None, format!("frame f{f} parent f{p} does not precede it"));
+                }
+                _ => {}
+            }
+            if let Some(&(lo, hi)) = func.anchor_limit_per_frame.get(f) {
+                if lo != frame.local_base || hi != frame.local_base + frame.num_locals {
+                    self.report(
+                        0,
+                        None,
+                        format!(
+                            "anchor range ({lo}, {hi}) of f{f} disagrees with locals r{}..r{}",
+                            frame.local_base,
+                            frame.local_base + frame.num_locals
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_handlers(&mut self) {
+        let func = self.func;
+        for (h, handler) in func.handlers.iter().enumerate() {
+            if usize::from(handler.frame) >= func.frames.len() {
+                self.report(
+                    0,
+                    None,
+                    format!("handler #{h} references unknown frame f{}", handler.frame),
+                );
+                continue;
+            }
+            if handler.target >= func.blocks.len() as u32 {
+                self.report(
+                    0,
+                    None,
+                    format!("handler #{h} targets dangling block b{}", handler.target),
+                );
+            }
+            if handler.start_bc >= handler.end_bc {
+                self.report(
+                    0,
+                    None,
+                    format!(
+                        "handler #{h} covers empty pc range [{}, {})",
+                        handler.start_bc, handler.end_bc
+                    ),
+                );
+            }
+            if let Some(save) = handler.save_reg {
+                let frame = &func.frames[usize::from(handler.frame)];
+                let in_frame =
+                    save >= frame.local_base && save < frame.local_base + frame.num_locals;
+                if !in_frame {
+                    self.report(
+                        0,
+                        None,
+                        format!(
+                            "handler #{h} save register r{save} is not an anchor of f{}",
+                            handler.frame
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_inst_shape(&mut self, b: BlockId, i: usize, inst: &Inst) {
+        let func = self.func;
+        let program = self.program;
+        if let Some(dst) = inst.dst {
+            if dst >= func.num_regs {
+                self.report(
+                    b,
+                    Some(i),
+                    format!("destination r{dst} out of range (num_regs={})", func.num_regs),
+                );
+            }
+        }
+        for r in inst.op.sources() {
+            if r >= func.num_regs {
+                self.report(
+                    b,
+                    Some(i),
+                    format!("source r{r} out of range (num_regs={})", func.num_regs),
+                );
+            }
+        }
+        if usize::from(inst.frame) >= func.frames.len() {
+            self.report(b, Some(i), format!("provenance references unknown frame f{}", inst.frame));
+        }
+        // Program-index bounds; arity depends on them being valid.
+        match &inst.op {
+            Op::ConstS(s) if s.0 as usize >= program.strings.len() => {
+                self.report(b, Some(i), format!("unknown string constant str{}", s.0));
+                return;
+            }
+            Op::GetStatic { class, field } | Op::PutStatic { class, field, .. } => {
+                if class.0 as usize >= program.classes.len() {
+                    self.report(b, Some(i), format!("unknown class c{}", class.0));
+                    return;
+                }
+                if *field as usize >= program.class(*class).static_fields.len() {
+                    self.report(b, Some(i), format!("unknown static field c{}.{field}", class.0));
+                    return;
+                }
+            }
+            Op::NewObject(class) if class.0 as usize >= program.classes.len() => {
+                self.report(b, Some(i), format!("unknown class c{}", class.0));
+                return;
+            }
+            Op::NewMultiArray { dims, .. } if dims.is_empty() => {
+                self.report(b, Some(i), "newmultiarray with zero dimensions".into());
+            }
+            Op::Call { method, args } => {
+                if method.0 as usize >= program.methods.len() {
+                    self.report(b, Some(i), format!("call to unknown method m{}", method.0));
+                    return;
+                }
+                let want = program.method(*method).arg_slots();
+                if args.len() != want {
+                    self.report(
+                        b,
+                        Some(i),
+                        format!("call passes {} arguments, m{} takes {want}", args.len(), method.0),
+                    );
+                }
+            }
+            _ => {}
+        }
+        self.check_dst_arity(b, i, inst);
+        if let Err(detail) = check_effect_claims(
+            &inst.op,
+            inst.op.is_pure(),
+            inst.op.can_throw(),
+            inst.op.is_memory_write(),
+        ) {
+            self.report(b, Some(i), detail);
+        }
+    }
+
+    fn check_dst_arity(&mut self, b: BlockId, i: usize, inst: &Inst) {
+        // `Either`: CrashOnExec may keep the destination of the op it
+        // replaced, and a non-void call result may be discarded.
+        let required = match &inst.op {
+            Op::PutStatic { .. }
+            | Op::PutField { .. }
+            | Op::ArrStore { .. }
+            | Op::Println { .. }
+            | Op::Mute
+            | Op::Unmute
+            | Op::ThrowUser(_)
+            | Op::Rethrow(_)
+            | Op::CorruptHeap { .. }
+            | Op::BurnFuel { .. } => Some(false),
+            Op::CrashOnExec { .. } => None,
+            Op::Call { method, .. } => {
+                if self.program.method(*method).ret == Ty::Void {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            _ => Some(true),
+        };
+        match (required, inst.dst) {
+            (Some(true), None) => {
+                self.report(b, Some(i), "value-producing op has no destination".into());
+            }
+            (Some(false), Some(dst)) => {
+                self.report(b, Some(i), format!("effect-only op writes destination r{dst}"));
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Phase 2: definite assignment + type lattice ----
+
+    /// Entry state: anchors carry their declared types, everything else is
+    /// `Unset` (see the module docs for why anchors count as defined).
+    fn entry_state(&self) -> Vec<VType> {
+        let mut state = vec![VType::Unset; self.func.num_regs as usize];
+        for frame in &self.func.frames {
+            let m = self.program.method(frame.method);
+            for i in 0..frame.num_locals {
+                let ty = m
+                    .local_types
+                    .get(i as usize)
+                    .and_then(|t| t.as_ref())
+                    .map(of_ty)
+                    .unwrap_or(VType::Any);
+                state[(frame.local_base + i) as usize] = ty;
+            }
+        }
+        state
+    }
+
+    /// Runs the forward dataflow to fixpoint. `None` = unreachable block.
+    /// Error reporting happens in a separate pass over the fixed states so
+    /// iteration to convergence cannot duplicate reports.
+    fn compute_states(&self) -> Vec<Option<Vec<VType>>> {
+        let func = self.func;
+        let n = func.blocks.len();
+        let mut in_states: Vec<Option<Vec<VType>>> = vec![None; n];
+        in_states[0] = Some(self.entry_state());
+        let mut queue: VecDeque<BlockId> = VecDeque::from([0]);
+        let mut queued = vec![false; n];
+        queued[0] = true;
+        while let Some(b) = queue.pop_front() {
+            queued[b as usize] = false;
+            let mut state = in_states[b as usize].clone().expect("queued block has a state");
+            let block = &func.blocks[b as usize];
+            for inst in &block.insts {
+                if inst.op.can_throw() {
+                    if let Some(h) = handler_for(func, inst.frame, inst.bc_pc) {
+                        let handler = &func.handlers[h];
+                        let mut hstate = state.clone();
+                        if let Some(save) = handler.save_reg {
+                            // The dispatcher parks the packed exception
+                            // (a long) in the save register.
+                            hstate[save as usize] = VType::L;
+                        }
+                        flow_into(handler.target, &hstate, &mut in_states, &mut queue, &mut queued);
+                    }
+                }
+                if let Some(dst) = inst.dst {
+                    state[dst as usize] = self.result_type(&inst.op, &state);
+                }
+            }
+            for succ in block.term.successors() {
+                flow_into(succ, &state, &mut in_states, &mut queue, &mut queued);
+            }
+        }
+        in_states
+    }
+
+    /// The type an op's destination holds, independent of operand errors
+    /// (so one defect does not cascade).
+    fn result_type(&self, op: &Op, state: &[VType]) -> VType {
+        match op {
+            Op::ConstI(_) => VType::I,
+            Op::ConstL(_) => VType::L,
+            Op::ConstS(_) => VType::S,
+            Op::ConstNull => VType::Null,
+            Op::Copy(r) => {
+                let t = state[*r as usize];
+                if t == VType::Unset {
+                    VType::Any
+                } else {
+                    t
+                }
+            }
+            Op::BinI(..) | Op::NegI(_) | Op::L2I(_) | Op::I2B(_) => VType::I,
+            Op::BinL(..) | Op::NegL(_) | Op::I2L(_) => VType::L,
+            Op::I2S(_) | Op::L2S(_) | Op::Bool2S(_) | Op::Concat(..) => VType::S,
+            Op::CmpI(..) | Op::CmpL(..) | Op::RefCmp { .. } => VType::I,
+            Op::GetStatic { class, field } => {
+                of_ty(&self.program.class(*class).static_fields[*field as usize].ty)
+            }
+            // The receiver's class is not tracked, so field loads are
+            // category-opaque.
+            Op::GetField { .. } => VType::Any,
+            Op::NewObject(_) | Op::NewArray { .. } | Op::NewMultiArray { .. } => VType::R,
+            Op::ArrLoad { kind, .. } => of_elem(*kind),
+            Op::ArrLen(_) => VType::I,
+            Op::Call { method, .. } => {
+                let ret = &self.program.method(*method).ret;
+                if *ret == Ty::Void {
+                    VType::Any
+                } else {
+                    of_ty(ret)
+                }
+            }
+            _ => VType::Any,
+        }
+    }
+
+    /// Re-walks every reachable block over the fixed states and reports
+    /// undefined uses and category mismatches.
+    fn check_dataflow(&mut self, in_states: &[Option<Vec<VType>>]) {
+        for (b, maybe_state) in in_states.iter().enumerate() {
+            let Some(in_state) = maybe_state else { continue };
+            let b = b as BlockId;
+            let mut state = in_state.clone();
+            let block = &self.func.blocks[b as usize];
+            for (i, inst) in block.insts.iter().enumerate() {
+                self.check_inst_types(b, i, inst, &state);
+                if let Some(dst) = inst.dst {
+                    state[dst as usize] = self.result_type(&inst.op, &state);
+                }
+            }
+            self.check_term(b, &block.term, &state);
+        }
+    }
+
+    /// Reports a use of `r` that is undefined or outside `want`'s
+    /// category. Returns whether the operand was acceptable.
+    fn use_reg(
+        &mut self,
+        b: BlockId,
+        i: usize,
+        r: Reg,
+        state: &[VType],
+        want: &str,
+        ok: fn(VType) -> bool,
+    ) {
+        let t = state[r as usize];
+        if t == VType::Unset {
+            self.report(b, Some(i), format!("use of undefined register r{r}"));
+        } else if !ok(t) {
+            self.report(b, Some(i), format!("r{r}: expected {want}, found {t:?}"));
+        }
+    }
+
+    fn check_inst_types(&mut self, b: BlockId, i: usize, inst: &Inst, state: &[VType]) {
+        let any = |_: VType| true;
+        match &inst.op {
+            Op::ConstI(_)
+            | Op::ConstL(_)
+            | Op::ConstS(_)
+            | Op::ConstNull
+            | Op::GetStatic { .. }
+            | Op::NewObject(_)
+            | Op::Mute
+            | Op::Unmute
+            | Op::CorruptHeap { .. }
+            | Op::CrashOnExec { .. }
+            | Op::BurnFuel { .. } => {}
+            Op::Copy(r) => self.use_reg(b, i, *r, state, "a value", any),
+            Op::BinI(_, x, y) | Op::CmpI(_, x, y) => {
+                self.use_reg(b, i, *x, state, "int", int_ok);
+                self.use_reg(b, i, *y, state, "int", int_ok);
+            }
+            Op::BinL(kind, x, y) => {
+                self.use_reg(b, i, *x, state, "long", long_ok);
+                // Long shifts take an int shift amount, as in bytecode.
+                if matches!(kind, BinKind::Shl | BinKind::Shr | BinKind::Ushr) {
+                    self.use_reg(b, i, *y, state, "int (shift amount)", int_ok);
+                } else {
+                    self.use_reg(b, i, *y, state, "long", long_ok);
+                }
+            }
+            Op::CmpL(_, x, y) => {
+                self.use_reg(b, i, *x, state, "long", long_ok);
+                self.use_reg(b, i, *y, state, "long", long_ok);
+            }
+            Op::NegI(r) | Op::I2L(r) | Op::I2B(r) | Op::I2S(r) | Op::Bool2S(r) => {
+                self.use_reg(b, i, *r, state, "int", int_ok);
+            }
+            Op::NegL(r) | Op::L2I(r) | Op::L2S(r) => {
+                self.use_reg(b, i, *r, state, "long", long_ok);
+            }
+            Op::Concat(x, y) => {
+                self.use_reg(b, i, *x, state, "string", str_ok);
+                self.use_reg(b, i, *y, state, "string", str_ok);
+            }
+            Op::RefCmp { a, b: rb, .. } => {
+                self.use_reg(b, i, *a, state, "a reference", ref_like_ok);
+                self.use_reg(b, i, *rb, state, "a reference", ref_like_ok);
+            }
+            Op::PutStatic { class, field, val } => {
+                let declared = self.program.class(*class).static_fields[*field as usize].ty.clone();
+                self.use_field_value(b, i, *val, state, &declared);
+            }
+            Op::GetField { obj, .. } => self.use_reg(b, i, *obj, state, "an object", obj_ok),
+            Op::PutField { obj, val, .. } => {
+                self.use_reg(b, i, *obj, state, "an object", obj_ok);
+                self.use_reg(b, i, *val, state, "a value", any);
+            }
+            Op::NewArray { len, .. } => self.use_reg(b, i, *len, state, "int", int_ok),
+            Op::NewMultiArray { dims, .. } => {
+                for d in dims {
+                    self.use_reg(b, i, *d, state, "int", int_ok);
+                }
+            }
+            Op::ArrLoad { arr, idx, .. } => {
+                self.use_reg(b, i, *arr, state, "an array", obj_ok);
+                self.use_reg(b, i, *idx, state, "int", int_ok);
+            }
+            Op::ArrStore { kind, arr, idx, val } => {
+                self.use_reg(b, i, *arr, state, "an array", obj_ok);
+                self.use_reg(b, i, *idx, state, "int", int_ok);
+                let elem = *kind;
+                let t = state[*val as usize];
+                if t == VType::Unset {
+                    self.report(b, Some(i), format!("use of undefined register r{val}"));
+                } else if !elem_ok(elem, t) {
+                    self.report(
+                        b,
+                        Some(i),
+                        format!("r{val}: expected {elem:?} element, found {t:?}"),
+                    );
+                }
+            }
+            Op::ArrLen(r) => self.use_reg(b, i, *r, state, "an array", obj_ok),
+            Op::Call { method, args } => {
+                let m = self.program.method(*method);
+                let receiver = usize::from(!m.is_static);
+                for (k, arg) in args.iter().enumerate() {
+                    if k < receiver {
+                        self.use_reg(b, i, *arg, state, "a receiver", obj_ok);
+                    } else if let Some(param) = m.params.get(k - receiver) {
+                        self.use_field_value(b, i, *arg, state, &param.clone());
+                    }
+                }
+            }
+            Op::Println { kind, val } => match kind {
+                PrintKind::Int | PrintKind::Bool => self.use_reg(b, i, *val, state, "int", int_ok),
+                PrintKind::Long => self.use_reg(b, i, *val, state, "long", long_ok),
+                PrintKind::Str => self.use_reg(b, i, *val, state, "string", str_ok),
+            },
+            Op::ThrowUser(r) => self.use_reg(b, i, *r, state, "int (exception code)", int_ok),
+            Op::Rethrow(r) => self.use_reg(b, i, *r, state, "long (packed exception)", long_ok),
+        }
+    }
+
+    fn use_field_value(&mut self, b: BlockId, i: usize, r: Reg, state: &[VType], declared: &Ty) {
+        let t = state[r as usize];
+        if t == VType::Unset {
+            self.report(b, Some(i), format!("use of undefined register r{r}"));
+        } else if !fits_declared(declared, t) {
+            self.report(b, Some(i), format!("r{r}: expected {declared:?}, found {t:?}"));
+        }
+    }
+
+    fn check_term(&mut self, b: BlockId, term: &Term, state: &[VType]) {
+        let term_err = |s: &mut Self, detail: String| s.report(b, None, detail);
+        match term {
+            Term::Jump(_) | Term::Trap { .. } => {}
+            Term::Branch { cond, .. } => {
+                let t = state[*cond as usize];
+                if t == VType::Unset {
+                    term_err(self, format!("branch on undefined register r{cond}"));
+                } else if !int_ok(t) {
+                    term_err(self, format!("branch condition r{cond}: expected int, found {t:?}"));
+                }
+            }
+            Term::Switch { scrut, .. } => {
+                let t = state[*scrut as usize];
+                if t == VType::Unset {
+                    term_err(self, format!("switch on undefined register r{scrut}"));
+                } else if !int_ok(t) {
+                    term_err(self, format!("switch scrutinee r{scrut}: expected int, found {t:?}"));
+                }
+            }
+            Term::Return(val) => {
+                let ret = self.program.method(self.func.method).ret.clone();
+                match val {
+                    None => {
+                        if ret != Ty::Void {
+                            term_err(self, format!("return without value from {ret:?} method"));
+                        }
+                    }
+                    Some(r) => {
+                        if ret == Ty::Void {
+                            term_err(self, format!("void method returns r{r}"));
+                        } else {
+                            let t = state[*r as usize];
+                            if t == VType::Unset {
+                                term_err(self, format!("return of undefined register r{r}"));
+                            } else if !fits_declared(&ret, t) {
+                                term_err(
+                                    self,
+                                    format!("return r{r}: expected {ret:?}, found {t:?}"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Phase 3: dominance-based def-before-use (cfg::Dominators) ----
+
+    /// For every non-anchor register with exactly one static definition,
+    /// the defining block must dominate every (reachable) cross-block use.
+    /// Same-block ordering is already enforced precisely by the dataflow
+    /// phase.
+    ///
+    /// Skipped when the function has exception handlers: the block-level
+    /// handler edges in [`IrFunc::predecessors`] (which `Dominators`
+    /// consumes) are a different approximation than the runtime's
+    /// first-match, parent-frame-walking dispatch that the dataflow
+    /// mirrors — a covered throw in an inlined frame unwinds to a
+    /// *parent*-frame handler the block graph has no edge for, and
+    /// overlapping handlers get edges for throws the first match would
+    /// swallow. Either mismatch turns a definitely-assigned use into a
+    /// spurious dominance failure, so exceptional functions rely on the
+    /// dataflow alone (which subsumes this check).
+    fn check_single_defs(&mut self, in_states: &[Option<Vec<VType>>]) {
+        let func = self.func;
+        if !func.handlers.is_empty() {
+            return;
+        }
+        let mut def_count = vec![0u32; func.num_regs as usize];
+        let mut def_site = vec![0 as BlockId; func.num_regs as usize];
+        for (b, block) in func.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                if let Some(dst) = inst.dst {
+                    if !func.is_anchor(dst) {
+                        def_count[dst as usize] += 1;
+                        def_site[dst as usize] = b as BlockId;
+                    }
+                }
+            }
+        }
+        let doms = Dominators::compute(func);
+        for (b, block) in func.blocks.iter().enumerate() {
+            let b = b as BlockId;
+            if in_states[b as usize].is_none() {
+                continue;
+            }
+            let uses = block
+                .insts
+                .iter()
+                .enumerate()
+                .flat_map(|(i, inst)| inst.op.sources().into_iter().map(move |r| (Some(i), r)))
+                .chain(block.term.sources().into_iter().map(|r| (None, r)));
+            for (i, r) in uses {
+                if func.is_anchor(r) || def_count[r as usize] != 1 {
+                    continue;
+                }
+                let db = def_site[r as usize];
+                if db != b && !doms.dominates(db, b) {
+                    self.report(
+                        b,
+                        i,
+                        format!("single-assignment r{r} is defined in b{db}, which does not dominate this use"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn elem_ok(kind: ArrKind, t: VType) -> bool {
+    match of_elem(kind) {
+        VType::I => int_ok(t),
+        VType::L => long_ok(t),
+        VType::S => str_ok(t),
+        _ => obj_ok(t),
+    }
+}
+
+/// Joins `state` into `target`'s in-state, queueing it on change (or on
+/// first reach).
+fn flow_into(
+    target: BlockId,
+    state: &[VType],
+    in_states: &mut [Option<Vec<VType>>],
+    queue: &mut VecDeque<BlockId>,
+    queued: &mut [bool],
+) {
+    let changed = match &mut in_states[target as usize] {
+        Some(existing) => {
+            let mut changed = false;
+            for (dst, &src) in existing.iter_mut().zip(state) {
+                let joined = join(*dst, src);
+                if joined != *dst {
+                    *dst = joined;
+                    changed = true;
+                }
+            }
+            changed
+        }
+        slot @ None => {
+            *slot = Some(state.to_vec());
+            true
+        }
+    };
+    if changed && !queued[target as usize] {
+        queued[target as usize] = true;
+        queue.push_back(target);
+    }
+}

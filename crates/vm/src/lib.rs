@@ -21,6 +21,8 @@
 //! assert!(result.outcome.is_completed());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod events;
 pub mod exec;
@@ -38,7 +40,7 @@ use std::rc::Rc;
 
 use cse_bytecode::{ArrKind, BProgram, ClassId, ExcKind, MethodId, PrintKind};
 
-pub use config::{Tier, TierThresholds, VmConfig, VmKind};
+pub use config::{Tier, TierThresholds, VerifyMode, VmConfig, VmKind};
 pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
@@ -117,6 +119,9 @@ pub struct Vm<'p> {
     /// Compilation-relevant configuration fingerprint, precomputed for
     /// cache keys.
     env_fp: u64,
+    /// Rendered IR-verifier defect reports, in compilation order (see
+    /// [`jit::verify`]).
+    ir_verify: Vec<String>,
 }
 
 /// How many burned operations pass between wall-clock samples. Keeps
@@ -167,6 +172,7 @@ impl<'p> Vm<'p> {
             chaos_panic_at,
             code_cache: None,
             env_fp,
+            ir_verify: Vec::new(),
         }
     }
 
@@ -216,6 +222,7 @@ impl<'p> Vm<'p> {
                 .unwrap_or(Outcome::Completed { uncaught_exception: uncaught }),
             events: self.events,
             stats: self.stats,
+            ir_verify: self.ir_verify,
         }
     }
 
@@ -649,11 +656,26 @@ impl<'p> Vm<'p> {
             speculate,
             inline_limit: self.config.inline_limit,
             has_osr_code,
+            verify: self.config.verify_ir,
         };
-        match jit::compile(&ctx, method, osr) {
+        // Verifier defects are harvested whether or not the compile
+        // succeeds: IR corrupted before an injected compile-time crash is
+        // still an observation.
+        let mut defects = Vec::new();
+        let compiled = jit::compile(&ctx, method, osr, &mut defects);
+        if !defects.is_empty() {
+            self.stats.ir_verify_defects += defects.len() as u32;
+            self.ir_verify.extend(defects.iter().map(|d| d.to_string()));
+        }
+        match compiled {
             Ok(func) => {
                 if std::env::var_os("CSE_DUMP_IR").is_some() {
-                    eprintln!("=== compiled m{} {:?} osr={osr:?} ===\n{func:#?}", method.0, tier);
+                    eprintln!(
+                        "=== compiled m{} {:?} osr={osr:?} ===\n{}",
+                        method.0,
+                        tier,
+                        func.pretty()
+                    );
                 }
                 let func = Rc::new(func);
                 if let (Some(cache), Some(k)) = (&shared, shared_key) {

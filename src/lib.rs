@@ -5,6 +5,8 @@
 //! virtual machine substrate, and the `examples/` directory for runnable
 //! entry points.
 
+#![forbid(unsafe_code)]
+
 pub use cse_bytecode as bytecode;
 pub use cse_core as core;
 pub use cse_fuzz as fuzz;

@@ -14,6 +14,7 @@ fn completed(total_ops: u64) -> ExecutionResult {
         output: String::new(),
         outcome: Outcome::Completed { uncaught_exception: false },
         events: Vec::new(),
+        ir_verify: Vec::new(),
         stats: ExecStats { interp_ops: total_ops, ..ExecStats::default() },
     }
 }
@@ -23,6 +24,7 @@ fn timed_out() -> ExecutionResult {
         output: String::new(),
         outcome: Outcome::Timeout,
         events: Vec::new(),
+        ir_verify: Vec::new(),
         stats: ExecStats::default(),
     }
 }
