@@ -37,6 +37,9 @@ if [ "$mode" != "quick" ]; then
     echo "==> campaign throughput bench (smoke)"
     CSE_SEEDS=4 CSE_JOBS=2 CSE_BENCH_OUT=target/BENCH_campaign.smoke.json \
         cargo run --release -q -p cse-bench --bin bench_campaign
+
+    echo "==> triage smoke (seeded-fault campaign; every incident reduced, deduped, classified)"
+    cargo test --release -q --test triage chaos_campaign_triage_is_complete_and_job_count_invariant
 fi
 
 echo "==> OK"

@@ -41,10 +41,8 @@ pub fn traditional_compiled(bytecode: &BProgram, vm: &VmConfig) -> BaselineOutco
     forced.faults = vm.faults.clone();
     forced.fuel = vm.fuel;
     let forced_run = Vm::run_program(bytecode, forced);
-    // Timeouts are discarded, mirroring the paper's cutoff.
-    if matches!(default_run.outcome, Outcome::Timeout)
-        || matches!(forced_run.outcome, Outcome::Timeout)
-    {
+    // Resource-exhausted runs are discarded, mirroring the paper's cutoff.
+    if default_run.outcome.is_resource_exhausted() || forced_run.outcome.is_resource_exhausted() {
         return BaselineOutcome { discrepancy: false, culprit: None, vm_invocations: 2 };
     }
     let discrepancy = default_run.observable() != forced_run.observable();
@@ -67,7 +65,7 @@ pub fn option_fuzz(
     let mut rng = Rng64::seed_from_u64(rng_seed);
     let reference = Vm::run_program(&bytecode, vm.clone());
     let mut vm_invocations = 1;
-    if matches!(reference.outcome, Outcome::Timeout) {
+    if reference.outcome.is_resource_exhausted() {
         return BaselineOutcome { discrepancy: false, culprit: None, vm_invocations };
     }
     for _ in 0..option_sets {
@@ -81,7 +79,7 @@ pub fn option_fuzz(
         }
         let run = Vm::run_program(&bytecode, config);
         vm_invocations += 1;
-        if matches!(run.outcome, Outcome::Timeout) {
+        if run.outcome.is_resource_exhausted() {
             continue;
         }
         if run.observable() != reference.observable() {

@@ -22,6 +22,7 @@ use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
 use crate::executor;
 use crate::supervisor::{self, HarnessIncident, SupervisorConfig};
+use crate::triage::TriageConfig;
 use crate::validate::ValidateConfig;
 
 /// Campaign settings.
@@ -50,6 +51,12 @@ pub struct CampaignConfig {
     /// identity: a campaign checkpointed at one `jobs` setting resumes
     /// under any other.
     pub jobs: usize,
+    /// When set, every quarantined incident is triaged after the
+    /// campaign's seed range is exhausted: reduced, deduplicated by bug
+    /// signature, and re-executed for a flakiness verdict (see
+    /// [`crate::triage`]). The triage counters join the campaign digest;
+    /// the full report rides on [`CampaignResult::triage`].
+    pub triage: Option<TriageConfig>,
 }
 
 impl CampaignConfig {
@@ -64,12 +71,21 @@ impl CampaignConfig {
             fuzz: cse_fuzz::FuzzConfig::default(),
             supervisor: SupervisorConfig::default(),
             jobs: 1,
+            triage: None,
         }
     }
 
     /// Same campaign, processed by `jobs` worker threads.
     pub fn with_jobs(mut self, jobs: usize) -> CampaignConfig {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Same campaign, with end-of-campaign incident triage enabled
+    /// (settings derived from the campaign itself; see
+    /// [`TriageConfig::for_campaign`]).
+    pub fn with_triage(mut self) -> CampaignConfig {
+        self.triage = Some(TriageConfig::for_campaign(&self));
         self
     }
 }
@@ -111,6 +127,18 @@ pub struct CampaignTotals {
     /// across seed and mutant runs; 0 unless `vm.verify_ir` enables the
     /// third oracle.
     pub ir_verify_defects: u64,
+    /// Triage: promoted reports (deterministic or flaky), 0 unless
+    /// `CampaignConfig::triage` is set. Part of the campaign digest —
+    /// triage verdicts are deterministic, so these counters are
+    /// bit-identical across machines and worker counts.
+    pub triage_reports: u64,
+    /// Triage: duplicate incidents collapsed into existing signatures.
+    pub triage_duplicates: u64,
+    /// Triage: promoted reports whose repro was classified flaky.
+    pub triage_flaky: u64,
+    /// Triage: signature groups that never re-reproduced (suppressed,
+    /// never promoted to reports).
+    pub triage_unreproducible: u64,
     /// True when the campaign stopped before exhausting its seed range
     /// (deadline expiry or a simulated kill); resume from the checkpoint
     /// to finish it.
@@ -131,6 +159,12 @@ pub struct CampaignResult {
     pub traditional_seeds: Vec<u64>,
     /// Contained harness failures, in seed order.
     pub incidents: Vec<HarnessIncident>,
+    /// Incident triage report (reduction, dedup, flakiness), present
+    /// when [`CampaignConfig::triage`] is set and the campaign finished
+    /// its seed range. Recomputed deterministically on resume rather
+    /// than checkpointed; the triage counters in [`CampaignTotals`]
+    /// carry its identity into the digest.
+    pub triage: Option<crate::triage::TriageReport>,
     pub totals: CampaignTotals,
 }
 
@@ -211,5 +245,27 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         verify_neutrality: true,
     };
     let ctx = executor::ExecContext { config, validate_config, start, prior_wall };
-    executor::run(&ctx, result, next)
+    let mut result = executor::run(&ctx, result, next);
+    // End-of-campaign triage: only once the seed range is exhausted (a
+    // partial campaign triages after its resumed run finishes instead).
+    // The report is recomputed — deterministically — on every completed
+    // run, including a resume of an already-finished campaign, so the
+    // counters and digest never depend on when the campaign was killed.
+    if let (Some(tcfg), false) = (&config.triage, result.totals.partial) {
+        let report = crate::triage::triage_campaign(config, tcfg, &result.incidents);
+        result.totals.triage_reports = report.reports.len() as u64;
+        result.totals.triage_duplicates = report.duplicates() as u64;
+        result.totals.triage_flaky = report.flaky() as u64;
+        result.totals.triage_unreproducible = report.suppressed.len() as u64;
+        result.triage = Some(report);
+        if let Some(path) = &sup.checkpoint_path {
+            // Fold the triage counters into the final checkpoint so a
+            // resume of the finished campaign starts from a state that
+            // round-trips to the same digest.
+            if let Err(e) = supervisor::save_checkpoint(path, config, config.seeds, &result) {
+                eprintln!("warning: final checkpoint write failed: {e}");
+            }
+        }
+    }
+    result
 }

@@ -20,6 +20,9 @@
 //!   `CampaignConfig::jobs`.
 //! * [`supervisor`] — crash isolation for long campaigns: harness
 //!   incidents, checkpoint/resume, and quarantine of crashing inputs.
+//! * [`triage`] — automated incident triage: in-campaign reduction,
+//!   signature-based dedup, and flakiness re-execution under the VM's
+//!   deterministic resource budgets.
 //!
 //! # Examples
 //!
@@ -48,11 +51,16 @@ pub mod skeleton;
 pub mod space;
 pub mod supervisor;
 pub mod synth;
+pub mod triage;
 pub mod validate;
 
 pub use mutate::{AppliedMutation, Artemis, Mutator};
 pub use supervisor::{ChaosConfig, HarnessIncident, IncidentPhase, SupervisorConfig};
 pub use synth::SynthParams;
+pub use triage::{
+    shrink_plan, signature_of, triage_campaign, triage_incidents, BugSignature, OracleKind,
+    TriageConfig, TriageReport, TriagedReport, Verdict,
+};
 pub use validate::{Discrepancy, DiscrepancyKind, ValidateConfig, ValidationOutcome};
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 //! for multi-line strings:
 //!
 //! ```text
-//! cse-checkpoint v2
+//! cse-checkpoint v3
 //! config HotSpot 100 0 8
 //! next_seed 42
 //! partial 1
@@ -28,7 +28,8 @@
 //! totals <seeds> <mutants> <completed> <vm_invocations> <discarded>
 //!        <seeds_discarded> <mutant_compile_failures>
 //!        <neutrality_violations> <ir_verify_defects>
-//!        <wall_nanos>       (one line)
+//!        <triage_reports> <triage_duplicates> <triage_flaky>
+//!        <triage_unreproducible> <wall_nanos>       (one line)
 //! cse_seeds <n>        (then n lines, one seed each)
 //! traditional_seeds <n>
 //! bugs <n>
@@ -106,7 +107,9 @@ impl IncidentPhase {
         }
     }
 
-    fn from_name(name: &str) -> Option<IncidentPhase> {
+    /// Inverse of [`name`](Self::name) — used by checkpoint decoding and
+    /// the `triage` binary's repro-file parser.
+    pub fn from_name(name: &str) -> Option<IncidentPhase> {
         IncidentPhase::ALL.into_iter().find(|p| p.name() == name)
     }
 }
@@ -184,10 +187,11 @@ pub struct Checkpoint {
     pub result: CampaignResult,
 }
 
-// v2 added the `ir_verify_defects` totals field; v1 checkpoints are
-// rejected by the magic check, so an interrupted v1 campaign restarts
-// from scratch rather than resuming with silently-zeroed counters.
-const MAGIC: &str = "cse-checkpoint v2";
+// v2 added the `ir_verify_defects` totals field; v3 added the four
+// triage counters. Older checkpoints are rejected by the magic check,
+// so an interrupted old-format campaign restarts from scratch rather
+// than resuming with silently-zeroed counters.
+const MAGIC: &str = "cse-checkpoint v3";
 
 // ----- encoding -----------------------------------------------------------
 
@@ -221,7 +225,7 @@ pub(crate) fn encode(
     let t = &result.totals;
     let _ = writeln!(
         out,
-        "totals {} {} {} {} {} {} {} {} {} {}",
+        "totals {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         t.seeds,
         t.mutants,
         t.completed,
@@ -231,6 +235,10 @@ pub(crate) fn encode(
         t.mutant_compile_failures,
         t.neutrality_violations,
         t.ir_verify_defects,
+        t.triage_reports,
+        t.triage_duplicates,
+        t.triage_flaky,
+        t.triage_unreproducible,
         wall_nanos
     );
     let _ = writeln!(out, "cse_seeds {}", result.cse_seeds.len());
@@ -425,7 +433,11 @@ pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpo
     result.totals.mutant_compile_failures = parse_field(&t, 6, "totals")?;
     result.totals.neutrality_violations = parse_field(&t, 7, "totals")?;
     result.totals.ir_verify_defects = parse_field(&t, 8, "totals")?;
-    let wall_nanos: u128 = parse_field(&t, 9, "totals")?;
+    result.totals.triage_reports = parse_field(&t, 9, "totals")?;
+    result.totals.triage_duplicates = parse_field(&t, 10, "totals")?;
+    result.totals.triage_flaky = parse_field(&t, 11, "totals")?;
+    result.totals.triage_unreproducible = parse_field(&t, 12, "totals")?;
+    let wall_nanos: u128 = parse_field(&t, 13, "totals")?;
     result.totals.wall = Duration::from_nanos(wall_nanos.min(u64::MAX as u128) as u64);
     let n: usize = r.tagged_num("cse_seeds")?;
     for _ in 0..n {
@@ -540,11 +552,15 @@ pub fn quarantine_incident(
 ) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let iteration = incident.iteration.map(|n| format!("_iter{n}")).unwrap_or_default();
+    // The signature hash keeps distinct incidents sharing a seed, phase,
+    // and iteration from ever overwriting each other's repro file.
+    let signature = crate::triage::signature_of(incident);
     let path = dir.join(format!(
-        "incident_seed{}_{}{}.mj",
+        "incident_seed{}_{}{}_{:016x}.mj",
         incident.seed,
         sanitize(incident.phase.name()),
-        iteration
+        iteration,
+        signature.stable_hash()
     ));
     let mut body = String::new();
     let _ = writeln!(body, "// quarantined harness incident");
@@ -558,6 +574,7 @@ pub fn quarantine_incident(
     for line in incident.payload.lines() {
         let _ = writeln!(body, "// panic: {line}");
     }
+    let _ = writeln!(body, "// signature: {signature}");
     match &incident.source {
         Some(source) => body.push_str(source),
         None => body.push_str("// (no source captured)\n"),
@@ -579,7 +596,15 @@ pub fn quarantine_crash(
 ) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let label = bug.map(|b| format!("{b:?}")).unwrap_or_else(|| "unattributed".to_string());
-    let path = dir.join(format!("crash_seed{}_{}.mj", seed, sanitize(&label)));
+    // Hash-suffixed like incident files: two different crashes on the
+    // same seed with the same attribution never overwrite each other.
+    let signature = crate::triage::crash_signature(&label, crash);
+    let path = dir.join(format!(
+        "crash_seed{}_{}_{:016x}.mj",
+        seed,
+        sanitize(&label),
+        signature.stable_hash()
+    ));
     let mut body = String::new();
     let _ = writeln!(body, "// quarantined crashing input");
     let _ = writeln!(body, "// campaign seed: {seed}");
@@ -613,6 +638,10 @@ mod tests {
         result.totals.mutant_compile_failures = 2;
         result.totals.neutrality_violations = 0;
         result.totals.ir_verify_defects = 3;
+        result.totals.triage_reports = 2;
+        result.totals.triage_duplicates = 1;
+        result.totals.triage_flaky = 1;
+        result.totals.triage_unreproducible = 1;
         result.totals.partial = true;
         result.totals.wall = Duration::from_millis(1234);
         result.unattributed = 3;

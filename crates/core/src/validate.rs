@@ -341,9 +341,10 @@ pub fn validate_compiled_with(
         }
     };
     outcome.note_ir_defects(&seed_result, rng_seed, None, seed);
-    if matches!(seed_result.outcome, Outcome::Timeout) {
-        // An expensive seed: the paper's two-minute cutoff (§4.3). Not a
-        // mutant discard — no mutants were attempted.
+    if seed_result.outcome.is_resource_exhausted() {
+        // An expensive seed: the paper's two-minute cutoff (§4.3), or a
+        // heap/stack budget the seed cannot fit in. Not a mutant discard —
+        // no mutants were attempted.
         outcome.seed_discarded = true;
         return outcome;
     }
@@ -434,8 +435,8 @@ pub fn validate_compiled_with(
                 Ok(reference) => {
                     if let Some(seed_reference) = &seed_reference {
                         if reference.observable() != seed_reference.observable()
-                            && !matches!(reference.outcome, Outcome::Timeout)
-                            && !matches!(seed_reference.outcome, Outcome::Timeout)
+                            && !reference.outcome.is_resource_exhausted()
+                            && !seed_reference.outcome.is_resource_exhausted()
                         {
                             outcome.neutrality_violations += 1;
                             outcome.discarded += 1;
@@ -460,10 +461,14 @@ pub fn validate_compiled_with(
         } else {
             None
         };
-        // Timeout handling: discard unless the reference shows the mutant
-        // is comfortably cheap — then the slowness is the JIT's fault.
-        if matches!(mutant_result.outcome, Outcome::Timeout) {
-            if timeout_is_performance_bug(mutant_reference.as_ref(), config.vm.fuel) {
+        // Resource-exhaustion handling: discard, unless a *timeout*
+        // paired with a comfortably-cheap reference run shows the
+        // slowness is the JIT's fault. Heap/stack budget trips carry no
+        // performance signal, so they are always discarded.
+        if mutant_result.outcome.is_resource_exhausted() {
+            if matches!(mutant_result.outcome, Outcome::Timeout)
+                && timeout_is_performance_bug(mutant_reference.as_ref(), config.vm.fuel)
+            {
                 outcome.completed += 1;
                 let discrepancy = make_discrepancy(
                     DiscrepancyKind::Performance,

@@ -43,38 +43,123 @@
 use cse_lang::ast::*;
 use cse_lang::Program;
 
+/// Reduction limits. The step budget bounds *candidate evaluations* (the
+/// expensive unit: each one type-checks and usually executes a program),
+/// making every reduction terminate in a machine-independent number of
+/// steps — wall-clock never decides when reduction stops.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceConfig {
+    /// Maximum candidate evaluations before the reducer returns the best
+    /// program found so far.
+    pub max_steps: usize,
+}
+
+impl Default for ReduceConfig {
+    fn default() -> ReduceConfig {
+        ReduceConfig { max_steps: 100_000 }
+    }
+}
+
+/// What a budgeted reduction produced.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    /// The smallest interesting program found.
+    pub program: Program,
+    /// Candidate evaluations spent.
+    pub steps: usize,
+    /// Whether the step budget ran out before reaching a fixed point (the
+    /// result is still valid and interesting, just possibly not minimal).
+    pub budget_exhausted: bool,
+    /// Whether the *input* satisfied the predicate. When false, the input
+    /// is returned unchanged and no reduction was attempted.
+    pub input_interesting: bool,
+}
+
 /// Reduces `program` while `interesting` holds. The predicate receives
 /// *checked* candidates only; it is never called on invalid programs.
+///
+/// Convenience wrapper over [`reduce_with`] using the default
+/// [`ReduceConfig`]; panics in debug builds if the input itself is not
+/// interesting.
 pub fn reduce(program: &Program, interesting: &mut dyn FnMut(&Program) -> bool) -> Program {
+    let outcome = reduce_with(program, ReduceConfig::default(), interesting);
+    debug_assert!(outcome.input_interesting, "the input itself must be interesting");
+    outcome.program
+}
+
+/// Budgeted reduction: like [`reduce`], but bounded by
+/// `config.max_steps` candidate evaluations and reporting how the
+/// reduction ended instead of asserting on uninteresting inputs (those
+/// come back unchanged with `input_interesting = false`).
+pub fn reduce_with(
+    program: &Program,
+    config: ReduceConfig,
+    interesting: &mut dyn FnMut(&Program) -> bool,
+) -> ReduceOutcome {
+    let mut ctx = Ctx { interesting, steps: 0, max_steps: config.max_steps };
     let mut current = program.clone();
-    debug_assert!(interesting(&current), "the input itself must be interesting");
-    loop {
+    // The input is trusted to be checked; only the predicate gates it.
+    ctx.steps += 1;
+    if !(ctx.interesting)(&current) {
+        return ReduceOutcome {
+            program: current,
+            steps: ctx.steps,
+            budget_exhausted: false,
+            input_interesting: false,
+        };
+    }
+    while !ctx.exhausted() {
         let mut changed = false;
         // Pass 1: drop entire methods (never `main`).
-        changed |= try_drop_methods(&mut current, interesting);
+        changed |= try_drop_methods(&mut current, &mut ctx);
         // Pass 2: statement-level delta debugging in every block.
-        changed |= try_drop_statements(&mut current, interesting);
+        changed |= try_drop_statements(&mut current, &mut ctx);
         // Pass 3: structural simplification (if -> branch body, loop ->
         // body, try -> body).
-        changed |= try_flatten(&mut current, interesting);
+        changed |= try_flatten(&mut current, &mut ctx);
         // Pass 4: drop unused fields.
-        changed |= try_drop_fields(&mut current, interesting);
+        changed |= try_drop_fields(&mut current, &mut ctx);
         if !changed {
-            return current;
+            break;
         }
     }
-}
-
-/// Checks a candidate and applies the predicate.
-fn accept(candidate: &Program, interesting: &mut dyn FnMut(&Program) -> bool) -> bool {
-    let mut check = candidate.clone();
-    if cse_lang::typeck::check(&mut check).is_err() {
-        return false;
+    ReduceOutcome {
+        program: current,
+        steps: ctx.steps,
+        budget_exhausted: ctx.exhausted(),
+        input_interesting: true,
     }
-    interesting(candidate)
 }
 
-fn try_drop_methods(current: &mut Program, interesting: &mut dyn FnMut(&Program) -> bool) -> bool {
+/// Shared reduction state: the predicate plus the step budget.
+struct Ctx<'a> {
+    interesting: &'a mut dyn FnMut(&Program) -> bool,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Ctx<'_> {
+    fn exhausted(&self) -> bool {
+        self.steps >= self.max_steps
+    }
+
+    /// Checks a candidate and applies the predicate, charging one step.
+    /// Out of budget, every candidate is rejected, so all pass loops
+    /// drain without further predicate runs.
+    fn accept(&mut self, candidate: &Program) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.steps += 1;
+        let mut check = candidate.clone();
+        if cse_lang::typeck::check(&mut check).is_err() {
+            return false;
+        }
+        (self.interesting)(candidate)
+    }
+}
+
+fn try_drop_methods(current: &mut Program, ctx: &mut Ctx) -> bool {
     let mut changed = false;
     'retry: loop {
         for c in 0..current.classes.len() {
@@ -84,7 +169,7 @@ fn try_drop_methods(current: &mut Program, interesting: &mut dyn FnMut(&Program)
                 }
                 let mut candidate = current.clone();
                 candidate.classes[c].methods.remove(m);
-                if accept(&candidate, interesting) {
+                if ctx.accept(&candidate) {
                     *current = candidate;
                     changed = true;
                     continue 'retry;
@@ -95,14 +180,14 @@ fn try_drop_methods(current: &mut Program, interesting: &mut dyn FnMut(&Program)
     }
 }
 
-fn try_drop_fields(current: &mut Program, interesting: &mut dyn FnMut(&Program) -> bool) -> bool {
+fn try_drop_fields(current: &mut Program, ctx: &mut Ctx) -> bool {
     let mut changed = false;
     'retry: loop {
         for c in 0..current.classes.len() {
             for f in 0..current.classes[c].fields.len() {
                 let mut candidate = current.clone();
                 candidate.classes[c].fields.remove(f);
-                if accept(&candidate, interesting) {
+                if ctx.accept(&candidate) {
                     *current = candidate;
                     changed = true;
                     continue 'retry;
@@ -115,10 +200,7 @@ fn try_drop_fields(current: &mut Program, interesting: &mut dyn FnMut(&Program) 
 
 /// ddmin-style statement removal: tries chunks from large to small in
 /// every block of every method.
-fn try_drop_statements(
-    current: &mut Program,
-    interesting: &mut dyn FnMut(&Program) -> bool,
-) -> bool {
+fn try_drop_statements(current: &mut Program, ctx: &mut Ctx) -> bool {
     let mut changed = false;
     loop {
         let points = cse_lang::scope::collect_points(current);
@@ -150,7 +232,7 @@ fn try_drop_statements(
                         let end = (start + chunk).min(stmts.len());
                         stmts.drain(start..end);
                     }
-                    if accept(&candidate, interesting) {
+                    if ctx.accept(&candidate) {
                         *current = candidate;
                         round_changed = true;
                     } else {
@@ -168,7 +250,7 @@ fn try_drop_statements(
 }
 
 /// Replaces structured statements by (parts of) their bodies.
-fn try_flatten(current: &mut Program, interesting: &mut dyn FnMut(&Program) -> bool) -> bool {
+fn try_flatten(current: &mut Program, ctx: &mut Ctx) -> bool {
     let mut changed = false;
     'retry: loop {
         let points = cse_lang::scope::collect_points(current);
@@ -210,7 +292,7 @@ fn try_flatten(current: &mut Program, interesting: &mut dyn FnMut(&Program) -> b
                         stmts.insert(info.point.index + offset, stmt);
                     }
                 }
-                if accept(&candidate, interesting) {
+                if ctx.accept(&candidate) {
                     *current = candidate;
                     changed = true;
                     continue 'retry;

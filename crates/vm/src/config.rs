@@ -76,6 +76,43 @@ impl std::fmt::Display for VerifyMode {
     }
 }
 
+/// Reads a numeric budget override from the environment, once per
+/// variable per process (the value is cached so hot campaign loops never
+/// touch the environment). Unset means "use the built-in default"; a
+/// non-numeric value warns once and is ignored rather than tearing down
+/// a campaign — the same contract as [`VerifyMode::from_env`].
+fn env_budget(cache: &'static std::sync::OnceLock<Option<u64>>, name: &'static str) -> Option<u64> {
+    *cache.get_or_init(|| match std::env::var(name) {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("[cse-vm] ignoring non-numeric {name}={v:?}");
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// `CSE_FUEL` override for [`VmConfig::fuel`] (unset = 40M ops).
+fn fuel_from_env() -> Option<u64> {
+    static CACHE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    env_budget(&CACHE, "CSE_FUEL")
+}
+
+/// `CSE_HEAP_LIMIT` override for [`VmConfig::max_heap_bytes`], in bytes.
+fn heap_limit_from_env() -> Option<u64> {
+    static CACHE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    env_budget(&CACHE, "CSE_HEAP_LIMIT")
+}
+
+/// `CSE_STACK_LIMIT` override for [`VmConfig::stack_limit`], in frames.
+fn stack_limit_from_env() -> Option<u64> {
+    static CACHE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    env_budget(&CACHE, "CSE_STACK_LIMIT")
+}
+
 /// A compilation tier (0 = interpreter). Tier numbers are the paper's
 /// temperature levels `t_0 .. t_N` (Definition 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -117,8 +154,21 @@ pub struct VmConfig {
     pub gc_interval: usize,
     /// Max simultaneously-live heap objects (1 GiB heap analog).
     pub max_objects: usize,
+    /// Max simultaneously-live *logical heap bytes* (estimated per
+    /// object). Exceeding it — after a last-chance collection — yields a
+    /// graceful `Outcome::BudgetExceeded(Resource::HeapBytes)`, so a
+    /// pathological mutant can bloat the guest heap without taking the
+    /// host down. Default comes from `CSE_HEAP_LIMIT` (256 MiB unset).
+    pub max_heap_bytes: usize,
     /// Max logical call depth before `StackOverflowError`.
     pub max_call_depth: usize,
+    /// Hard harness cap on call depth, above `max_call_depth`. The
+    /// interpreter recurses on the host stack, so a deep-recursion fuzz
+    /// program with a raised `max_call_depth` could overflow the *host*
+    /// stack; this budget ends the run first with a graceful
+    /// `Outcome::BudgetExceeded(Resource::StackDepth)` (not a catchable
+    /// guest exception). Default comes from `CSE_STACK_LIMIT` (512 unset).
+    pub stack_limit: usize,
     /// Record a `MethodEntry` trace event per call (verbose; only for
     /// small programs / compilation-space enumeration).
     pub record_method_entries: bool,
@@ -179,10 +229,12 @@ impl VmConfig {
             kind,
             tiers,
             jit_enabled: true,
-            fuel: 40_000_000,
+            fuel: fuel_from_env().unwrap_or(40_000_000),
             gc_interval: 4096,
             max_objects: 1_000_000,
+            max_heap_bytes: heap_limit_from_env().unwrap_or(256 * 1024 * 1024) as usize,
             max_call_depth: 128,
+            stack_limit: stack_limit_from_env().unwrap_or(512) as usize,
             record_method_entries: false,
             max_events: 100_000,
             faults: FaultInjector::none(),

@@ -42,6 +42,29 @@ pub struct CrashInfo {
     pub detail: String,
 }
 
+/// A deterministic resource budget tracked by the VM. Exceeding one ends
+/// the run gracefully with [`Outcome::BudgetExceeded`] instead of a
+/// panic, a host stack overflow, or a wall-clock hang — which keeps
+/// triage verdicts and campaign digests machine-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Logical heap bytes (`VmConfig::max_heap_bytes` / `CSE_HEAP_LIMIT`).
+    HeapBytes,
+    /// Hard harness call-depth cap (`VmConfig::stack_limit` /
+    /// `CSE_STACK_LIMIT`) — distinct from `max_call_depth`, which models
+    /// the *guest* `StackOverflowError` and stays catchable.
+    StackDepth,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resource::HeapBytes => write!(f, "heap-bytes"),
+            Resource::StackDepth => write!(f, "stack-depth"),
+        }
+    }
+}
+
 /// Terminal states of a VM run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -54,12 +77,27 @@ pub enum Outcome {
     Timeout,
     /// The heap budget was exhausted.
     OutOfMemory,
+    /// A deterministic resource budget was exhausted (heap bytes, stack
+    /// depth). First-class and graceful: validation discards these runs
+    /// exactly like timeouts instead of raising an oracle verdict.
+    BudgetExceeded(Resource),
 }
 
 impl Outcome {
     /// Whether this is a normal completion.
     pub fn is_completed(&self) -> bool {
         matches!(self, Outcome::Completed { .. })
+    }
+
+    /// Whether the run ended because a harness resource budget ran out
+    /// (fuel, heap bytes, stack depth). Such runs carry no oracle
+    /// verdict: the differential harness discards them, because a
+    /// temperature change can legitimately move a program across a
+    /// budget boundary. `OutOfMemory` (the object-count cap) is *not*
+    /// included — it models the guest heap size and has always been part
+    /// of the comparable observable.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, Outcome::Timeout | Outcome::BudgetExceeded(_))
     }
 }
 
@@ -137,6 +175,7 @@ impl ExecutionResult {
             ),
             Outcome::Timeout => "timeout".to_string(),
             Outcome::OutOfMemory => "out-of-memory".to_string(),
+            Outcome::BudgetExceeded(resource) => format!("budget-exceeded {resource}"),
         }
     }
 

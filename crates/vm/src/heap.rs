@@ -62,6 +62,30 @@ pub enum HeapObj {
     Arr(ArrData),
 }
 
+/// Per-object header overhead charged against the byte budget.
+const OBJ_HEADER_BYTES: usize = 16;
+
+impl HeapObj {
+    /// Estimated logical size in bytes, charged against
+    /// [`Heap::max_bytes`]. A deterministic *model* of a production heap
+    /// footprint (header + payload), not the host allocation size — it
+    /// must be identical on every machine so budget verdicts are too.
+    pub fn byte_size(&self) -> usize {
+        let payload = match self {
+            HeapObj::Obj { fields, .. } => fields.len() * 16,
+            HeapObj::Arr(data) => match data {
+                ArrData::I32(v) => v.len() * 4,
+                ArrData::I64(v) => v.len() * 8,
+                ArrData::I8(v) => v.len(),
+                ArrData::Bool(v) => v.len(),
+                ArrData::Str(v) => v.len() * 16,
+                ArrData::Ref(v) => v.len() * 8,
+            },
+        };
+        OBJ_HEADER_BYTES + payload
+    }
+}
+
 /// Heap failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HeapError {
@@ -70,6 +94,10 @@ pub enum HeapError {
     Corruption { detail: String },
     /// The heap exceeded its configured object budget.
     OutOfMemory,
+    /// The heap exceeded its configured byte budget
+    /// ([`Heap::max_bytes`]); surfaced to the VM as a graceful
+    /// `Outcome::BudgetExceeded(Resource::HeapBytes)`.
+    ByteBudget,
 }
 
 /// The garbage-collected heap.
@@ -78,27 +106,47 @@ pub struct Heap {
     slots: Vec<Option<HeapObj>>,
     free: Vec<u32>,
     live: usize,
+    live_bytes: usize,
     allocations_since_gc: usize,
     /// Run a GC after this many allocations (0 disables automatic GC).
     pub gc_interval: usize,
     /// Maximum simultaneously-live objects (the paper's 1 GiB heap analog).
     pub max_objects: usize,
+    /// Maximum simultaneously-live logical bytes (see
+    /// [`HeapObj::byte_size`]); `usize::MAX` disables the budget.
+    pub max_bytes: usize,
     /// Number of collections performed.
     pub gc_count: u64,
 }
 
 impl Heap {
-    /// Creates a heap with the given GC interval and object budget.
+    /// Creates a heap with the given GC interval and object budget, and
+    /// no byte budget (see [`Heap::with_max_bytes`]).
     pub fn new(gc_interval: usize, max_objects: usize) -> Heap {
         Heap {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            live_bytes: 0,
             allocations_since_gc: 0,
             gc_interval,
             max_objects,
+            max_bytes: usize::MAX,
             gc_count: 0,
         }
+    }
+
+    /// Sets the live-byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Heap {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Whether allocating `extra` more bytes would exceed the byte
+    /// budget. The VM pre-checks this so it can run a last-chance
+    /// collection before declaring the budget exhausted.
+    pub fn bytes_would_exceed(&self, extra: usize) -> bool {
+        self.live_bytes.saturating_add(extra) > self.max_bytes
     }
 
     /// Whether an automatic GC is due (the VM calls this after allocations
@@ -112,8 +160,13 @@ impl Heap {
         if self.live >= self.max_objects {
             return Err(HeapError::OutOfMemory);
         }
+        let size = obj.byte_size();
+        if self.bytes_would_exceed(size) {
+            return Err(HeapError::ByteBudget);
+        }
         self.allocations_since_gc += 1;
         self.live += 1;
+        self.live_bytes += size;
         match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(obj);
@@ -139,6 +192,11 @@ impl Heap {
     /// Number of live objects.
     pub fn live_objects(&self) -> usize {
         self.live
+    }
+
+    /// Estimated live bytes (see [`HeapObj::byte_size`]).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
     }
 
     /// Mark-sweep collection from `roots`, validating integrity.
@@ -196,9 +254,13 @@ impl Heap {
                 }
             }
         }
-        // Sweep.
+        // Sweep. Byte sizes are recomputed at sweep time: fault injection
+        // can grow an object after allocation, so the saturating
+        // subtraction keeps the counter sane either way.
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_some() && !marks[idx] {
+                let freed = slot.as_ref().map(HeapObj::byte_size).unwrap_or(0);
+                self.live_bytes = self.live_bytes.saturating_sub(freed);
                 *slot = None;
                 self.free.push(idx as u32);
                 self.live -= 1;
@@ -295,6 +357,24 @@ mod tests {
             heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 1))),
             Err(HeapError::OutOfMemory)
         );
+    }
+
+    #[test]
+    fn byte_budget_trips_and_recovers_after_gc() {
+        let program = tiny_program();
+        // Header (16) + 100 i32s (400) = 416 bytes per array.
+        let mut heap = Heap::new(0, 100).with_max_bytes(1000);
+        let a = heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 100))).unwrap();
+        heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 100))).unwrap();
+        assert_eq!(heap.live_bytes(), 832);
+        assert_eq!(
+            heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 100))),
+            Err(HeapError::ByteBudget)
+        );
+        // Collecting the garbage array frees its bytes.
+        heap.collect(&[Value::Ref(a)], &program).unwrap();
+        assert_eq!(heap.live_bytes(), 416);
+        heap.alloc(HeapObj::Arr(ArrData::new(ArrKind::I32, 100))).unwrap();
     }
 
     #[test]

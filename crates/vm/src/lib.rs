@@ -42,7 +42,7 @@ use cse_bytecode::{ArrKind, BProgram, ClassId, ExcKind, MethodId, PrintKind};
 
 pub use config::{Tier, TierThresholds, VerifyMode, VmConfig, VmKind};
 pub use events::{CompileReason, DeoptReason, TraceEvent};
-pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome};
+pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome, Resource};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
 pub use jit::CodeCache;
 pub use plan::{ExecMode, ForcedPlan};
@@ -66,6 +66,9 @@ pub(crate) enum Exit {
     OutOfFuel,
     /// Heap budget exhausted.
     OutOfMemory,
+    /// A deterministic resource budget exhausted (heap bytes, stack
+    /// depth); graceful, not catchable by the guest.
+    BudgetExceeded(exec::Resource),
 }
 
 /// One interpreter frame, owned by the VM so the GC can see its roots.
@@ -147,13 +150,14 @@ impl<'p> Vm<'p> {
         let fuel = config.fuel;
         let gc_interval = config.gc_interval;
         let max_objects = config.max_objects;
+        let max_heap_bytes = config.max_heap_bytes;
         let wall_deadline = config.wall_clock_limit.map(|limit| std::time::Instant::now() + limit);
         let chaos_panic_at = config.chaos_panic_at_ops.unwrap_or(u64::MAX);
         let env_fp = jit::cache::CodeCache::env_fingerprint(&config);
         Vm {
             program,
             config,
-            heap: Heap::new(gc_interval, max_objects),
+            heap: Heap::new(gc_interval, max_objects).with_max_bytes(max_heap_bytes),
             statics,
             out: String::new(),
             mute_depth: 0,
@@ -211,6 +215,10 @@ impl<'p> Vm<'p> {
                 }
                 Err(Exit::OutOfMemory) => {
                     outcome_override = Some(Outcome::OutOfMemory);
+                    break;
+                }
+                Err(Exit::BudgetExceeded(resource)) => {
+                    outcome_override = Some(Outcome::BudgetExceeded(resource));
                     break;
                 }
             }
@@ -333,13 +341,27 @@ impl<'p> Vm<'p> {
                 }))
             }
             Err(HeapError::OutOfMemory) => Err(Exit::OutOfMemory),
+            Err(HeapError::ByteBudget) => Err(Exit::BudgetExceeded(exec::Resource::HeapBytes)),
         }
     }
 
     pub(crate) fn alloc(&mut self, obj: HeapObj) -> Result<u32, Exit> {
+        // Byte budget: run a last-chance collection before declaring the
+        // budget exhausted, mirroring a production VM's GC-before-OOM.
+        // (The GC schedule stays deterministic: it depends only on the
+        // allocation sequence, never on the host.)
+        if self.heap.bytes_would_exceed(obj.byte_size()) {
+            self.run_gc()?;
+            if self.heap.bytes_would_exceed(obj.byte_size()) {
+                return Err(Exit::BudgetExceeded(exec::Resource::HeapBytes));
+            }
+        }
         let r = match self.heap.alloc(obj) {
             Ok(r) => r,
             Err(HeapError::OutOfMemory) => return Err(Exit::OutOfMemory),
+            Err(HeapError::ByteBudget) => {
+                return Err(Exit::BudgetExceeded(exec::Resource::HeapBytes))
+            }
             Err(HeapError::Corruption { .. }) => unreachable!("alloc does not validate"),
         };
         if self.heap.gc_due() {
@@ -518,6 +540,13 @@ impl<'p> Vm<'p> {
         id: MethodId,
         args: Vec<Value>,
     ) -> Result<Option<Value>, Exit> {
+        // Hard harness budget first: the interpreter recurses on the host
+        // stack, so this must end the run before `max_call_depth` raised
+        // past it can exhaust real stack headroom. Not a guest exception —
+        // a `catch` must never observe it.
+        if self.depth >= self.config.stack_limit {
+            return Err(Exit::BudgetExceeded(exec::Resource::StackDepth));
+        }
         if self.depth >= self.config.max_call_depth {
             return Err(Exit::Exception { kind: ExcKind::StackOverflow, code: 0 });
         }

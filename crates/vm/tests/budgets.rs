@@ -1,0 +1,148 @@
+//! Deterministic resource budgets: exhausting fuel, heap bytes, or the
+//! hard stack budget must end a run gracefully — a first-class
+//! `Outcome`, never a panic, a host stack overflow, or a hang — and the
+//! verdict must be bit-identical across repeated runs.
+
+use cse_vm::{Outcome, Resource, Vm, VmConfig, VmKind};
+
+fn compile(source: &str) -> cse_bytecode::BProgram {
+    let program = cse_lang::parse_and_check(source).expect("test program compiles");
+    cse_bytecode::compile(&program).expect("test program lowers")
+}
+
+const DEEP_RECURSION: &str = r#"
+class T {
+    static int down(int n) {
+        if (n <= 0) { return 0; }
+        return 1 + T.down(n - 1);
+    }
+    static void main() {
+        println(T.down(1000000));
+    }
+}
+"#;
+
+const HEAP_HOG: &str = r#"
+class Node { int[] payload; Node next; }
+class T {
+    static void main() {
+        Node head = null;
+        for (int i = 0; i < 1000000; i++) {
+            Node n = new Node();
+            n.payload = new int[1000];
+            n.next = head;
+            head = n;
+        }
+        println(0);
+    }
+}
+"#;
+
+#[test]
+fn guest_stack_overflow_stays_a_catchable_exception() {
+    // Within the hard budget, deep recursion still surfaces as the
+    // semantic `StackOverflowError` the guest can observe.
+    let bc = compile(DEEP_RECURSION);
+    let result = Vm::run_program(&bc, VmConfig::correct(VmKind::HotSpotLike));
+    assert!(matches!(result.outcome, Outcome::Completed { uncaught_exception: true }));
+    assert!(result.output.contains("StackOverflow"), "output: {}", result.output);
+}
+
+#[test]
+fn stack_budget_ends_run_gracefully_below_guest_limit() {
+    // Raising `max_call_depth` past `stack_limit` models a fuzz config
+    // that would otherwise recurse the host stack into the ground; the
+    // hard budget must win, as an uncatchable graceful outcome.
+    let bc = compile(DEEP_RECURSION);
+    let mut config = VmConfig::correct(VmKind::HotSpotLike);
+    config.max_call_depth = 1 << 20;
+    config.stack_limit = 64;
+    let result = Vm::run_program(&bc, config);
+    assert_eq!(result.outcome, Outcome::BudgetExceeded(Resource::StackDepth));
+    assert_eq!(result.observable(), "budget-exceeded stack-depth");
+}
+
+#[test]
+fn stack_budget_is_not_catchable_by_the_guest() {
+    let source = r#"
+    class T {
+        static int down(int n) {
+            if (n <= 0) { return 0; }
+            return 1 + T.down(n - 1);
+        }
+        static void main() {
+            try { println(T.down(1000000)); }
+            catch { println(-1); }
+        }
+    }
+    "#;
+    let bc = compile(source);
+    let mut config = VmConfig::correct(VmKind::HotSpotLike);
+    config.max_call_depth = 1 << 20;
+    config.stack_limit = 64;
+    let result = Vm::run_program(&bc, config);
+    assert_eq!(result.outcome, Outcome::BudgetExceeded(Resource::StackDepth));
+    assert!(!result.output.contains("-1"), "guest caught the budget: {}", result.output);
+}
+
+#[test]
+fn heap_byte_budget_ends_run_gracefully() {
+    let bc = compile(HEAP_HOG);
+    let mut config = VmConfig::correct(VmKind::OpenJ9Like);
+    config.max_heap_bytes = 1 << 20; // 1 MiB: the list cannot fit.
+    let result = Vm::run_program(&bc, config);
+    assert_eq!(result.outcome, Outcome::BudgetExceeded(Resource::HeapBytes));
+    assert_eq!(result.observable(), "budget-exceeded heap-bytes");
+}
+
+#[test]
+fn byte_budget_spares_programs_whose_garbage_is_collectable() {
+    // Same allocation volume, but nothing stays live: the last-chance
+    // collection in the allocator must reclaim it instead of tripping.
+    let source = r#"
+    class T {
+        static void main() {
+            int acc = 0;
+            for (int i = 0; i < 2000; i++) {
+                int[] scratch = new int[1000];
+                scratch[0] = i;
+                acc = acc + scratch[0];
+            }
+            println(acc);
+        }
+    }
+    "#;
+    let bc = compile(source);
+    let mut config = VmConfig::correct(VmKind::HotSpotLike);
+    config.max_heap_bytes = 1 << 20;
+    let result = Vm::run_program(&bc, config);
+    assert!(result.outcome.is_completed(), "outcome: {:?}", result.outcome);
+}
+
+#[test]
+fn budget_verdicts_are_deterministic_across_runs_and_engines() {
+    for source in [DEEP_RECURSION, HEAP_HOG] {
+        let bc = compile(source);
+        let mut config = VmConfig::correct(VmKind::HotSpotLike);
+        config.max_call_depth = 1 << 20;
+        config.stack_limit = 64;
+        config.max_heap_bytes = 1 << 20;
+        let a = Vm::run_program(&bc, config.clone());
+        let b = Vm::run_program(&bc, config.clone());
+        assert_eq!(a.observable(), b.observable());
+        // Interpreter-only runs hit the same budget class too (the budget
+        // is a harness property, not an engine property).
+        config.jit_enabled = false;
+        let interp = Vm::run_program(&bc, config);
+        assert_eq!(a.observable(), interp.observable());
+    }
+}
+
+#[test]
+fn resource_exhaustion_classes_are_recognized() {
+    assert!(Outcome::Timeout.is_resource_exhausted());
+    assert!(!Outcome::OutOfMemory.is_resource_exhausted(), "OOM stays oracle-comparable");
+    assert!(Outcome::BudgetExceeded(Resource::HeapBytes).is_resource_exhausted());
+    assert!(Outcome::BudgetExceeded(Resource::StackDepth).is_resource_exhausted());
+    assert!(!Outcome::Completed { uncaught_exception: false }.is_resource_exhausted());
+}

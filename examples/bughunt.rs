@@ -22,7 +22,15 @@ fn main() {
     config.supervisor.checkpoint_path = Some(workdir.join("campaign.checkpoint"));
     config.supervisor.checkpoint_every = 8;
     config.supervisor.quarantine_dir = Some(workdir.join("quarantine"));
+    // CSE_TRIAGE=1 triages quarantined incidents at campaign end:
+    // reduction, signature dedup, flakiness verdicts (see cse_core::triage).
+    if std::env::var("CSE_TRIAGE").is_ok_and(|v| v != "0") {
+        config = config.with_triage();
+    }
     let result = run_campaign(&config);
+    if let Some(triage) = &result.triage {
+        print!("{}", triage.render());
+    }
     println!(
         "{} unique bugs from {} mutants ({} duplicates, {:.1?} wall):",
         result.bugs.len(),
