@@ -34,8 +34,14 @@ if [ "$mode" != "quick" ]; then
     echo "==> parallel-engine digest equality under --release"
     cargo test --release -q --test parallel_determinism
 
-    echo "==> campaign throughput bench (smoke)"
-    CSE_SEEDS=4 CSE_JOBS=2 CSE_BENCH_OUT=target/BENCH_campaign.smoke.json \
+    # Perf smoke: a small campaign through the full bench — throughput,
+    # per-stage breakdown, interpreter microbench, and the pruned-vs-
+    # exhaustive plan-space digest cross-check (the bench exits non-zero
+    # if pruning ever diverges). The JSON artifact is the same file a
+    # full-size run produces.
+    echo "==> perf smoke (bench_campaign -> results/BENCH_campaign.json)"
+    mkdir -p results
+    CSE_SEEDS=4 CSE_JOBS=2 CSE_BENCH_OUT=results/BENCH_campaign.json \
         cargo run --release -q -p cse-bench --bin bench_campaign
 
     echo "==> triage smoke (seeded-fault campaign; every incident reduced, deduped, classified)"

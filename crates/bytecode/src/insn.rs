@@ -226,14 +226,22 @@ impl Insn {
 
     /// Branch targets of this instruction (empty for fall-through-only).
     pub fn targets(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_targets(&mut out);
+        out
+    }
+
+    /// Appends branch targets to `out` without allocating. The verifier
+    /// walks every instruction of every compiled mutant; letting it reuse
+    /// one buffer keeps its inner loop allocation-free.
+    pub fn collect_targets(&self, out: &mut Vec<u32>) {
         match self {
-            Insn::Jump(t) | Insn::JumpIfTrue(t) | Insn::JumpIfFalse(t) => vec![*t],
+            Insn::Jump(t) | Insn::JumpIfTrue(t) | Insn::JumpIfFalse(t) => out.push(*t),
             Insn::TableSwitch { cases, default } => {
-                let mut targets: Vec<u32> = cases.iter().map(|(_, t)| *t).collect();
-                targets.push(*default);
-                targets
+                out.extend(cases.iter().map(|(_, t)| *t));
+                out.push(*default);
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 

@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod compile;
+pub mod decoded;
 pub mod disasm;
 pub mod insn;
 pub mod program;
 pub mod verify;
 
 pub use compile::compile;
+pub use decoded::{DInsn, DecodedMethod, DecodedProgram};
 pub use insn::{ArrKind, CmpOp, Insn, PrintKind};
 pub use program::{BClass, BMethod, BProgram, ClassId, ExcKind, FieldId, Handler, MethodId, StrId};

@@ -137,17 +137,26 @@ impl Verifier<'_> {
                 worklist.push(handler.target);
             }
         }
+        // Scratch buffers reused across the whole fixpoint loop: the
+        // verifier runs over every compiled mutant, so its inner loop
+        // stays allocation-free.
+        let mut stack: Vec<AType> = Vec::new();
+        let mut succs: Vec<u32> = Vec::new();
         while let Some(pc) = worklist.pop() {
-            let mut stack = states[pc as usize].clone().expect("worklist entries have state");
+            stack.clear();
+            stack.extend_from_slice(
+                states[pc as usize].as_deref().expect("worklist entries have state"),
+            );
             let insn = &code[pc as usize];
             self.step(pc, insn, &mut stack)?;
             // Propagate to successors.
-            let mut succs: Vec<u32> = insn.targets();
+            succs.clear();
+            insn.collect_targets(&mut succs);
             let falls_through = !insn.is_terminator();
             if falls_through {
                 succs.push(pc + 1);
             }
-            for succ in succs {
+            for &succ in &succs {
                 if succ as usize >= code.len() {
                     return Err(self.err(pc, format!("branch target {succ} out of range")));
                 }

@@ -145,10 +145,7 @@ impl Artemis {
 
     /// Program points within one method.
     fn points_in(&self, program: &Program, class_idx: usize, method_idx: usize) -> Vec<PointInfo> {
-        scope::collect_points(program)
-            .into_iter()
-            .filter(|p| p.point.class == class_idx && p.point.method == method_idx)
-            .collect()
+        scope::collect_points_in(program, class_idx, method_idx)
     }
 
     fn synth(&mut self) -> Synth<'_> {
@@ -334,7 +331,7 @@ impl Artemis {
         };
         program.classes[class_idx].methods[method_idx].body.stmts.insert(0, prologue);
         // Build the pre-invocation loop at the chosen site.
-        let site_info = scope::collect_points(program)
+        let site_info = scope::collect_points_in(program, site.class, site.method)
             .into_iter()
             .find(|p| p.point == site)
             .expect("site still exists after prologue insertion");

@@ -140,6 +140,45 @@ pub struct SpacePoint {
     pub result: ExecutionResult,
 }
 
+/// Warmth-aware plan-space pruning policy for [`enumerate_space_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrunePlans {
+    /// Follow the `CSE_PRUNE_PLANS` environment switch (the default:
+    /// pruning is on unless `CSE_PRUNE_PLANS=0`/`off`).
+    Auto,
+    On,
+    Off,
+}
+
+impl PrunePlans {
+    fn enabled(self) -> bool {
+        match self {
+            PrunePlans::On => true,
+            PrunePlans::Off => false,
+            PrunePlans::Auto => prune_env_default(),
+        }
+    }
+}
+
+/// The process-wide `CSE_PRUNE_PLANS` default, read once. Tests that need
+/// both behaviors pass [`PrunePlans::On`]/[`PrunePlans::Off`] explicitly —
+/// mutating the environment would race under the threaded test runner.
+fn prune_env_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("CSE_PRUNE_PLANS") {
+        Ok(v) if v == "0" || v == "off" => false,
+        Ok(v) if v == "1" || v == "on" || v.is_empty() => true,
+        Ok(v) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("[cse-core] unknown CSE_PRUNE_PLANS={v:?}; expected on/off");
+            });
+            true
+        }
+        Err(_) => true,
+    })
+}
+
 /// Exhaustively explores the compilation space of `program` over the given
 /// (method, invocation-index) call sites — the paper's Figure 1, where a
 /// 4-call program yields a 16-choice space.
@@ -147,6 +186,11 @@ pub struct SpacePoint {
 /// Each subset of `calls` is forced to compiled execution at the top tier
 /// of `base_config` while the rest interpret; calls outside the list run
 /// interpreted. Returns all `2^n` points in subset-bitmask order.
+///
+/// Warmth-aware pruning ([`PrunePlans::Auto`], switchable via
+/// `CSE_PRUNE_PLANS`) may serve some points from a proven-identical
+/// representative run instead of executing them; see
+/// [`enumerate_space_with`].
 ///
 /// # Panics
 ///
@@ -157,6 +201,43 @@ pub fn enumerate_space(
     calls: &[(MethodId, u64)],
     base_config: &VmConfig,
 ) -> Vec<SpacePoint> {
+    enumerate_space_with(program, calls, base_config, PrunePlans::Auto)
+}
+
+/// [`enumerate_space`] with an explicit pruning policy.
+///
+/// # How pruning works
+///
+/// A single profiling pre-run executes the program with every coordinate
+/// forced to interpretation (this is exactly point 0's plan, so the run is
+/// reused) and records the exact per-method invocation counts
+/// ([`cse_vm::WarmthProfile`]). A coordinate `(m, i)` is *dead* when the
+/// reference run invokes `m` fewer than `i + 1` times: no execution of the
+/// space ever consults the plan at that coordinate, so the two plans that
+/// differ only there are observably identical and share one run.
+///
+/// # Proof obligation
+///
+/// Deadness is measured on the all-interpreted run; it transfers to every
+/// other plan by *inlining monotonicity*: forcing a method to compiled
+/// execution can only remove `call_method` entries (inlined callees are
+/// never counted; de-optimization re-enters the frame without re-counting),
+/// never add them — so the interpreted run's invocation counts are
+/// point-wise maximal over the space, **as long as compiled execution is
+/// semantically faithful**. An injected compile-time bug can break
+/// faithfulness (a miscompiled branch may steer execution into calls the
+/// reference run never made), which is why the pruned and exhaustive
+/// enumerations are digest-cross-checked in `cse-bench` and the pruning
+/// property tests, and why `CSE_PRUNE_PLANS=off` exists as a kill switch.
+/// Pruned points clone their representative's [`ExecutionResult`], so
+/// pruned and exhaustive output are bit-identical whenever the obligation
+/// holds.
+pub fn enumerate_space_with(
+    program: &BProgram,
+    calls: &[(MethodId, u64)],
+    base_config: &VmConfig,
+    prune: PrunePlans,
+) -> Vec<SpacePoint> {
     assert!(calls.len() <= 20, "space of 2^{} is too large to enumerate", calls.len());
     let top = base_config.top_tier();
     // The `2^n` points all execute the same program and differ only in
@@ -164,23 +245,91 @@ pub fn enumerate_space(
     // cache serves the whole space: a method force-compiled by many plans
     // is compiled once.
     let cache = CodeCache::for_program(program);
-    let mut points = Vec::with_capacity(1 << calls.len());
-    for mask in 0u32..(1 << calls.len()) {
+    let total: u32 = 1 << calls.len();
+    let run_mask = |mask: u32| {
         let mut plan = ForcedPlan::all_interpreted();
-        let mut choices = Vec::with_capacity(calls.len());
         for (bit, &(method, invocation)) in calls.iter().enumerate() {
             let compiled = mask & (1 << bit) != 0;
-            choices.push(compiled);
             let mode = if compiled { ExecMode::Compiled(top) } else { ExecMode::Interpret };
             plan.set(method, invocation, mode);
         }
         let mut config = base_config.clone();
         config.plan = Some(plan);
         config.record_method_entries = true;
-        let result = Vm::run_program_cached(program, config, &cache);
-        points.push(SpacePoint { choices, result });
+        (program, config)
+    };
+    let choices_of =
+        |mask: u32| (0..calls.len()).map(|bit| mask & (1 << bit) != 0).collect::<Vec<bool>>();
+
+    if !prune.enabled() {
+        return (0..total)
+            .map(|mask| {
+                let (program, config) = run_mask(mask);
+                let result = Vm::run_program_cached(program, config, &cache);
+                SpacePoint { choices: choices_of(mask), result }
+            })
+            .collect();
     }
-    points
+
+    // Profiling pre-run = point 0 (every coordinate interpreted).
+    let (zero_result, warmth) = {
+        let (program, config) = run_mask(0);
+        Vm::run_program_warmth_cached(program, config, &cache)
+    };
+    // Bits whose coordinate the reference run never reaches; plans
+    // differing only on these bits are observably identical.
+    let mut dead_mask: u32 = 0;
+    for (bit, &(method, invocation)) in calls.iter().enumerate() {
+        if invocation >= warmth.invocations[method.0 as usize] {
+            dead_mask |= 1 << bit;
+        }
+    }
+    let mut canonical: std::collections::HashMap<u32, ExecutionResult> =
+        std::collections::HashMap::new();
+    canonical.insert(0, zero_result);
+    (0..total)
+        .map(|mask| {
+            let canon = mask & !dead_mask;
+            // Canonical masks are visited before any mask they represent
+            // (clearing bits never increases the value), so the entry
+            // below is vacant only when `mask` is itself canonical.
+            let result = canonical.entry(canon).or_insert_with(|| {
+                let (program, config) = run_mask(canon);
+                Vm::run_program_cached(program, config, &cache)
+            });
+            SpacePoint { choices: choices_of(mask), result: result.clone() }
+        })
+        .collect()
+}
+
+/// One space point rendered for bit-exact comparison between pruned and
+/// exhaustive enumerations.
+///
+/// `code_cache_hits` is masked out: it measures shared-cache
+/// *temperature*, which depends on which earlier points of the sweep
+/// already compiled a method — pruning legitimately changes that (a hit
+/// is observably identical to a compile by the cache's soundness
+/// contract). Everything else — choices, observable, trace events, the
+/// remaining stats — must match exactly.
+fn render_point(p: &SpacePoint) -> String {
+    let mut stats = p.result.stats;
+    stats.code_cache_hits = 0;
+    format!("{:?} {} {:?} {stats:?}", p.choices, p.result.observable(), p.result.events)
+}
+
+/// A stable FNV-1a digest of an enumerated space, for cross-checking
+/// that pruned and exhaustive enumerations are bit-identical (see
+/// [`enumerate_space_with`]'s proof obligation). Rendering masks
+/// `code_cache_hits`; see [`render_point`].
+pub fn space_digest(points: &[SpacePoint]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for point in points {
+        for byte in render_point(point).bytes().chain([b'\n']) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// Cross-validates an enumerated space: `Some((i, j))` returns the first
@@ -319,6 +468,45 @@ mod tests {
                 assert!(!traces[i].same_as(&traces[j]), "points {i} and {j} collide");
             }
         }
+    }
+
+    /// Per-point [`render_point`] lines (better assertion diffs than the
+    /// [`space_digest`] scalar).
+    fn render_points(points: &[SpacePoint]) -> Vec<String> {
+        points.iter().map(render_point).collect()
+    }
+
+    #[test]
+    fn pruned_space_is_bit_identical_to_exhaustive() {
+        let program = figure1_program();
+        let bar = program.find_method("T", "bar").unwrap();
+        let foo = program.find_method("T", "foo").unwrap();
+        // (bar, 7) and (foo, 3) are dead: each method is called once.
+        let calls = vec![
+            (foo, 0),
+            (bar, 0),
+            (bar, 7),
+            (foo, 3),
+            (program.find_method("T", "baz").unwrap(), 0),
+        ];
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let pruned = enumerate_space_with(&program, &calls, &config, PrunePlans::On);
+        let exhaustive = enumerate_space_with(&program, &calls, &config, PrunePlans::Off);
+        assert_eq!(pruned.len(), 32);
+        assert_eq!(render_points(&pruned), render_points(&exhaustive));
+    }
+
+    #[test]
+    fn pruning_with_all_live_coordinates_is_identity() {
+        let program = figure1_program();
+        let calls = vec![
+            (program.find_method("T", "foo").unwrap(), 0),
+            (program.find_method("T", "bar").unwrap(), 0),
+        ];
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let pruned = enumerate_space_with(&program, &calls, &config, PrunePlans::On);
+        let exhaustive = enumerate_space_with(&program, &calls, &config, PrunePlans::Off);
+        assert_eq!(render_points(&pruned), render_points(&exhaustive));
     }
 
     #[test]

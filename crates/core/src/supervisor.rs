@@ -43,6 +43,7 @@
 
 use std::fmt::Write as _;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -510,7 +511,12 @@ pub fn save_checkpoint(
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(&tmp, body)?;
+    // Buffered so a large campaign (thousands of bug reproducers and
+    // incident payloads) goes out in a few syscalls instead of relying
+    // on the kernel to coalesce; flush before the rename publishes it.
+    let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
     std::fs::rename(&tmp, path)
 }
 
@@ -562,24 +568,27 @@ pub fn quarantine_incident(
         iteration,
         signature.stable_hash()
     ));
-    let mut body = String::new();
-    let _ = writeln!(body, "// quarantined harness incident");
-    let _ = writeln!(body, "// phase: {}", incident.phase);
-    let _ = writeln!(body, "// campaign seed: {}", incident.seed);
-    let _ = writeln!(body, "// rng seed: {}", incident.rng_seed);
+    // Streamed through a buffered writer: repro files are written on the
+    // campaign hot path (every contained incident), and line-at-a-time
+    // writeln!s straight to a File would be a syscall per line.
+    let mut w = io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(w, "// quarantined harness incident")?;
+    writeln!(w, "// phase: {}", incident.phase)?;
+    writeln!(w, "// campaign seed: {}", incident.seed)?;
+    writeln!(w, "// rng seed: {}", incident.rng_seed)?;
     if let Some(iteration) = incident.iteration {
-        let _ = writeln!(body, "// mutation iteration: {iteration}");
+        writeln!(w, "// mutation iteration: {iteration}")?;
     }
-    body.push_str(&vm_profile_header(vm));
+    w.write_all(vm_profile_header(vm).as_bytes())?;
     for line in incident.payload.lines() {
-        let _ = writeln!(body, "// panic: {line}");
+        writeln!(w, "// panic: {line}")?;
     }
-    let _ = writeln!(body, "// signature: {signature}");
+    writeln!(w, "// signature: {signature}")?;
     match &incident.source {
-        Some(source) => body.push_str(source),
-        None => body.push_str("// (no source captured)\n"),
+        Some(source) => w.write_all(source.as_bytes())?,
+        None => w.write_all(b"// (no source captured)\n")?,
     }
-    std::fs::write(&path, body)?;
+    w.flush()?;
     Ok(path)
 }
 
@@ -605,19 +614,16 @@ pub fn quarantine_crash(
         sanitize(&label),
         signature.stable_hash()
     ));
-    let mut body = String::new();
-    let _ = writeln!(body, "// quarantined crashing input");
-    let _ = writeln!(body, "// campaign seed: {seed}");
-    let _ = writeln!(body, "// rng seed: {rng_seed}");
-    let _ = writeln!(
-        body,
-        "// crash: {:?} in {:?} during {:?}",
-        crash.kind, crash.component, crash.phase
-    );
-    let _ = writeln!(body, "// attributed bug: {label}");
-    body.push_str(&vm_profile_header(vm));
-    body.push_str(mutant_source);
-    std::fs::write(&path, body)?;
+    // Buffered for the same reason as `quarantine_incident`.
+    let mut w = io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(w, "// quarantined crashing input")?;
+    writeln!(w, "// campaign seed: {seed}")?;
+    writeln!(w, "// rng seed: {rng_seed}")?;
+    writeln!(w, "// crash: {:?} in {:?} during {:?}", crash.kind, crash.component, crash.phase)?;
+    writeln!(w, "// attributed bug: {label}")?;
+    w.write_all(vm_profile_header(vm).as_bytes())?;
+    w.write_all(mutant_source.as_bytes())?;
+    w.flush()?;
     Ok(path)
 }
 

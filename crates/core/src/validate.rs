@@ -227,10 +227,19 @@ pub fn compile_checked(program: &Program) -> BProgram {
 /// Fallible twin of [`compile_checked`]: returns the failure (including
 /// a contained compiler panic) as a message instead of unwinding.
 pub fn try_compile_checked(program: &Program) -> Result<BProgram, String> {
+    let mut program = program.clone();
+    try_compile_checked_mut(&mut program)
+}
+
+/// [`try_compile_checked`] for callers that own the program and can let
+/// the type checker annotate it in place. The validation loop compiles
+/// every mutant exactly once and never reuses the AST afterward (reports
+/// pretty-print the annotated form, which prints identically), so the
+/// defensive whole-AST clone is pure overhead there.
+pub fn try_compile_checked_mut(program: &mut Program) -> Result<BProgram, String> {
     contain_panics(|| {
-        let mut program = program.clone();
-        cse_lang::typeck::check(&mut program).map_err(|e| format!("type check failed: {e}"))?;
-        let bytecode = cse_bytecode::compile(&program)
+        cse_lang::typeck::check(program).map_err(|e| format!("type check failed: {e}"))?;
+        let bytecode = cse_bytecode::compile(program)
             .map_err(|e| format!("bytecode compilation failed: {e}"))?;
         // Mutants are only as trusted as the mutator that made them: a
         // JoNM product that compiles but fails bytecode verification is a
@@ -372,7 +381,7 @@ pub fn validate_compiled_with(
     configure(&mut artemis);
     for iteration in 0..config.max_iter {
         // P' ← JoNM(P).
-        let (mutant, mutations) = match contain_panics(|| artemis.jonm(seed)) {
+        let (mut mutant, mutations) = match contain_panics(|| artemis.jonm(seed)) {
             Ok(pair) => pair,
             Err(panic) => {
                 outcome.incident(
@@ -388,7 +397,10 @@ pub fn validate_compiled_with(
         if mutations.is_empty() {
             continue;
         }
-        let mutant_bytecode = match try_compile_checked(&mutant) {
+        // In-place check-and-compile: the mutant AST is owned and fresh
+        // per iteration, so the type checker may annotate it directly
+        // instead of paying a whole-AST clone per mutant.
+        let mutant_bytecode = match try_compile_checked_mut(&mut mutant) {
             Ok(bytecode) => bytecode,
             Err(message) => {
                 // A mutator bug: JoNM produced an uncompilable program.
@@ -429,22 +441,34 @@ pub fn validate_compiled_with(
             };
         outcome.note_ir_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
         // Reference run: neutrality check + performance baseline.
-        let mutant_reference = if config.verify_neutrality {
+        //
+        // A mutant whose LVM run never touched the JIT — no tier
+        // compilations, no OSR entries, no compiled ops executed — is its
+        // own reference: every injected fault lives in the JIT pipeline
+        // (`cse_vm::jit`), so a zero-JIT run under the faulty config is
+        // bit-identical to the interpreter-only rerun it would be checked
+        // against. Reusing it skips the rerun entirely (roughly a third
+        // of mutants never warm up under the paper's thresholds).
+        //
+        // The `Crash` guard closes a counter blind spot: an injected
+        // *compile-time* assert crashes the run from inside `jit::compile`
+        // before `compilations` is ever incremented, so a crashed run can
+        // read as zero-JIT while being anything but interpreter-equivalent
+        // (ART's catalog is entirely compile-time asserts). Crashed runs
+        // always take the real interpreter rerun.
+        let stats = &mutant_result.stats;
+        let mutant_is_own_reference = stats.compilations == 0
+            && stats.osr_compilations == 0
+            && stats.jit_ops == 0
+            && !matches!(mutant_result.outcome, Outcome::Crash(_));
+        let mutant_reference = if !config.verify_neutrality {
+            None
+        } else if mutant_is_own_reference {
+            Some(mutant_result.clone())
+        } else {
             outcome.vm_invocations += 1;
             match supervised_run(&mutant_bytecode, VmConfig::interpreter_only(config.vm.kind)) {
-                Ok(reference) => {
-                    if let Some(seed_reference) = &seed_reference {
-                        if reference.observable() != seed_reference.observable()
-                            && !reference.outcome.is_resource_exhausted()
-                            && !seed_reference.outcome.is_resource_exhausted()
-                        {
-                            outcome.neutrality_violations += 1;
-                            outcome.discarded += 1;
-                            continue;
-                        }
-                    }
-                    Some(reference)
-                }
+                Ok(reference) => Some(reference),
                 Err(panic) => {
                     // No reference for this mutant; skip the neutrality
                     // and performance oracles but keep the output oracle.
@@ -458,9 +482,17 @@ pub fn validate_compiled_with(
                     None
                 }
             }
-        } else {
-            None
         };
+        if let (Some(reference), Some(seed_reference)) = (&mutant_reference, &seed_reference) {
+            if reference.observable() != seed_reference.observable()
+                && !reference.outcome.is_resource_exhausted()
+                && !seed_reference.outcome.is_resource_exhausted()
+            {
+                outcome.neutrality_violations += 1;
+                outcome.discarded += 1;
+                continue;
+            }
+        }
         // Resource-exhaustion handling: discard, unless a *timeout*
         // paired with a comfortably-cheap reference run shows the
         // slowness is the JIT's fault. Heap/stack budget trips carry no

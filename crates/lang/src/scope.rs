@@ -67,24 +67,44 @@ pub struct PointInfo {
 pub fn collect_points(program: &Program) -> Vec<PointInfo> {
     let mut points = Vec::new();
     for (class_idx, class) in program.classes.iter().enumerate() {
-        for (method_idx, method) in class.methods.iter().enumerate() {
-            let mut vars: Vec<VarInfo> = method
-                .params
-                .iter()
-                .map(|p| VarInfo { name: p.name.clone(), ty: p.ty.clone(), is_param: true })
-                .collect();
-            let mut walker = Walker {
-                class: class_idx,
-                method: method_idx,
-                path: Vec::new(),
-                loop_depth: 0,
-                in_switch: false,
-                points: &mut points,
-            };
-            walker.block(&method.body, &mut vars);
+        for method_idx in 0..class.methods.len() {
+            collect_method_points(program, class_idx, method_idx, &mut points);
         }
     }
     points
+}
+
+/// Enumerates the insertion points of a single method body. Mutators that
+/// target one method at a time use this instead of [`collect_points`]:
+/// walking the whole program once per mutated method made JoNM quadratic
+/// in program size.
+pub fn collect_points_in(program: &Program, class_idx: usize, method_idx: usize) -> Vec<PointInfo> {
+    let mut points = Vec::new();
+    collect_method_points(program, class_idx, method_idx, &mut points);
+    points
+}
+
+fn collect_method_points(
+    program: &Program,
+    class_idx: usize,
+    method_idx: usize,
+    points: &mut Vec<PointInfo>,
+) {
+    let method = &program.classes[class_idx].methods[method_idx];
+    let mut vars: Vec<VarInfo> = method
+        .params
+        .iter()
+        .map(|p| VarInfo { name: p.name.clone(), ty: p.ty.clone(), is_param: true })
+        .collect();
+    let mut walker = Walker {
+        class: class_idx,
+        method: method_idx,
+        path: Vec::new(),
+        loop_depth: 0,
+        in_switch: false,
+        points,
+    };
+    walker.block(&method.body, &mut vars);
 }
 
 struct Walker<'a> {

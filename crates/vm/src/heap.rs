@@ -7,11 +7,9 @@
 //! OpenJ9 crash class, §4.2/Table 2) surfaces here as a
 //! [`HeapError::Corruption`].
 
-use std::rc::Rc;
-
 use cse_bytecode::{ArrKind, BProgram, ClassId};
 
-use crate::value::Value;
+use crate::value::{Str, Value};
 
 /// Array payloads, one vector per element kind.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +18,7 @@ pub enum ArrData {
     I64(Vec<i64>),
     I8(Vec<i8>),
     Bool(Vec<bool>),
-    Str(Vec<Option<Rc<str>>>),
+    Str(Vec<Option<Str>>),
     Ref(Vec<Option<u32>>),
 }
 
@@ -78,7 +76,7 @@ impl HeapObj {
                 ArrData::I64(v) => v.len() * 8,
                 ArrData::I8(v) => v.len(),
                 ArrData::Bool(v) => v.len(),
-                ArrData::Str(v) => v.len() * 16,
+                ArrData::Str(v) => v.len() * 8,
                 ArrData::Ref(v) => v.len() * 8,
             },
         };

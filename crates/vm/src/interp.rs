@@ -5,7 +5,7 @@
 //! switch profiles for tier-2 speculation, and triggers OSR compilation
 //! when a back-edge counter crosses its threshold.
 
-use cse_bytecode::{ExcKind, Insn, MethodId};
+use cse_bytecode::{DInsn, ExcKind, MethodId};
 
 use crate::config::Tier;
 use crate::events::CompileReason;
@@ -23,10 +23,19 @@ impl Vm<'_> {
         start_pc: u32,
     ) -> Result<Option<Value>, Exit> {
         self.depth += 1;
-        self.frames.push(Frame { locals, stack: Vec::new() });
+        let stack = self.vec_pool.pop().unwrap_or_default();
+        self.frames.push(Frame { locals, stack });
         let frame_idx = self.frames.len() - 1;
         let result = self.interp_loop(id, frame_idx, start_pc);
-        self.frames.pop();
+        // Recycle the frame's two buffers: cleared first, so the pool never
+        // holds live values (and thus never needs scanning by the GC).
+        if let Some(frame) = self.frames.pop() {
+            let Frame { mut locals, mut stack } = frame;
+            locals.clear();
+            stack.clear();
+            self.vec_pool.push(locals);
+            self.vec_pool.push(stack);
+        }
         self.depth -= 1;
         result
     }
@@ -65,6 +74,16 @@ impl Vm<'_> {
         start_pc: u32,
     ) -> Result<Option<Value>, Exit> {
         let mut pc = start_pc;
+        // One fetch table per activation: the decoded program is shared via
+        // `Rc`, so `dm` borrows a local handle and never conflicts with the
+        // `&mut self` uses in the arms below.
+        let decoded = self.decoded();
+        let dm = decoded.method(id);
+        // Branch/switch profiles exist to steer compilation (speculation
+        // and tier-up). When this run can never compile — JIT off and no
+        // forced plan — skip the bookkeeping on the hot path entirely;
+        // the profiles are not part of any observable output.
+        let profiling = self.config.jit_enabled || self.config.plan.is_some();
         // Fast-path macros keep the dispatch loop readable without
         // borrowing `self` across helper calls.
         macro_rules! frame {
@@ -81,49 +100,50 @@ impl Vm<'_> {
         loop {
             self.burn(1)?;
             self.stats.interp_ops += 1;
-            // The method body is immutable while running; cloning the insn
-            // is cheap for all hot opcodes (jump targets, consts, slots).
-            let insn = self.program.method(id).code[pc as usize].clone();
+            // Decoded instructions are `Copy`: the fetch is an indexed
+            // load, never a clone (see `cse_bytecode::decoded`).
+            let insn = dm.code[pc as usize];
             match insn {
-                Insn::IConst(v) => frame!().stack.push(Value::I(v)),
-                Insn::LConst(v) => frame!().stack.push(Value::L(v)),
-                Insn::SConst(sid) => {
-                    let text: std::rc::Rc<str> =
-                        self.program.strings[sid.0 as usize].as_str().into();
+                DInsn::IConst(v) => frame!().stack.push(Value::I(v)),
+                DInsn::LConst(v) => frame!().stack.push(Value::L(v)),
+                DInsn::SConst(sid) => {
+                    // Literals are interned at decode time: a refcount bump,
+                    // not a fresh allocation per execution.
+                    let text = decoded.string(sid).clone();
                     frame!().stack.push(Value::S(text));
                 }
-                Insn::NullConst => frame!().stack.push(Value::Null),
-                Insn::Load(slot) => {
+                DInsn::NullConst => frame!().stack.push(Value::Null),
+                DInsn::Load(slot) => {
                     let value = frame!().locals[slot as usize].clone();
                     frame!().stack.push(value);
                 }
-                Insn::Store(slot) => {
+                DInsn::Store(slot) => {
                     let value = frame!().stack.pop().expect("verified");
                     frame!().locals[slot as usize] = value;
                 }
-                Insn::Pop => {
+                DInsn::Pop => {
                     frame!().stack.pop();
                 }
-                Insn::Dup => {
+                DInsn::Dup => {
                     let top = frame!().stack.last().expect("verified").clone();
                     frame!().stack.push(top);
                 }
-                Insn::Dup2 => {
+                DInsn::Dup2 => {
                     let len = frame!().stack.len();
                     let a = frame!().stack[len - 2].clone();
                     let b = frame!().stack[len - 1].clone();
                     frame!().stack.push(a);
                     frame!().stack.push(b);
                 }
-                Insn::GetStatic { class, field } => {
+                DInsn::GetStatic { class, field } => {
                     let value = self.statics[class.0 as usize][field as usize].clone();
                     frame!().stack.push(value);
                 }
-                Insn::PutStatic { class, field } => {
+                DInsn::PutStatic { class, field } => {
                     let value = frame!().stack.pop().expect("verified");
                     self.statics[class.0 as usize][field as usize] = value;
                 }
-                Insn::GetField { field } => {
+                DInsn::GetField { field } => {
                     let obj = frame!().stack.pop().expect("verified");
                     match self.field_get(&obj, field) {
                         Ok(value) => frame!().stack.push(value),
@@ -131,7 +151,7 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::PutField { field } => {
+                DInsn::PutField { field } => {
                     let value = frame!().stack.pop().expect("verified");
                     let obj = frame!().stack.pop().expect("verified");
                     match self.field_put(&obj, field, value) {
@@ -140,12 +160,12 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::NewObject(class) => match self.alloc_object(class) {
+                DInsn::NewObject(class) => match self.alloc_object(class) {
                     Ok(value) => frame!().stack.push(value),
                     Err(Exit::Exception { kind, code }) => raise!(pc, kind, code),
                     Err(e) => return Err(e),
                 },
-                Insn::NewArray(kind) => {
+                DInsn::NewArray(kind) => {
                     let len = frame!().stack.pop().expect("verified").as_i();
                     match self.alloc_array(kind, len) {
                         Ok(value) => frame!().stack.push(value),
@@ -153,7 +173,7 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::NewMultiArray { kind, dims } => {
+                DInsn::NewMultiArray { kind, dims } => {
                     let mut lens = vec![0i32; dims as usize];
                     for slot in lens.iter_mut().rev() {
                         *slot = frame!().stack.pop().expect("verified").as_i();
@@ -164,7 +184,7 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::ArrLoad(_) => {
+                DInsn::ArrLoad(_) => {
                     let idx = frame!().stack.pop().expect("verified").as_i();
                     let arr = frame!().stack.pop().expect("verified");
                     match self.arr_load(&arr, idx) {
@@ -173,7 +193,7 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::ArrStore(_) => {
+                DInsn::ArrStore(_) => {
                     let value = frame!().stack.pop().expect("verified");
                     let idx = frame!().stack.pop().expect("verified").as_i();
                     let arr = frame!().stack.pop().expect("verified");
@@ -183,7 +203,7 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::ArrLen => {
+                DInsn::ArrLen => {
                     let arr = frame!().stack.pop().expect("verified");
                     match self.arr_len(&arr) {
                         Ok(len) => frame!().stack.push(Value::I(len)),
@@ -192,142 +212,180 @@ impl Vm<'_> {
                     }
                 }
                 // ----- int arithmetic -----
-                Insn::IAdd
-                | Insn::ISub
-                | Insn::IMul
-                | Insn::IAnd
-                | Insn::IOr
-                | Insn::IXor
-                | Insn::IShl
-                | Insn::IShr
-                | Insn::IUshr => {
+                DInsn::IAdd
+                | DInsn::ISub
+                | DInsn::IMul
+                | DInsn::IAnd
+                | DInsn::IOr
+                | DInsn::IXor
+                | DInsn::IShl
+                | DInsn::IShr
+                | DInsn::IUshr => {
                     let b = frame!().stack.pop().expect("verified").as_i();
                     let a = frame!().stack.pop().expect("verified").as_i();
                     let r = match insn {
-                        Insn::IAdd => a.wrapping_add(b),
-                        Insn::ISub => a.wrapping_sub(b),
-                        Insn::IMul => a.wrapping_mul(b),
-                        Insn::IAnd => a & b,
-                        Insn::IOr => a | b,
-                        Insn::IXor => a ^ b,
-                        Insn::IShl => a.wrapping_shl(b as u32),
-                        Insn::IShr => a.wrapping_shr(b as u32),
-                        Insn::IUshr => ((a as u32).wrapping_shr(b as u32)) as i32,
+                        DInsn::IAdd => a.wrapping_add(b),
+                        DInsn::ISub => a.wrapping_sub(b),
+                        DInsn::IMul => a.wrapping_mul(b),
+                        DInsn::IAnd => a & b,
+                        DInsn::IOr => a | b,
+                        DInsn::IXor => a ^ b,
+                        DInsn::IShl => a.wrapping_shl(b as u32),
+                        DInsn::IShr => a.wrapping_shr(b as u32),
+                        DInsn::IUshr => ((a as u32).wrapping_shr(b as u32)) as i32,
                         _ => unreachable!(),
                     };
                     frame!().stack.push(Value::I(r));
                 }
-                Insn::IDiv | Insn::IRem => {
+                DInsn::IDiv | DInsn::IRem => {
                     let b = frame!().stack.pop().expect("verified").as_i();
                     let a = frame!().stack.pop().expect("verified").as_i();
                     if b == 0 {
                         raise!(pc, ExcKind::Arithmetic, 0);
                     }
-                    let r = if matches!(insn, Insn::IDiv) {
+                    let r = if matches!(insn, DInsn::IDiv) {
                         a.wrapping_div(b)
                     } else {
                         a.wrapping_rem(b)
                     };
                     frame!().stack.push(Value::I(r));
                 }
-                Insn::INeg => {
+                DInsn::INeg => {
                     let a = frame!().stack.pop().expect("verified").as_i();
                     frame!().stack.push(Value::I(a.wrapping_neg()));
                 }
                 // ----- long arithmetic -----
-                Insn::LAdd | Insn::LSub | Insn::LMul | Insn::LAnd | Insn::LOr | Insn::LXor => {
+                DInsn::LAdd
+                | DInsn::LSub
+                | DInsn::LMul
+                | DInsn::LAnd
+                | DInsn::LOr
+                | DInsn::LXor => {
                     let b = frame!().stack.pop().expect("verified").as_l();
                     let a = frame!().stack.pop().expect("verified").as_l();
                     let r = match insn {
-                        Insn::LAdd => a.wrapping_add(b),
-                        Insn::LSub => a.wrapping_sub(b),
-                        Insn::LMul => a.wrapping_mul(b),
-                        Insn::LAnd => a & b,
-                        Insn::LOr => a | b,
-                        Insn::LXor => a ^ b,
+                        DInsn::LAdd => a.wrapping_add(b),
+                        DInsn::LSub => a.wrapping_sub(b),
+                        DInsn::LMul => a.wrapping_mul(b),
+                        DInsn::LAnd => a & b,
+                        DInsn::LOr => a | b,
+                        DInsn::LXor => a ^ b,
                         _ => unreachable!(),
                     };
                     frame!().stack.push(Value::L(r));
                 }
-                Insn::LDiv | Insn::LRem => {
+                DInsn::LDiv | DInsn::LRem => {
                     let b = frame!().stack.pop().expect("verified").as_l();
                     let a = frame!().stack.pop().expect("verified").as_l();
                     if b == 0 {
                         raise!(pc, ExcKind::Arithmetic, 0);
                     }
-                    let r = if matches!(insn, Insn::LDiv) {
+                    let r = if matches!(insn, DInsn::LDiv) {
                         a.wrapping_div(b)
                     } else {
                         a.wrapping_rem(b)
                     };
                     frame!().stack.push(Value::L(r));
                 }
-                Insn::LShl | Insn::LShr | Insn::LUshr => {
+                DInsn::LShl | DInsn::LShr | DInsn::LUshr => {
                     let b = frame!().stack.pop().expect("verified").as_i();
                     let a = frame!().stack.pop().expect("verified").as_l();
                     let r = match insn {
-                        Insn::LShl => a.wrapping_shl(b as u32),
-                        Insn::LShr => a.wrapping_shr(b as u32),
-                        Insn::LUshr => ((a as u64).wrapping_shr(b as u32)) as i64,
+                        DInsn::LShl => a.wrapping_shl(b as u32),
+                        DInsn::LShr => a.wrapping_shr(b as u32),
+                        DInsn::LUshr => ((a as u64).wrapping_shr(b as u32)) as i64,
                         _ => unreachable!(),
                     };
                     frame!().stack.push(Value::L(r));
                 }
-                Insn::LNeg => {
+                DInsn::LNeg => {
                     let a = frame!().stack.pop().expect("verified").as_l();
                     frame!().stack.push(Value::L(a.wrapping_neg()));
                 }
                 // ----- conversions -----
-                Insn::I2L => {
+                DInsn::I2L => {
                     let a = frame!().stack.pop().expect("verified").as_i();
                     frame!().stack.push(Value::L(i64::from(a)));
                 }
-                Insn::L2I => {
+                DInsn::L2I => {
                     let a = frame!().stack.pop().expect("verified").as_l();
                     frame!().stack.push(Value::I(a as i32));
                 }
-                Insn::I2B => {
+                DInsn::I2B => {
                     let a = frame!().stack.pop().expect("verified").as_i();
                     frame!().stack.push(Value::I(i32::from(a as i8)));
                 }
-                Insn::I2S => {
+                DInsn::I2S => {
                     let a = frame!().stack.pop().expect("verified").as_i();
-                    frame!().stack.push(Value::S(a.to_string().into()));
+                    frame!().stack.push(Value::str(a.to_string()));
                 }
-                Insn::L2S => {
+                DInsn::L2S => {
                     let a = frame!().stack.pop().expect("verified").as_l();
-                    frame!().stack.push(Value::S(a.to_string().into()));
+                    frame!().stack.push(Value::str(a.to_string()));
                 }
-                Insn::Bool2S => {
+                DInsn::Bool2S => {
                     let a = frame!().stack.pop().expect("verified").as_bool();
-                    frame!().stack.push(Value::S(if a { "true" } else { "false" }.into()));
+                    frame!().stack.push(Value::str(if a { "true" } else { "false" }));
                 }
                 // ----- comparisons -----
-                Insn::ICmp(op) => {
+                DInsn::CmpBr { op, long_operands, want, target } => {
+                    // The fused pair spans two bytecode instructions:
+                    // account for the branch too, so fuel and op counts
+                    // match unfused execution.
+                    self.burn(1)?;
+                    self.stats.interp_ops += 1;
+                    let cond = if long_operands {
+                        let b = frame!().stack.pop().expect("verified").as_l();
+                        let a = frame!().stack.pop().expect("verified").as_l();
+                        op.eval(a, b)
+                    } else {
+                        let b = frame!().stack.pop().expect("verified").as_i();
+                        let a = frame!().stack.pop().expect("verified").as_i();
+                        op.eval(a, b)
+                    };
+                    // The branch lives at `pc + 1`: profile and back-edge
+                    // bookkeeping must use its pc, exactly as unfused.
+                    let branch_pc = pc + 1;
+                    if profiling {
+                        self.profiles[id.0 as usize].record_branch(branch_pc, cond);
+                    }
+                    if cond == want {
+                        if target <= branch_pc {
+                            if let Some(new_pc) = self.back_edge(id, branch_pc, target)? {
+                                return self.osr_execute(id, frame_idx, new_pc);
+                            }
+                        }
+                        pc = target;
+                    } else {
+                        pc = branch_pc + 1;
+                    }
+                    continue;
+                }
+                DInsn::ICmp(op) => {
                     let b = frame!().stack.pop().expect("verified").as_i();
                     let a = frame!().stack.pop().expect("verified").as_i();
                     frame!().stack.push(Value::I(i32::from(op.eval(a, b))));
                 }
-                Insn::LCmp(op) => {
+                DInsn::LCmp(op) => {
                     let b = frame!().stack.pop().expect("verified").as_l();
                     let a = frame!().stack.pop().expect("verified").as_l();
                     frame!().stack.push(Value::I(i32::from(op.eval(a, b))));
                 }
-                Insn::RefEq | Insn::RefNe => {
+                DInsn::RefEq | DInsn::RefNe => {
                     let b = frame!().stack.pop().expect("verified");
                     let a = frame!().stack.pop().expect("verified");
                     let eq = a.ref_eq(&b);
-                    let want = matches!(insn, Insn::RefEq);
+                    let want = matches!(insn, DInsn::RefEq);
                     frame!().stack.push(Value::I(i32::from(eq == want)));
                 }
-                Insn::SConcat => {
+                DInsn::SConcat => {
                     let b = frame!().stack.pop().expect("verified");
                     let a = frame!().stack.pop().expect("verified");
                     let joined = self.concat(&a, &b);
                     frame!().stack.push(joined);
                 }
                 // ----- control flow -----
-                Insn::Jump(target) => {
+                DInsn::Jump(target) => {
                     if target <= pc {
                         if let Some(new_pc) = self.back_edge(id, pc, target)? {
                             return self.osr_execute(id, frame_idx, new_pc);
@@ -336,10 +394,12 @@ impl Vm<'_> {
                     pc = target;
                     continue;
                 }
-                Insn::JumpIfTrue(target) | Insn::JumpIfFalse(target) => {
+                DInsn::JumpIfTrue(target) | DInsn::JumpIfFalse(target) => {
                     let cond = frame!().stack.pop().expect("verified").as_bool();
-                    self.profiles[id.0 as usize].record_branch(pc, cond);
-                    let want = matches!(insn, Insn::JumpIfTrue(_));
+                    if profiling {
+                        self.profiles[id.0 as usize].record_branch(pc, cond);
+                    }
+                    let want = matches!(insn, DInsn::JumpIfTrue(_));
                     if cond == want {
                         if target <= pc {
                             if let Some(new_pc) = self.back_edge(id, pc, target)? {
@@ -350,16 +410,23 @@ impl Vm<'_> {
                         continue;
                     }
                 }
-                Insn::TableSwitch { ref cases, default } => {
+                DInsn::TableSwitch { cases_start, cases_len, default } => {
                     let scrut = frame!().stack.pop().expect("verified").as_i();
+                    let cases = dm.switch_cases(cases_start, cases_len);
                     let arm = cases.iter().position(|(label, _)| *label == scrut);
                     let target = match arm {
                         Some(i) => {
-                            self.profiles[id.0 as usize].record_switch(pc, i);
-                            cases[i].1
+                            let case_target = cases[i].1;
+                            if profiling {
+                                self.profiles[id.0 as usize].record_switch(pc, i, cases.len());
+                            }
+                            case_target
                         }
                         None => {
-                            self.profiles[id.0 as usize].record_switch(pc, usize::MAX);
+                            if profiling {
+                                let arm = usize::MAX;
+                                self.profiles[id.0 as usize].record_switch(pc, arm, cases.len());
+                            }
                             default
                         }
                     };
@@ -372,11 +439,14 @@ impl Vm<'_> {
                     continue;
                 }
                 // ----- calls -----
-                Insn::InvokeStatic(callee) | Insn::InvokeInstance(callee) => {
+                DInsn::InvokeStatic(callee) | DInsn::InvokeInstance(callee) => {
                     let arg_slots = self.program.method(callee).arg_slots();
+                    // Drain into a recycled buffer instead of `split_off`,
+                    // which would allocate a fresh Vec for every call.
+                    let mut args = self.vec_pool.pop().unwrap_or_default();
                     let split_at = frame!().stack.len() - arg_slots;
-                    let args: Vec<Value> = frame!().stack.split_off(split_at);
-                    if matches!(insn, Insn::InvokeInstance(_)) && args[0].is_null() {
+                    args.extend(frame!().stack.drain(split_at..));
+                    if matches!(insn, DInsn::InvokeInstance(_)) && args[0].is_null() {
                         raise!(pc, ExcKind::NullPointer, 0);
                     }
                     match self.call_method(callee, args) {
@@ -386,28 +456,28 @@ impl Vm<'_> {
                         Err(e) => return Err(e),
                     }
                 }
-                Insn::Return => return Ok(None),
-                Insn::ReturnVal => {
+                DInsn::Return => return Ok(None),
+                DInsn::ReturnVal => {
                     let value = frame!().stack.pop().expect("verified");
                     return Ok(Some(value));
                 }
                 // ----- exceptions -----
-                Insn::ThrowUser => {
+                DInsn::ThrowUser => {
                     let code = frame!().stack.pop().expect("verified").as_i();
                     raise!(pc, ExcKind::User, code);
                 }
-                Insn::Rethrow(slot) => {
+                DInsn::Rethrow(slot) => {
                     let packed = frame!().locals[slot as usize].as_l();
                     let (kind, code) = ExcKind::unpack(packed);
                     raise!(pc, kind, code);
                 }
                 // ----- output -----
-                Insn::Println(kind) => {
+                DInsn::Println(kind) => {
                     let value = frame!().stack.pop().expect("verified");
                     self.print_value(kind, &value);
                 }
-                Insn::Mute => self.mute_depth += 1,
-                Insn::Unmute => self.mute_depth = self.mute_depth.saturating_sub(1),
+                DInsn::Mute => self.mute_depth += 1,
+                DInsn::Unmute => self.mute_depth = self.mute_depth.saturating_sub(1),
             }
             pc += 1;
         }
@@ -485,7 +555,11 @@ impl Vm<'_> {
                 // interpreting from the header.
                 return self.interp_resume(id, frame_idx, header);
             };
-            let locals = self.frames[frame_idx].locals.clone();
+            // Move the locals out instead of cloning the whole vector:
+            // `run_ir` seeds its register frame (a GC root) from them
+            // before anything can allocate, and every exit path below
+            // either pops this frame or overwrites `locals` afresh.
+            let locals = std::mem::take(&mut self.frames[frame_idx].locals);
             match jit::run_ir(self, &func, locals)? {
                 IrOutcome::Return(value) => Ok(value),
                 IrOutcome::Deopt { bc_pc, locals, reason } => {

@@ -39,7 +39,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cse_bytecode::{BProgram, MethodId};
+use cse_bytecode::{BProgram, DecodedProgram, MethodId};
 
 use crate::config::{Tier, VmConfig};
 use crate::exec::CrashInfo;
@@ -78,6 +78,10 @@ pub struct CodeCache {
     entries: RefCell<HashMap<CacheKey, Result<Rc<IrFunc>, CrashInfo>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// The program's pre-decoded instruction form (see
+    /// [`cse_bytecode::decoded`]), built on first attach so the 2^n VM
+    /// runs of a plan-space sweep decode the program exactly once.
+    decoded: RefCell<Option<Rc<DecodedProgram>>>,
 }
 
 impl CodeCache {
@@ -88,6 +92,7 @@ impl CodeCache {
             entries: RefCell::new(HashMap::new()),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            decoded: RefCell::new(None),
         })
     }
 
@@ -103,6 +108,15 @@ impl CodeCache {
         fp.u64(config.inline_limit as u64);
         fp.u64(config.faults.fingerprint());
         fp.finish()
+    }
+
+    /// The shared decoded form of `program`, decoding it on first call.
+    pub(crate) fn decoded(&self, program: &BProgram) -> Rc<DecodedProgram> {
+        debug_assert!(self.is_for(program), "decode requested for a different program");
+        self.decoded
+            .borrow_mut()
+            .get_or_insert_with(|| Rc::new(DecodedProgram::decode(program)))
+            .clone()
     }
 
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Result<Rc<IrFunc>, CrashInfo>> {

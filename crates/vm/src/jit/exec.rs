@@ -107,6 +107,9 @@ fn trace_enabled() -> bool {
 
 #[allow(clippy::too_many_lines)]
 fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutcome, Exit> {
+    // Interned literal pool (shared with the interpreter): `ConstS` below
+    // is a refcount bump, never a per-execution allocation.
+    let decoded = vm.decoded();
     let mut block: BlockId = 0;
     let mut inst_idx: usize = 0;
     // Lower-tier compiled code keeps profiling: back-jumps feed the
@@ -138,11 +141,14 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
             vm.reg_frames[frame_idx][$r as usize]
         };
     }
+    // Hoisted out of the dispatch loop: one `OnceLock` read per
+    // activation instead of one per executed instruction.
+    let tracing = trace_enabled();
     'dispatch: loop {
         let b = &func.blocks[block as usize];
         while inst_idx < b.insts.len() {
             let inst = &b.insts[inst_idx];
-            if trace_enabled() {
+            if tracing {
                 TRACE_RING.with(|ring| {
                     let mut ring = ring.borrow_mut();
                     if ring.len() >= 60 {
@@ -176,7 +182,7 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                 Op::ConstI(v) => result = Some(Value::I(*v)),
                 Op::ConstL(v) => result = Some(Value::L(*v)),
                 Op::ConstS(s) => {
-                    result = Some(Value::S(vm.program.strings[s.0 as usize].as_str().into()));
+                    result = Some(Value::S(decoded.string(*s).clone()));
                 }
                 Op::ConstNull => result = Some(Value::Null),
                 Op::Copy(r) => result = Some(reg!(*r).clone()),
@@ -214,11 +220,10 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                 Op::I2L(r) => result = Some(Value::L(i64::from(reg!(*r).as_i()))),
                 Op::L2I(r) => result = Some(Value::I(reg!(*r).as_l() as i32)),
                 Op::I2B(r) => result = Some(Value::I(i32::from(reg!(*r).as_i() as i8))),
-                Op::I2S(r) => result = Some(Value::S(reg!(*r).as_i().to_string().into())),
-                Op::L2S(r) => result = Some(Value::S(reg!(*r).as_l().to_string().into())),
+                Op::I2S(r) => result = Some(Value::str(reg!(*r).as_i().to_string())),
+                Op::L2S(r) => result = Some(Value::str(reg!(*r).as_l().to_string())),
                 Op::Bool2S(r) => {
-                    result =
-                        Some(Value::S(if reg!(*r).as_bool() { "true" } else { "false" }.into()));
+                    result = Some(Value::str(if reg!(*r).as_bool() { "true" } else { "false" }));
                 }
                 Op::Concat(a, b2) => {
                     let va = reg!(*a).clone();

@@ -47,7 +47,7 @@ pub use faults::{BugId, Component, FaultInjector, Symptom};
 pub use jit::CodeCache;
 pub use plan::{ExecMode, ForcedPlan};
 pub use supervise::{contain_panics, supervised_run, supervised_run_cached, VmPanic};
-pub use value::Value;
+pub use value::{Str, Value};
 
 use heap::{ArrData, Heap, HeapError, HeapObj};
 use jit::ir::IrFunc;
@@ -108,11 +108,19 @@ pub struct Vm<'p> {
     /// Set when an injected bug corrupted the heap, so the GC crash can be
     /// attributed to the right bug.
     pub(crate) pending_gc_bug: Option<BugId>,
+    /// Recycled `Vec<Value>` buffers for frame locals, operand stacks,
+    /// and call arguments. A campaign performs hundreds of thousands of
+    /// guest calls; reusing the two vectors behind every [`Frame`] keeps
+    /// the call hot path allocation-free. Entries are always cleared
+    /// before they are returned here (so they hold no GC roots).
+    pub(crate) vec_pool: Vec<Vec<Value>>,
     /// Wall-clock watchdog deadline (`config.wall_clock_limit`, armed at
     /// construction time).
     wall_deadline: Option<std::time::Instant>,
-    /// Burned-ops mark at which the watchdog next samples the clock.
-    next_watchdog_check: u64,
+    /// Burned-ops mark at which [`Vm::burn`] next leaves its fast path:
+    /// the `min` of the watchdog's next clock sample and the chaos
+    /// threshold, so the hot path pays one compare for both.
+    next_side_check: u64,
     /// Burned-ops threshold for the chaos panic knob (`u64::MAX` = off).
     chaos_panic_at: u64,
     /// Cross-run JIT code cache shared with other VMs executing the same
@@ -125,6 +133,24 @@ pub struct Vm<'p> {
     /// Rendered IR-verifier defect reports, in compilation order (see
     /// [`jit::verify`]).
     ir_verify: Vec<String>,
+    /// Pre-decoded instruction form of `program` (see
+    /// [`cse_bytecode::decoded`]); decoded lazily on first use, or pulled
+    /// from the attached [`CodeCache`] so the 2^n runs of a plan-space
+    /// sweep decode each program exactly once.
+    decoded: Option<Rc<cse_bytecode::DecodedProgram>>,
+}
+
+/// Exact end-of-run warmth counters, used by plan-space pruning
+/// (`cse_core::space`) to prove which (method, invocation) coordinates a
+/// program can reach. Unlike the event trace these are never capped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmthProfile {
+    /// Lifetime invocation count per method (indexed by `MethodId`).
+    pub invocations: Vec<u64>,
+    /// Back-edge counter per loop header, per method (indexed by
+    /// `MethodId`, then by the method's loop-header index — the
+    /// `c_1 .. c_M` of the paper's Definition 3.2).
+    pub backedges: Vec<Vec<u64>>,
 }
 
 /// How many burned operations pass between wall-clock samples. Keeps
@@ -171,12 +197,14 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             reg_frames: Vec::new(),
             pending_gc_bug: None,
+            vec_pool: Vec::new(),
             wall_deadline,
-            next_watchdog_check: WATCHDOG_STRIDE,
+            next_side_check: WATCHDOG_STRIDE.min(chaos_panic_at),
             chaos_panic_at,
             code_cache: None,
             env_fp,
             ir_verify: Vec::new(),
+            decoded: None,
         }
     }
 
@@ -184,12 +212,31 @@ impl<'p> Vm<'p> {
     /// for this VM's program (see [`CodeCache::for_program`]).
     pub fn with_code_cache(mut self, cache: &Rc<jit::CodeCache>) -> Vm<'p> {
         debug_assert!(cache.is_for(self.program), "code cache attached to a different program");
+        self.decoded = Some(cache.decoded(self.program));
         self.code_cache = Some(cache.clone());
         self
     }
 
+    /// The decoded instruction form, decoding on first use when no
+    /// [`CodeCache`] supplied a shared copy.
+    pub(crate) fn decoded(&mut self) -> Rc<cse_bytecode::DecodedProgram> {
+        if let Some(decoded) = &self.decoded {
+            return decoded.clone();
+        }
+        let decoded = Rc::new(cse_bytecode::DecodedProgram::decode(self.program));
+        self.decoded = Some(decoded.clone());
+        decoded
+    }
+
     /// Runs `$clinit` (if present) and `main`, producing the final result.
-    pub fn run(mut self) -> ExecutionResult {
+    pub fn run(self) -> ExecutionResult {
+        self.run_with_warmth().0
+    }
+
+    /// Like [`Vm::run`], but also reports the exact end-of-run
+    /// [`WarmthProfile`] so callers (plan-space pruning) can reason about
+    /// which coordinates the program reached.
+    pub fn run_with_warmth(mut self) -> (ExecutionResult, WarmthProfile) {
         let mut uncaught = false;
         let mut outcome_override: Option<Outcome> = None;
         let entry_sequence: Vec<MethodId> =
@@ -224,14 +271,19 @@ impl<'p> Vm<'p> {
             }
         }
         self.stats.mute_depth_end = self.mute_depth;
-        ExecutionResult {
+        let warmth = WarmthProfile {
+            invocations: self.invocations,
+            backedges: self.profiles.iter_mut().map(|p| std::mem::take(&mut p.backedges)).collect(),
+        };
+        let result = ExecutionResult {
             output: self.out,
             outcome: outcome_override
                 .unwrap_or(Outcome::Completed { uncaught_exception: uncaught }),
             events: self.events,
             stats: self.stats,
             ir_verify: self.ir_verify,
-        }
+        };
+        (result, warmth)
     }
 
     /// Convenience: build a VM, run the program, return the result.
@@ -247,6 +299,16 @@ impl<'p> Vm<'p> {
         cache: &Rc<jit::CodeCache>,
     ) -> ExecutionResult {
         Vm::new(program, config).with_code_cache(cache).run()
+    }
+
+    /// Like [`Vm::run_program_cached`], but also reporting the run's
+    /// [`WarmthProfile`] (used by plan-space pruning's profiling pre-run).
+    pub fn run_program_warmth_cached(
+        program: &BProgram,
+        config: VmConfig,
+        cache: &Rc<jit::CodeCache>,
+    ) -> (ExecutionResult, WarmthProfile) {
+        Vm::new(program, config).with_code_cache(cache).run_with_warmth()
     }
 
     // ----- output ---------------------------------------------------------
@@ -279,6 +341,7 @@ impl<'p> Vm<'p> {
         }
     }
 
+    #[inline(always)]
     pub(crate) fn burn(&mut self, amount: u64) -> Result<(), Exit> {
         if self.fuel < amount {
             self.fuel = 0;
@@ -286,17 +349,29 @@ impl<'p> Vm<'p> {
         }
         self.fuel -= amount;
         let burned = self.config.fuel - self.fuel;
+        if burned >= self.next_side_check {
+            return self.burn_side_check(burned);
+        }
+        Ok(())
+    }
+
+    /// Slow half of [`Vm::burn`]: the chaos knob and the wall-clock
+    /// watchdog. `next_side_check` is the `min` of both thresholds, so
+    /// the per-instruction fast path pays a single compare and this runs
+    /// once per `WATCHDOG_STRIDE` burned ops (or exactly at the chaos
+    /// threshold).
+    #[cold]
+    #[inline(never)]
+    fn burn_side_check(&mut self, burned: u64) -> Result<(), Exit> {
         if burned >= self.chaos_panic_at {
             panic!("chaos: injected VM panic after {burned} burned ops");
         }
-        if burned >= self.next_watchdog_check {
-            self.next_watchdog_check = burned + WATCHDOG_STRIDE;
-            if let Some(deadline) = self.wall_deadline {
-                if std::time::Instant::now() >= deadline {
-                    self.stats.watchdog_fired = true;
-                    self.fuel = 0;
-                    return Err(Exit::OutOfFuel);
-                }
+        self.next_side_check = (burned + WATCHDOG_STRIDE).min(self.chaos_panic_at);
+        if let Some(deadline) = self.wall_deadline {
+            if std::time::Instant::now() >= deadline {
+                self.stats.watchdog_fired = true;
+                self.fuel = 0;
+                return Err(Exit::OutOfFuel);
             }
         }
         Ok(())
@@ -522,13 +597,10 @@ impl<'p> Vm<'p> {
     }
 
     pub(crate) fn concat(&self, a: &Value, b: &Value) -> Value {
-        let to_text = |v: &Value| -> String {
-            match v {
-                Value::S(s) => s.to_string(),
-                _ => "null".to_string(),
-            }
-        };
-        Value::S(format!("{}{}", to_text(a), to_text(b)).into())
+        fn text(v: &Value) -> &str {
+            v.as_s().map_or("null", |s| s.as_str())
+        }
+        Value::str(format!("{}{}", text(a), text(b)))
     }
 
     // ----- dispatch ------------------------------------------------------------

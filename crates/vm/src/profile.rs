@@ -1,8 +1,6 @@
 //! Per-method profiling state — the paper's counter set `C_m`
 //! (Definition 3.2) plus the branch profiles that drive speculation.
 
-use std::collections::HashMap;
-
 use crate::config::Tier;
 
 /// Runtime profile of one method.
@@ -14,11 +12,14 @@ pub struct MethodProfile {
     /// `BMethod::loop_headers`.
     pub backedges: Vec<u64>,
     /// Per-branch (bytecode pc) taken/not-taken counts gathered by the
-    /// interpreter; tier-2 compilation speculates on zero entries.
-    pub branches: HashMap<u32, BranchProfile>,
-    /// Per-switch-arm hit counts: key is (pc, arm index), where
-    /// `usize::MAX` is the default arm.
-    pub switch_hits: HashMap<(u32, usize), u64>,
+    /// interpreter; tier-2 compilation speculates on zero entries. Dense,
+    /// indexed by pc and grown lazily: recording a branch is two counter
+    /// bumps on the interpreter hot path, never a hash lookup.
+    pub branches: Vec<BranchProfile>,
+    /// Per-switch hit counts, indexed by pc then arm, with the default
+    /// arm stored last (`cases + 1` slots per recorded switch). Dense for
+    /// the same hot-path reason as `branches`.
+    pub switch_hits: Vec<Vec<u64>>,
     /// Current compiled tier (`Tier::INTERP` when interpreted).
     pub tier: Tier,
     /// De-optimizations taken so far.
@@ -43,7 +44,11 @@ pub struct BranchProfile {
 impl MethodProfile {
     /// Records a conditional-branch outcome.
     pub fn record_branch(&mut self, pc: u32, cond: bool) {
-        let entry = self.branches.entry(pc).or_default();
+        let pc = pc as usize;
+        if pc >= self.branches.len() {
+            self.branches.resize(pc + 1, BranchProfile::default());
+        }
+        let entry = &mut self.branches[pc];
         if cond {
             entry.taken += 1;
         } else {
@@ -51,19 +56,37 @@ impl MethodProfile {
         }
     }
 
-    /// Records which switch arm was selected.
-    pub fn record_switch(&mut self, pc: u32, arm: usize) {
-        *self.switch_hits.entry((pc, arm)).or_default() += 1;
+    /// Records which switch arm was selected (`usize::MAX` = the default
+    /// arm). `cases` is the switch's case count, fixed per pc, so the
+    /// per-pc table is sized once on first record.
+    pub fn record_switch(&mut self, pc: u32, arm: usize, cases: usize) {
+        let pc = pc as usize;
+        if pc >= self.switch_hits.len() {
+            self.switch_hits.resize(pc + 1, Vec::new());
+        }
+        let arms = &mut self.switch_hits[pc];
+        if arms.is_empty() {
+            arms.resize(cases + 1, 0);
+        }
+        let idx = if arm == usize::MAX { cases } else { arm };
+        arms[idx] += 1;
     }
 
     /// The branch profile at a pc, if the interpreter ever saw it.
     pub fn branch(&self, pc: u32) -> Option<BranchProfile> {
-        self.branches.get(&pc).copied()
+        self.branches.get(pc as usize).copied().filter(|b| b.taken + b.not_taken > 0)
     }
 
-    /// Hit count of a switch arm.
+    /// Hit count of a switch arm (`usize::MAX` = the default arm).
     pub fn switch_arm_hits(&self, pc: u32, arm: usize) -> u64 {
-        self.switch_hits.get(&(pc, arm)).copied().unwrap_or(0)
+        let Some(arms) = self.switch_hits.get(pc as usize) else {
+            return 0;
+        };
+        if arms.is_empty() {
+            return 0;
+        }
+        let idx = if arm == usize::MAX { arms.len() - 1 } else { arm };
+        arms.get(idx).copied().unwrap_or(0)
     }
 
     /// Resets counters after a de-optimization: the method re-warms from
@@ -101,22 +124,25 @@ impl MethodProfile {
         for &c in &self.backedges {
             fp.u64(c);
         }
-        // HashMap / HashSet iteration order is unspecified: sort by key so
-        // the fingerprint is a pure function of the profile's contents.
-        let mut branches: Vec<(u32, BranchProfile)> =
-            self.branches.iter().map(|(&pc, &b)| (pc, b)).collect();
-        branches.sort_unstable_by_key(|&(pc, _)| pc);
-        fp.u64(branches.len() as u64);
-        for (pc, b) in branches {
-            fp.u64(pc as u64);
-            fp.u64(b.taken);
-            fp.u64(b.not_taken);
+        // The dense tables iterate in pc order, so hashing the populated
+        // entries is already a pure function of the profile's contents.
+        let seen_branches = self.branches.iter().filter(|b| b.taken + b.not_taken > 0);
+        fp.u64(seen_branches.clone().count() as u64);
+        for (pc, b) in self.branches.iter().enumerate() {
+            if b.taken + b.not_taken > 0 {
+                fp.u64(pc as u64);
+                fp.u64(b.taken);
+                fp.u64(b.not_taken);
+            }
         }
-        let mut switches: Vec<((u32, usize), u64)> =
-            self.switch_hits.iter().map(|(&k, &v)| (k, v)).collect();
-        switches.sort_unstable_by_key(|&(k, _)| k);
-        fp.u64(switches.len() as u64);
-        for ((pc, arm), hits) in switches {
+        let seen_arms = self
+            .switch_hits
+            .iter()
+            .enumerate()
+            .flat_map(|(pc, arms)| arms.iter().enumerate().map(move |(arm, &h)| (pc, arm, h)))
+            .filter(|&(_, _, hits)| hits > 0);
+        fp.u64(seen_arms.clone().count() as u64);
+        for (pc, arm, hits) in seen_arms {
             fp.u64(pc as u64);
             fp.u64(arm as u64);
             fp.u64(hits);
@@ -170,9 +196,9 @@ mod tests {
     #[test]
     fn switch_profiles_accumulate() {
         let mut p = MethodProfile::default();
-        p.record_switch(10, 0);
-        p.record_switch(10, usize::MAX);
-        p.record_switch(10, usize::MAX);
+        p.record_switch(10, 0, 4);
+        p.record_switch(10, usize::MAX, 4);
+        p.record_switch(10, usize::MAX, 4);
         assert_eq!(p.switch_arm_hits(10, 0), 1);
         assert_eq!(p.switch_arm_hits(10, usize::MAX), 2);
         assert_eq!(p.switch_arm_hits(10, 3), 0);

@@ -2,23 +2,41 @@
 
 use std::rc::Rc;
 
+/// The runtime string representation: a thin refcounted pointer.
+///
+/// `Rc<String>` keeps the `Value` enum at 16 bytes (`Rc<str>` is a fat
+/// pointer and would force 24); cloning a string value on push/dup/binop
+/// is a refcount bump either way, never a character copy. Literals are
+/// interned once per program in the decoded instruction cache.
+pub type Str = Rc<String>;
+
 /// A dynamically-tagged runtime value.
 ///
 /// `byte` and `boolean` values live in the `I` variant (sign-extended /
 /// 0-or-1), mirroring how the JVM's operand stack works. Strings are
 /// immutable and live outside the garbage-collected heap; `Null` stands for
 /// both null object references and null strings.
+///
+/// Every non-string variant is plain `Copy` data, and `S` is a single
+/// refcounted pointer, so `Value::clone` never allocates. A `size_of`
+/// regression test below pins the 16-byte layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
     I(i32),
     L(i64),
-    S(Rc<str>),
+    S(Str),
     /// An object or array reference: an index into the VM heap.
     Ref(u32),
     Null,
 }
 
 impl Value {
+    /// A string value from owned or borrowed text (allocates; hot paths
+    /// should clone an interned [`Str`] instead).
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::S(Rc::new(s.into()))
+    }
+
     /// The `int` payload.
     ///
     /// # Panics
@@ -45,7 +63,7 @@ impl Value {
     }
 
     /// The string payload, or `None` for `Null`.
-    pub fn as_s(&self) -> Option<&Rc<str>> {
+    pub fn as_s(&self) -> Option<&Str> {
         match self {
             Value::S(s) => Some(s),
             _ => None,
@@ -98,7 +116,7 @@ mod tests {
         assert!(Value::Null.ref_eq(&Value::Null));
         assert!(Value::Ref(3).ref_eq(&Value::Ref(3)));
         assert!(!Value::Ref(3).ref_eq(&Value::Ref(4)));
-        assert!(!Value::S("x".into()).ref_eq(&Value::Null));
+        assert!(!Value::str("x").ref_eq(&Value::Null));
         assert!(!Value::Null.ref_eq(&Value::Ref(0)));
     }
 
@@ -110,6 +128,28 @@ mod tests {
         assert_eq!(Value::default_of(&Ty::Bool), Value::I(0));
         assert_eq!(Value::default_of(&Ty::Str), Value::Null);
         assert_eq!(Value::default_of(&Ty::Int.array_of()), Value::Null);
+    }
+
+    #[test]
+    fn compact_layout_regression_guard() {
+        // The hot-path overhaul depends on values staying one pointer +
+        // one word; a fat string pointer or an added variant payload
+        // silently costs every push/dup/store a wider memcpy.
+        assert!(std::mem::size_of::<Value>() <= 16, "Value grew past 16 bytes");
+        assert_eq!(std::mem::size_of::<Str>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn string_round_trip_and_sharing() {
+        let v = Value::str("hello");
+        let w = v.clone();
+        let s = v.as_s().unwrap();
+        assert_eq!(s.as_str(), "hello");
+        // Cloning shares the allocation instead of deep-copying.
+        assert!(Rc::ptr_eq(s, w.as_s().unwrap()));
+        assert_eq!(v, Value::str("hello"));
+        assert_ne!(v, Value::str("other"));
+        assert_eq!(v.as_s().map(|s| s.len()), Some(5));
     }
 
     #[test]

@@ -40,8 +40,10 @@ fn assert_identical(serial: &CampaignResult, parallel: &CampaignResult, label: &
     );
 }
 
-/// The headline property: digest(jobs = N) == digest(jobs = 1) for
-/// N ∈ {2, 4, 8}, across several campaign shapes.
+/// The headline property: digest(jobs = N) == digest(serial) for
+/// N ∈ {1, 2, 4, 8}, across several campaign shapes. `jobs = 1` is not a
+/// no-op: it routes through the work-stealing engine with a single
+/// worker, which must still merge identically to the plain serial loop.
 #[test]
 fn parallel_digest_matches_serial() {
     let mut shapes: Vec<(&str, CampaignConfig)> = Vec::new();
@@ -57,7 +59,7 @@ fn parallel_digest_matches_serial() {
     for (label, config) in shapes {
         let serial = run_campaign(&config);
         let serial_digest = serial.digest(&config);
-        for jobs in [2, 4, 8] {
+        for jobs in [1, 2, 4, 8] {
             let parallel_config = config.clone().with_jobs(jobs);
             let parallel = run_campaign(&parallel_config);
             assert_identical(&serial, &parallel, label);
@@ -86,7 +88,7 @@ fn injected_panic_is_deterministic_across_jobs() {
     config.supervisor.chaos = Some(ChaosConfig { panic_on_seed: 3, after_ops: 1_000 });
     let serial = run_campaign(&config);
     assert!(!serial.incidents.is_empty(), "calibration: the chaos panic must fire");
-    for jobs in [2, 4, 8] {
+    for jobs in [1, 2, 4, 8] {
         let parallel_config = config.clone().with_jobs(jobs);
         let parallel = run_campaign(&parallel_config);
         assert_identical(&serial, &parallel, "chaos");
