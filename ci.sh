@@ -34,14 +34,24 @@ if [ "$mode" != "quick" ]; then
     echo "==> parallel-engine digest equality under --release"
     cargo test --release -q --test parallel_determinism
 
+    # Execution-memo cross-check: CSE_EXEC_CACHE=check re-executes every
+    # run the memo serves and asserts observable equality; the memoization
+    # suite (digest invariance across policies, jobs, and fault profiles)
+    # runs entirely in that mode here.
+    echo "==> execution-memo cross-check (CSE_EXEC_CACHE=check on the fuzzed corpus)"
+    CSE_EXEC_CACHE=check cargo test --release -q --test memoization
+
     # Perf smoke: a small campaign through the full bench — throughput,
     # per-stage breakdown, interpreter microbench, and the pruned-vs-
     # exhaustive plan-space digest cross-check (the bench exits non-zero
     # if pruning ever diverges). The JSON artifact is the same file a
-    # full-size run produces.
+    # full-size run produces, and each run appends a dated entry to
+    # results/BENCH_trajectory.jsonl; the bench fails if serial
+    # seeds_per_sec regresses >20% against the last committed entry for
+    # the same workload shape.
     echo "==> perf smoke (bench_campaign -> results/BENCH_campaign.json)"
     mkdir -p results
-    CSE_SEEDS=4 CSE_JOBS=2 CSE_BENCH_OUT=results/BENCH_campaign.json \
+    CSE_SEEDS=4 CSE_BENCH_OUT=results/BENCH_campaign.json \
         cargo run --release -q -p cse-bench --bin bench_campaign
 
     echo "==> triage smoke (seeded-fault campaign; every incident reduced, deduped, classified)"

@@ -141,7 +141,10 @@ pub struct DecodedMethod {
 }
 
 impl DecodedMethod {
-    fn decode(code: &[Insn]) -> DecodedMethod {
+    /// Decodes one method's code; a pure re-layout plus the
+    /// [`DecodedMethod::fuse`] peephole. Public so content-addressed
+    /// caches can decode (and share) single methods across programs.
+    pub fn decode(code: &[Insn]) -> DecodedMethod {
         let mut switch_pool: Vec<(i32, u32)> = Vec::new();
         let decoded = code
             .iter()
@@ -261,11 +264,13 @@ impl DecodedMethod {
 /// A whole program in decoded form, plus its interned string pool.
 ///
 /// Not `Send`: the interned strings are `Rc`, matching the deliberately
-/// single-threaded JIT `CodeCache` this is cached next to (each campaign
+/// single-threaded JIT artifact cache this is cached next to (each campaign
 /// worker thread decodes its own copy).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedProgram {
-    pub methods: Vec<DecodedMethod>,
+    /// Per-method decoded code, refcounted so a content-addressed cache
+    /// can share unchanged methods across near-identical programs.
+    pub methods: Vec<Rc<DecodedMethod>>,
     /// String literal pool, interned once; indexed by [`StrId`].
     pub strings: Vec<Rc<String>>,
 }
@@ -274,7 +279,11 @@ impl DecodedProgram {
     /// Decodes every method of `program`; a pure re-layout, see module docs.
     pub fn decode(program: &BProgram) -> DecodedProgram {
         DecodedProgram {
-            methods: program.methods.iter().map(|m| DecodedMethod::decode(&m.code)).collect(),
+            methods: program
+                .methods
+                .iter()
+                .map(|m| Rc::new(DecodedMethod::decode(&m.code)))
+                .collect(),
             strings: program.strings.iter().map(|s| Rc::new(s.clone())).collect(),
         }
     }

@@ -23,6 +23,7 @@
 
 pub mod compile;
 pub mod decoded;
+pub mod digest;
 pub mod disasm;
 pub mod insn;
 pub mod program;
@@ -30,5 +31,6 @@ pub mod verify;
 
 pub use compile::compile;
 pub use decoded::{DInsn, DecodedMethod, DecodedProgram};
+pub use digest::{MethodDigest, ProgramDigests};
 pub use insn::{ArrKind, CmpOp, Insn, PrintKind};
 pub use program::{BClass, BMethod, BProgram, ClassId, ExcKind, FieldId, Handler, MethodId, StrId};

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
 use crate::executor;
+use crate::memo::ExecCachePolicy;
 use crate::supervisor::{self, HarnessIncident, SupervisorConfig};
 use crate::triage::TriageConfig;
 use crate::validate::ValidateConfig;
@@ -57,6 +58,12 @@ pub struct CampaignConfig {
     /// [`crate::triage`]). The triage counters join the campaign digest;
     /// the full report rides on [`CampaignResult::triage`].
     pub triage: Option<TriageConfig>,
+    /// Execution-memoization policy (see [`crate::memo`]). `Auto` (the
+    /// default) follows the `CSE_EXEC_CACHE` environment knob. Like
+    /// `jobs`, deliberately not part of the checkpoint identity: the
+    /// memo is an execution strategy, not a campaign input, and the
+    /// result digest is bit-identical at every setting.
+    pub exec_cache: ExecCachePolicy,
 }
 
 impl CampaignConfig {
@@ -72,12 +79,20 @@ impl CampaignConfig {
             supervisor: SupervisorConfig::default(),
             jobs: 1,
             triage: None,
+            exec_cache: ExecCachePolicy::Auto,
         }
     }
 
     /// Same campaign, processed by `jobs` worker threads.
     pub fn with_jobs(mut self, jobs: usize) -> CampaignConfig {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Same campaign, with an explicit execution-memoization policy
+    /// (tests use this instead of mutating `CSE_EXEC_CACHE`).
+    pub fn with_exec_cache(mut self, policy: ExecCachePolicy) -> CampaignConfig {
+        self.exec_cache = policy;
         self
     }
 
@@ -139,6 +154,21 @@ pub struct CampaignTotals {
     /// Triage: signature groups that never re-reproduced (suppressed,
     /// never promoted to reports).
     pub triage_unreproducible: u64,
+    /// Execution-memo hits: VM runs served from the content-addressed
+    /// execution cache instead of being executed (see [`crate::memo`]).
+    /// **Volatile**: cache effectiveness depends on the memo policy, so
+    /// these four counters are persisted in checkpoints but zeroed out
+    /// of [`CampaignResult::digest`] — the digest stays bit-identical
+    /// across `CSE_EXEC_CACHE` settings and worker counts.
+    pub exec_cache_hits: u64,
+    /// Execution-memo lookups that missed and executed for real.
+    pub exec_cache_misses: u64,
+    /// Compiled-code/decode artifact cache hits across the campaign's
+    /// per-worker [`cse_vm::SharedArtifactCache`] shards. Volatile, like
+    /// the memo counters.
+    pub artifact_cache_hits: u64,
+    /// Artifact-cache misses (units compiled / programs decoded fresh).
+    pub artifact_cache_misses: u64,
     /// True when the campaign stopped before exhausting its seed range
     /// (deadline expiry or a simulated kill); resume from the checkpoint
     /// to finish it.
@@ -195,10 +225,17 @@ impl CampaignResult {
     }
 
     /// Content digest over every deterministic field (everything except
-    /// `totals.wall`). A campaign killed mid-run and resumed from its
-    /// checkpoint produces the same digest as an uninterrupted run.
+    /// `totals.wall` and the four cache counters, which depend on the
+    /// memoization policy and worker warm-up rather than on what the
+    /// campaign observed). A campaign killed mid-run and resumed from
+    /// its checkpoint produces the same digest as an uninterrupted run.
     pub fn digest(&self, config: &CampaignConfig) -> u64 {
-        let canonical = supervisor::encode(config, 0, self, 0);
+        let mut stable = self.clone();
+        stable.totals.exec_cache_hits = 0;
+        stable.totals.exec_cache_misses = 0;
+        stable.totals.artifact_cache_hits = 0;
+        stable.totals.artifact_cache_misses = 0;
+        let canonical = supervisor::encode(config, 0, &stable, 0);
         // FNV-1a, 64-bit.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canonical.bytes() {
@@ -243,6 +280,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         vm: config.vm.clone(),
         params: crate::synth::SynthParams::for_kind(config.vm.kind),
         verify_neutrality: true,
+        exec_cache: config.exec_cache,
     };
     let ctx = executor::ExecContext { config, validate_config, start, prior_wall };
     let mut result = executor::run(&ctx, result, next);

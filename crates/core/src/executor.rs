@@ -30,13 +30,14 @@
 //! it to that.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cse_vm::supervise::contain_panics;
-use cse_vm::{Symptom, VmPanic};
+use cse_vm::{SharedArtifactCache, Symptom, VmPanic};
 
 use crate::baseline;
 use crate::campaign::{BugEvidence, CampaignConfig, CampaignResult};
@@ -62,6 +63,10 @@ struct SeedRecord {
     /// Baseline verdict when `run_traditional` is on; a contained panic
     /// carries the pretty-printed seed for the incident report.
     baseline: Option<Result<baseline::BaselineOutcome, (VmPanic, String)>>,
+    /// Artifact-cache `(hits, misses)` this seed contributed to its
+    /// worker's shard — volatile counters (see
+    /// [`crate::campaign::CampaignTotals`]).
+    artifact_stats: (u64, u64),
 }
 
 /// Runs the seed loop (serial or parallel per `config.jobs`) on top of a
@@ -87,21 +92,29 @@ fn seed_vconfig(ctx: &ExecContext<'_>, seed_value: u64) -> ValidateConfig {
 }
 
 /// Processes one seed end-to-end: generate, compile once, validate, run
-/// the baseline. Pure with respect to campaign state — everything the
-/// collector needs is in the returned record.
-fn process_seed(ctx: &ExecContext<'_>, seed_value: u64) -> SeedRecord {
+/// the baseline. Pure with respect to campaign state — the artifact
+/// `shard` is worker-local (results are hit/miss-invariant, see
+/// [`cse_vm::SharedArtifactCache`]), and everything the collector needs
+/// is in the returned record.
+fn process_seed(
+    ctx: &ExecContext<'_>,
+    seed_value: u64,
+    shard: &Rc<SharedArtifactCache>,
+) -> SeedRecord {
     let config = ctx.config;
     let seed_program = cse_fuzz::generate(seed_value, &config.fuzz);
     let seed_vconfig = seed_vconfig(ctx, seed_value);
+    let stats_before = shard.stats();
     // Compile the seed exactly once; validation and the traditional
     // baseline share the same bytecode.
     let seed_bytecode = validate::try_compile_checked(&seed_program).map(Arc::new);
-    let outcome = validate::validate_compiled_with(
+    let outcome = validate::validate_compiled_in(
         &seed_program,
         seed_bytecode.clone(),
         &seed_vconfig,
         seed_value,
         |_| {},
+        shard,
     );
     outcome.check_invariants();
     let baseline = if config.run_traditional {
@@ -115,7 +128,9 @@ fn process_seed(ctx: &ExecContext<'_>, seed_value: u64) -> SeedRecord {
     } else {
         None
     };
-    SeedRecord { seed_value, outcome, baseline }
+    let stats_after = shard.stats();
+    let artifact_stats = (stats_after.0 - stats_before.0, stats_after.1 - stats_before.1);
+    SeedRecord { seed_value, outcome, baseline, artifact_stats }
 }
 
 /// Folds one seed's record into the campaign result. This is the *only*
@@ -136,6 +151,10 @@ fn merge_seed(ctx: &ExecContext<'_>, result: &mut CampaignResult, record: SeedRe
     result.totals.mutant_compile_failures += outcome.mutant_compile_failures as u64;
     result.totals.neutrality_violations += outcome.neutrality_violations as u64;
     result.totals.ir_verify_defects += outcome.ir_verify_defects;
+    result.totals.exec_cache_hits += outcome.exec_cache_hits;
+    result.totals.exec_cache_misses += outcome.exec_cache_misses;
+    result.totals.artifact_cache_hits += record.artifact_stats.0;
+    result.totals.artifact_cache_misses += record.artifact_stats.1;
     let quarantine_vm = seed_vconfig(ctx, seed_value).vm;
     for incident in std::mem::take(&mut outcome.incidents) {
         if let Some(dir) = &sup.quarantine_dir {
@@ -224,6 +243,7 @@ fn checkpoint(ctx: &ExecContext<'_>, result: &mut CampaignResult, next: u64) {
 fn run_serial(ctx: &ExecContext<'_>, mut result: CampaignResult, mut next: u64) -> CampaignResult {
     let config = ctx.config;
     let sup = &config.supervisor;
+    let shard = SharedArtifactCache::new();
     let mut processed_this_run: u64 = 0;
     let mut stopped_early = false;
     while next < config.seeds {
@@ -239,7 +259,7 @@ fn run_serial(ctx: &ExecContext<'_>, mut result: CampaignResult, mut next: u64) 
                 break;
             }
         }
-        let record = process_seed(ctx, config.first_seed + next);
+        let record = process_seed(ctx, config.first_seed + next, &shard);
         merge_seed(ctx, &mut result, record);
         next += 1;
         processed_this_run += 1;
@@ -276,6 +296,10 @@ fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) ->
             let tx = tx.clone();
             let (claim, stop) = (&claim, &stop);
             scope.spawn(move || {
+                // One artifact shard per worker: `Rc`-based, never
+                // crosses threads; warm-up differences between shards
+                // cannot change results (hit-replay invariance).
+                let shard = SharedArtifactCache::new();
                 loop {
                     // Cutoffs are checked before claiming: a claimed
                     // offset is always processed, so completed seeds form
@@ -301,7 +325,7 @@ fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) ->
                             break;
                         }
                     }
-                    let record = process_seed(ctx, config.first_seed + offset);
+                    let record = process_seed(ctx, config.first_seed + offset, &shard);
                     if tx.send((offset, record)).is_err() {
                         break;
                     }

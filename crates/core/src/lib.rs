@@ -46,6 +46,7 @@
 pub mod baseline;
 pub mod campaign;
 pub mod executor;
+pub mod memo;
 pub mod mutate;
 pub mod skeleton;
 pub mod space;
@@ -54,6 +55,7 @@ pub mod synth;
 pub mod triage;
 pub mod validate;
 
+pub use memo::{ExecCachePolicy, ExecMemo};
 pub use mutate::{AppliedMutation, Artemis, Mutator};
 pub use supervisor::{ChaosConfig, HarnessIncident, IncidentPhase, SupervisorConfig};
 pub use synth::SynthParams;
@@ -151,6 +153,7 @@ mod tests {
                 vm: VmConfig::correct(VmKind::HotSpotLike),
                 params: SynthParams::for_kind(VmKind::HotSpotLike),
                 verify_neutrality: true,
+                exec_cache: ExecCachePolicy::Auto,
             };
             let outcome = validate::validate(&seed, &config, seed_value);
             assert_eq!(outcome.neutrality_violations, 0, "seed {seed_value}");

@@ -12,7 +12,9 @@
 //!   (the paper's Figure 1).
 
 use cse_bytecode::{BProgram, MethodId};
-use cse_vm::{CodeCache, ExecMode, ExecutionResult, ForcedPlan, Tier, TraceEvent, Vm, VmConfig};
+use cse_vm::{
+    ExecMode, ExecutionResult, ForcedPlan, ProgramArtifacts, Tier, TraceEvent, Vm, VmConfig,
+};
 
 /// Definition 3.2: the temperature band of a single counter value given
 /// the thresholds `Z_1 ≤ … ≤ Z_N`.
@@ -241,10 +243,10 @@ pub fn enumerate_space_with(
     assert!(calls.len() <= 20, "space of 2^{} is too large to enumerate", calls.len());
     let top = base_config.top_tier();
     // The `2^n` points all execute the same program and differ only in
-    // their forced plan — which is not a compilation input — so one code
-    // cache serves the whole space: a method force-compiled by many plans
-    // is compiled once.
-    let cache = CodeCache::for_program(program);
+    // their forced plan — which is not a compilation input — so one set
+    // of shared artifacts serves the whole space: a method force-compiled
+    // by many plans is compiled once.
+    let cache = ProgramArtifacts::for_program(program);
     let total: u32 = 1 << calls.len();
     let run_mask = |mask: u32| {
         let mut plan = ForcedPlan::all_interpreted();

@@ -20,7 +20,7 @@
 //! for multi-line strings:
 //!
 //! ```text
-//! cse-checkpoint v3
+//! cse-checkpoint v4
 //! config HotSpot 100 0 8
 //! next_seed 42
 //! partial 1
@@ -29,7 +29,9 @@
 //!        <seeds_discarded> <mutant_compile_failures>
 //!        <neutrality_violations> <ir_verify_defects>
 //!        <triage_reports> <triage_duplicates> <triage_flaky>
-//!        <triage_unreproducible> <wall_nanos>       (one line)
+//!        <triage_unreproducible> <exec_cache_hits> <exec_cache_misses>
+//!        <artifact_cache_hits> <artifact_cache_misses>
+//!        <wall_nanos>                               (one line)
 //! cse_seeds <n>        (then n lines, one seed each)
 //! traditional_seeds <n>
 //! bugs <n>
@@ -189,10 +191,11 @@ pub struct Checkpoint {
 }
 
 // v2 added the `ir_verify_defects` totals field; v3 added the four
-// triage counters. Older checkpoints are rejected by the magic check,
-// so an interrupted old-format campaign restarts from scratch rather
-// than resuming with silently-zeroed counters.
-const MAGIC: &str = "cse-checkpoint v3";
+// triage counters; v4 added the four (volatile) cache counters. Older
+// checkpoints are rejected by the magic check, so an interrupted
+// old-format campaign restarts from scratch rather than resuming with
+// silently-zeroed counters.
+const MAGIC: &str = "cse-checkpoint v4";
 
 // ----- encoding -----------------------------------------------------------
 
@@ -226,7 +229,7 @@ pub(crate) fn encode(
     let t = &result.totals;
     let _ = writeln!(
         out,
-        "totals {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "totals {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         t.seeds,
         t.mutants,
         t.completed,
@@ -240,6 +243,10 @@ pub(crate) fn encode(
         t.triage_duplicates,
         t.triage_flaky,
         t.triage_unreproducible,
+        t.exec_cache_hits,
+        t.exec_cache_misses,
+        t.artifact_cache_hits,
+        t.artifact_cache_misses,
         wall_nanos
     );
     let _ = writeln!(out, "cse_seeds {}", result.cse_seeds.len());
@@ -438,7 +445,11 @@ pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpo
     result.totals.triage_duplicates = parse_field(&t, 10, "totals")?;
     result.totals.triage_flaky = parse_field(&t, 11, "totals")?;
     result.totals.triage_unreproducible = parse_field(&t, 12, "totals")?;
-    let wall_nanos: u128 = parse_field(&t, 13, "totals")?;
+    result.totals.exec_cache_hits = parse_field(&t, 13, "totals")?;
+    result.totals.exec_cache_misses = parse_field(&t, 14, "totals")?;
+    result.totals.artifact_cache_hits = parse_field(&t, 15, "totals")?;
+    result.totals.artifact_cache_misses = parse_field(&t, 16, "totals")?;
+    let wall_nanos: u128 = parse_field(&t, 17, "totals")?;
     result.totals.wall = Duration::from_nanos(wall_nanos.min(u64::MAX as u128) as u64);
     let n: usize = r.tagged_num("cse_seeds")?;
     for _ in 0..n {
@@ -648,6 +659,10 @@ mod tests {
         result.totals.triage_duplicates = 1;
         result.totals.triage_flaky = 1;
         result.totals.triage_unreproducible = 1;
+        result.totals.exec_cache_hits = 11;
+        result.totals.exec_cache_misses = 29;
+        result.totals.artifact_cache_hits = 17;
+        result.totals.artifact_cache_misses = 13;
         result.totals.partial = true;
         result.totals.wall = Duration::from_millis(1234);
         result.unattributed = 3;

@@ -26,10 +26,14 @@ use std::sync::Arc;
 
 use cse_bytecode::BProgram;
 use cse_lang::Program;
-use cse_vm::supervise::{contain_panics, supervised_run, supervised_run_cached};
-use cse_vm::{BugId, CodeCache, ExecutionResult, FaultInjector, Outcome, Symptom, VmConfig};
+use cse_vm::supervise::{contain_panics, supervised_run_cached, supervised_run_warmth_cached};
+use cse_vm::{
+    BugId, ExecutionResult, FaultInjector, Outcome, ProgramArtifacts, SharedArtifactCache, Symptom,
+    VmConfig, VmPanic,
+};
 
-use crate::mutate::{AppliedMutation, Artemis};
+use crate::memo::{render_for_check, ExecCachePolicy, ExecMemo};
+use crate::mutate::{AppliedMutation, Artemis, Mutator};
 use crate::supervisor::{HarnessIncident, IncidentPhase};
 use crate::synth::SynthParams;
 
@@ -46,6 +50,11 @@ pub struct ValidateConfig {
     /// skip non-neutral mutations (harness soundness; costs one extra
     /// run per mutant).
     pub verify_neutrality: bool,
+    /// Execution-memoization policy (see [`crate::memo`]): replay runs
+    /// whose program footprint provably matches an earlier recorded run
+    /// instead of executing them. Never changes a verdict or a digest —
+    /// `CSE_EXEC_CACHE=off` is the kill switch, `check` the cross-check.
+    pub exec_cache: ExecCachePolicy,
 }
 
 impl ValidateConfig {
@@ -53,7 +62,13 @@ impl ValidateConfig {
     /// `MAX_ITER = 8`, thresholds-scaled `MIN`/`MAX`.
     pub fn paper_defaults(vm: VmConfig) -> ValidateConfig {
         let params = SynthParams::for_kind(vm.kind);
-        ValidateConfig { max_iter: 8, vm, params, verify_neutrality: true }
+        ValidateConfig {
+            max_iter: 8,
+            vm,
+            params,
+            verify_neutrality: true,
+            exec_cache: ExecCachePolicy::Auto,
+        }
     }
 }
 
@@ -142,6 +157,12 @@ pub struct ValidationOutcome {
     /// `cse_vm::jit::verify`) across seed and mutant runs. Orthogonal to
     /// the mutant counters: a defect never changes a run's verdict.
     pub ir_verify_defects: u64,
+    /// Runs served by the execution memo instead of executing (see
+    /// [`crate::memo`]). A served run still counts in `vm_invocations`,
+    /// so every other counter is independent of the cache policy.
+    pub exec_cache_hits: u64,
+    /// Memo lookups that fell through to a real execution.
+    pub exec_cache_misses: u64,
     /// Contained harness failures (panics in the VM, the compilers, or
     /// the mutation engine).
     pub incidents: Vec<HarnessIncident>,
@@ -252,6 +273,75 @@ pub fn try_compile_checked_mut(program: &mut Program) -> Result<BProgram, String
     .map_err(|p| format!("compiler panicked: {}", p.payload))?
 }
 
+/// The content-addressed mutant front end: LI and SW mutations are
+/// body-local (they rewrite statements inside exactly one method and
+/// report it as `Class.method`), so such a mutant only needs *its
+/// mutated methods* re-resolved and re-checked. The mutant is rebased
+/// onto a pre-annotated clone of the seed — the mutated bodies are
+/// moved over, re-checked against the seed's (unchanged) class table,
+/// and the rest of the program keeps its seed annotations verbatim.
+/// Resolution is deterministic, so the resulting bytecode is
+/// bit-identical to a full front-end pass over the raw mutant.
+///
+/// Returns `None` when the fast path does not apply and the caller must
+/// take the full pipeline: an MI mutation (it adds a control field and
+/// rewrites a call site in a *different* method, so it is not
+/// body-local), or a location that cannot be resolved (e.g. the chaos
+/// knob's whole-program `<chaos: literal flip>` sentinel).
+fn try_compile_mutant_incremental(
+    mutant: &mut Program,
+    annotated_seed: &mut Program,
+    table: &cse_lang::typeck::ClassTable,
+    mutations: &[AppliedMutation],
+) -> Option<Result<BProgram, String>> {
+    let mut targets: Vec<(usize, usize)> = Vec::new();
+    for mutation in mutations {
+        if matches!(mutation.mutator, Mutator::Mi) {
+            return None;
+        }
+        let (class_name, method_name) = mutation.location.split_once('.')?;
+        let class_idx = mutant.classes.iter().position(|c| c.name == class_name)?;
+        let method_idx =
+            mutant.classes[class_idx].methods.iter().position(|m| m.name == method_name)?;
+        if !targets.contains(&(class_idx, method_idx)) {
+            targets.push((class_idx, method_idx));
+        }
+    }
+    // Swap the mutated bodies into the annotated program — no whole-AST
+    // clone. The front end runs on `annotated_seed` (now carrying the
+    // mutant's bodies at `targets`, seed annotations everywhere else),
+    // then the second swap restores it to pristine and hands the mutant
+    // its re-checked bodies back. Annotation rewrites print identically,
+    // so repro files are unaffected. The restore runs even when checking
+    // fails or panics — `contain_panics` has already caught by then.
+    for &(class_idx, method_idx) in &targets {
+        std::mem::swap(
+            &mut annotated_seed.classes[class_idx].methods[method_idx].body,
+            &mut mutant.classes[class_idx].methods[method_idx].body,
+        );
+    }
+    let compiled = contain_panics(|| {
+        for &(class_idx, method_idx) in &targets {
+            cse_lang::typeck::check_method(annotated_seed, table, class_idx, method_idx)
+                .map_err(|e| format!("type check failed: {e}"))?;
+        }
+        let bytecode = cse_bytecode::compile(annotated_seed)
+            .map_err(|e| format!("bytecode compilation failed: {e}"))?;
+        cse_bytecode::verify::verify_program(&bytecode)
+            .map_err(|e| format!("bytecode verification failed: {e}"))?;
+        Ok(bytecode)
+    })
+    .map_err(|p| format!("compiler panicked: {}", p.payload))
+    .and_then(|r| r);
+    for &(class_idx, method_idx) in &targets {
+        std::mem::swap(
+            &mut annotated_seed.classes[class_idx].methods[method_idx].body,
+            &mut mutant.classes[class_idx].methods[method_idx].body,
+        );
+    }
+    Some(compiled)
+}
+
 /// Step-budget fraction under which a completed reference run marks a
 /// mutant timeout as the JIT's fault rather than an expensive program.
 const TIMEOUT_CHEAP_DIVISOR: u64 = 4;
@@ -316,6 +406,81 @@ pub fn validate_compiled_with(
     rng_seed: u64,
     configure: impl FnOnce(&mut Artemis),
 ) -> ValidationOutcome {
+    validate_compiled_in(
+        seed,
+        seed_bytecode,
+        config,
+        rng_seed,
+        configure,
+        &SharedArtifactCache::new(),
+    )
+}
+
+/// Runs one program through the execution memo: a recorded run whose
+/// footprint provably matches is replayed instead of executed; misses
+/// execute (through the shared artifact cache) and are recorded. Chaos
+/// and wall-clock configs bypass the memo entirely — their runs are
+/// harness-fault experiments, not replays.
+fn memoized_run(
+    memo: &mut ExecMemo,
+    program: &BProgram,
+    artifacts: &ProgramArtifacts,
+    config: &VmConfig,
+) -> Result<ExecutionResult, VmPanic> {
+    if !memo.enabled() || config.chaos_panic_at_ops.is_some() || config.wall_clock_limit.is_some() {
+        return supervised_run_cached(program, config.clone(), artifacts);
+    }
+    let exec_fp = config.exec_fingerprint();
+    if let Some(found) = memo.lookup(&artifacts.digests, exec_fp) {
+        if memo.checking() {
+            let (fresh, _) = supervised_run_warmth_cached(program, config.clone(), artifacts)?;
+            assert_eq!(
+                render_for_check(&fresh),
+                render_for_check(&found),
+                "execution-memo replay diverged from a fresh run (CSE_EXEC_CACHE=check)"
+            );
+        }
+        memo.hit();
+        return Ok(found);
+    }
+    let (result, warmth) = supervised_run_warmth_cached(program, config.clone(), artifacts)?;
+    memo.record(program, &artifacts.digests, config, exec_fp, &result, &warmth);
+    Ok(result)
+}
+
+/// [`validate_compiled_with`] with an explicit shared artifact cache
+/// ([`SharedArtifactCache`]): the campaign executor hands each worker's
+/// shard down so JIT compilations and decoded programs are shared across
+/// every seed the worker processes. Passing a fresh cache reproduces
+/// [`validate_compiled_with`] exactly — sharing is observation-neutral
+/// by the cache's replay contract.
+pub fn validate_compiled_in(
+    seed: &Program,
+    seed_bytecode: Result<Arc<BProgram>, String>,
+    config: &ValidateConfig,
+    rng_seed: u64,
+    configure: impl FnOnce(&mut Artemis),
+    shard: &Rc<SharedArtifactCache>,
+) -> ValidationOutcome {
+    let mut memo = ExecMemo::new(config.exec_cache);
+    let mut outcome =
+        validate_inner(seed, seed_bytecode, config, rng_seed, configure, shard, &mut memo);
+    outcome.exec_cache_hits = memo.hits;
+    outcome.exec_cache_misses = memo.misses;
+    outcome
+}
+
+/// The body of Algorithm 1; split out so [`validate_compiled_in`] can
+/// harvest the memo counters on every exit path.
+fn validate_inner(
+    seed: &Program,
+    seed_bytecode: Result<Arc<BProgram>, String>,
+    config: &ValidateConfig,
+    rng_seed: u64,
+    configure: impl FnOnce(&mut Artemis),
+    shard: &Rc<SharedArtifactCache>,
+    memo: &mut ExecMemo,
+) -> ValidationOutcome {
     let mut outcome = ValidationOutcome::default();
     let seed_bytecode = match seed_bytecode {
         Ok(bytecode) => bytecode,
@@ -333,9 +498,12 @@ pub fn validate_compiled_with(
             return outcome;
         }
     };
+    // One shard attachment per program: the digests it computes key both
+    // the cross-run artifact cache and the execution memo.
+    let seed_artifacts = shard.attach(&seed_bytecode);
     // R ← LVM(P): the seed with its default JIT-trace.
     outcome.vm_invocations += 1;
-    let seed_result = match supervised_run(&seed_bytecode, config.vm.clone()) {
+    let seed_result = match memoized_run(memo, &seed_bytecode, &seed_artifacts, &config.vm) {
         Ok(result) => result,
         Err(panic) => {
             outcome.incident(
@@ -357,25 +525,38 @@ pub fn validate_compiled_with(
         outcome.seed_discarded = true;
         return outcome;
     }
-    // Reference (interpreter) behavior for neutrality and the perf oracle.
-    let seed_reference = if config.verify_neutrality {
-        outcome.vm_invocations += 1;
-        match supervised_run(&seed_bytecode, VmConfig::interpreter_only(config.vm.kind)) {
-            Ok(result) => Some(result),
-            Err(panic) => {
-                // Proceed without neutrality checking for this seed.
-                outcome.incident(
-                    IncidentPhase::ReferenceRun,
-                    rng_seed,
-                    None,
-                    panic.payload,
-                    Some(cse_lang::pretty::print(seed)),
-                );
-                None
-            }
-        }
-    } else {
-        None
+    // Reference (interpreter) behavior for neutrality and the perf
+    // oracle — computed *lazily*, at most once per seed, the first time
+    // a mutant actually demands it (see `needs_reference` below).
+    //
+    // Cold-seed reuse, the seed-side twin of the cold-mutant rule below:
+    // a seed whose LVM run never touched the JIT is its own reference —
+    // every injected fault lives in the JIT pipeline, so a zero-JIT run
+    // under the faulty config is bit-identical to the interpreter-only
+    // rerun. Fuzzed seeds are deliberately colder than their mutants
+    // (JoNM exists to heat them up), so this skips a whole interpreter
+    // run for a large fraction of seeds. Crashed runs are excluded for
+    // the same compile-time-assert blind spot documented below.
+    let seed_is_own_reference = seed_result.stats.compilations == 0
+        && seed_result.stats.osr_compilations == 0
+        && seed_result.stats.jit_ops == 0
+        && !matches!(seed_result.outcome, Outcome::Crash(_));
+    // `None` = not yet demanded; `Some(None)` = demanded but unavailable
+    // (the interpreter rerun panicked; recorded as an incident).
+    let mut seed_reference: Option<Option<ExecutionResult>> = None;
+    let mut seed_reference_observable: Option<String> = None;
+    // The §3.2 oracle compares every mutant against this; render it once
+    // instead of re-formatting the seed's output per iteration.
+    let seed_observable = seed_result.observable();
+    // One whole-program annotation of the seed backs the incremental
+    // mutant front end (`try_compile_mutant_incremental`); the per-mutant
+    // cost then drops to a single-method recheck. A seed the checker
+    // rejects here (it shouldn't — its bytecode compiled) falls back to
+    // the full per-mutant pipeline.
+    let mut annotated_seed = seed.clone();
+    let seed_table = match cse_lang::typeck::check(&mut annotated_seed) {
+        Ok(()) => cse_lang::typeck::ClassTable::build(&annotated_seed).ok(),
+        Err(_) => None,
     };
     let mut artemis = Artemis::new(rng_seed, config.params.clone());
     configure(&mut artemis);
@@ -399,8 +580,17 @@ pub fn validate_compiled_with(
         }
         // In-place check-and-compile: the mutant AST is owned and fresh
         // per iteration, so the type checker may annotate it directly
-        // instead of paying a whole-AST clone per mutant.
-        let mutant_bytecode = match try_compile_checked_mut(&mut mutant) {
+        // instead of paying a whole-AST clone per mutant. The incremental
+        // front end re-checks only the mutated methods; anything it can't
+        // handle takes the full pipeline.
+        let compiled = match &seed_table {
+            Some(table) => {
+                try_compile_mutant_incremental(&mut mutant, &mut annotated_seed, table, &mutations)
+                    .unwrap_or_else(|| try_compile_checked_mut(&mut mutant))
+            }
+            None => try_compile_checked_mut(&mut mutant),
+        };
+        let mutant_bytecode = match compiled {
             Ok(bytecode) => bytecode,
             Err(message) => {
                 // A mutator bug: JoNM produced an uncompilable program.
@@ -417,15 +607,17 @@ pub fn validate_compiled_with(
         };
         // R' ← LVM(P').
         //
-        // One JIT code cache per mutant, shared with the attribution
-        // reruns below. Sharing is conservative — the fault set is part
-        // of the cache key, so an ablated rerun only reuses code whose
-        // compilation the ablation cannot have changed.
-        let mutant_cache = CodeCache::for_program(&mutant_bytecode);
+        // The mutant attaches to the worker's shared artifact cache:
+        // every unmutated method's compilation is shared with the seed,
+        // the sibling mutants, and the attribution reruns below. Sharing
+        // is conservative — the content digest and the fault set are part
+        // of the cache key, so a run only reuses code whose compilation
+        // its own configuration would reproduce bit-identically.
+        let mutant_artifacts = shard.attach(&mutant_bytecode);
         outcome.vm_invocations += 1;
         outcome.mutants_run += 1;
         let mutant_result =
-            match supervised_run_cached(&mutant_bytecode, config.vm.clone(), &mutant_cache) {
+            match memoized_run(memo, &mutant_bytecode, &mutant_artifacts, &config.vm) {
                 Ok(result) => result,
                 Err(panic) => {
                     outcome.discarded += 1;
@@ -461,13 +653,31 @@ pub fn validate_compiled_with(
             && stats.osr_compilations == 0
             && stats.jit_ops == 0
             && !matches!(mutant_result.outcome, Outcome::Crash(_));
-        let mutant_reference = if !config.verify_neutrality {
+        let mutant_observable = mutant_result.observable();
+        // Lazy-reference pruning: the interpreter rerun feeds exactly
+        // three consumers — the neutrality discard, timeout
+        // classification, and the performance-anomaly oracle. A mutant
+        // that completed within the anomaly slack with an observable
+        // identical to the seed's can trip none of them: no timeout to
+        // classify, no anomaly possible (`8x + slack` exceeds its op
+        // count for *every* reference), and a neutrality violation
+        // could at most reclassify a no-bug mutant from `completed` to
+        // `discarded` without changing any reported discrepancy. For
+        // that (dominant) population the reference run is skipped
+        // outright; everything that could influence a bug report still
+        // takes the full rerun.
+        let needs_reference = config.verify_neutrality
+            && (mutant_result.outcome.is_resource_exhausted()
+                || stats.total_ops() > PERF_ANOMALY_SLACK
+                || mutant_observable != seed_observable);
+        let mutant_reference = if !needs_reference {
             None
         } else if mutant_is_own_reference {
             Some(mutant_result.clone())
         } else {
             outcome.vm_invocations += 1;
-            match supervised_run(&mutant_bytecode, VmConfig::interpreter_only(config.vm.kind)) {
+            let reference_vm = VmConfig::interpreter_only(config.vm.kind);
+            match memoized_run(memo, &mutant_bytecode, &mutant_artifacts, &reference_vm) {
                 Ok(reference) => Some(reference),
                 Err(panic) => {
                     // No reference for this mutant; skip the neutrality
@@ -483,10 +693,37 @@ pub fn validate_compiled_with(
                 }
             }
         };
-        if let (Some(reference), Some(seed_reference)) = (&mutant_reference, &seed_reference) {
-            if reference.observable() != seed_reference.observable()
+        // First demand on this seed: materialize the seed-side reference.
+        if needs_reference && seed_reference.is_none() {
+            let computed = if seed_is_own_reference {
+                Some(seed_result.clone())
+            } else {
+                outcome.vm_invocations += 1;
+                let reference_vm = VmConfig::interpreter_only(config.vm.kind);
+                match memoized_run(memo, &seed_bytecode, &seed_artifacts, &reference_vm) {
+                    Ok(result) => Some(result),
+                    Err(panic) => {
+                        // Proceed without neutrality checking for this seed.
+                        outcome.incident(
+                            IncidentPhase::ReferenceRun,
+                            rng_seed,
+                            None,
+                            panic.payload,
+                            Some(cse_lang::pretty::print(seed)),
+                        );
+                        None
+                    }
+                }
+            };
+            seed_reference_observable = computed.as_ref().map(|r| r.observable());
+            seed_reference = Some(computed);
+        }
+        if let (Some(reference), Some(Some(seed_ref)), Some(seed_ref_observable)) =
+            (&mutant_reference, &seed_reference, &seed_reference_observable)
+        {
+            if &reference.observable() != seed_ref_observable
                 && !reference.outcome.is_resource_exhausted()
-                && !seed_reference.outcome.is_resource_exhausted()
+                && !seed_ref.outcome.is_resource_exhausted()
             {
                 outcome.neutrality_violations += 1;
                 outcome.discarded += 1;
@@ -510,7 +747,8 @@ pub fn validate_compiled_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
-                    &mutant_cache,
+                    &mutant_artifacts,
+                    memo,
                     rng_seed,
                     iteration,
                     &mut outcome,
@@ -539,7 +777,8 @@ pub fn validate_compiled_with(
                     &mutant_result,
                     config,
                     &mutant_bytecode,
-                    &mutant_cache,
+                    &mutant_artifacts,
+                    memo,
                     rng_seed,
                     iteration,
                     &mut outcome,
@@ -550,7 +789,7 @@ pub fn validate_compiled_with(
         }
         // The §3.2 oracle: LVM(P) vs LVM(P').
         outcome.completed += 1;
-        if mutant_result.observable() != seed_result.observable() {
+        if mutant_observable != seed_observable {
             let kind = match &mutant_result.outcome {
                 Outcome::Crash(info) => DiscrepancyKind::Crash(info.clone()),
                 _ => DiscrepancyKind::MisCompilation,
@@ -563,7 +802,8 @@ pub fn validate_compiled_with(
                 &mutant_result,
                 config,
                 &mutant_bytecode,
-                &mutant_cache,
+                &mutant_artifacts,
+                memo,
                 rng_seed,
                 iteration,
                 &mut outcome,
@@ -584,7 +824,8 @@ fn make_discrepancy(
     mutant_result: &ExecutionResult,
     config: &ValidateConfig,
     mutant_bytecode: &BProgram,
-    mutant_cache: &Rc<CodeCache>,
+    mutant_artifacts: &ProgramArtifacts,
+    memo: &mut ExecMemo,
     rng_seed: u64,
     iteration: usize,
     outcome: &mut ValidationOutcome,
@@ -595,7 +836,8 @@ fn make_discrepancy(
         // Mis-compilations and perf bugs are attributed by ablation.
         _ => attribute(
             mutant_bytecode,
-            mutant_cache,
+            mutant_artifacts,
+            memo,
             config,
             mutant_result,
             rng_seed,
@@ -617,10 +859,23 @@ fn make_discrepancy(
 /// disabled; the first whose removal changes the observable behavior is
 /// the culprit. A panicking rerun skips that candidate (recorded as an
 /// incident) instead of aborting.
+///
+/// # Fired-mask pruning
+///
+/// A rerun is only performed for bugs the buggy run actually *queried
+/// active* ([`cse_vm::ExecStats::fired_bugs`]). The mask is complete:
+/// every compile-time trigger site goes through `CompileCtx::active`
+/// (replayed verbatim on artifact-cache hits) and every execution-time
+/// site through `Vm::fault_fired`, and an injected bug can only
+/// influence behavior through one of those queries returning `true`. A
+/// bug absent from the mask therefore never influenced the run, its
+/// ablation is a no-op, and the skipped rerun's observable provably
+/// equals the buggy run's — the exact condition the loop tests.
 #[allow(clippy::too_many_arguments)]
 fn attribute(
     mutant_bytecode: &BProgram,
-    mutant_cache: &Rc<CodeCache>,
+    mutant_artifacts: &ProgramArtifacts,
+    memo: &mut ExecMemo,
     config: &ValidateConfig,
     buggy_result: &ExecutionResult,
     rng_seed: u64,
@@ -629,11 +884,14 @@ fn attribute(
 ) -> Option<BugId> {
     let active: Vec<BugId> = config.vm.faults.bugs().collect();
     for &bug in &active {
+        if buggy_result.stats.fired_bugs & (1u64 << (bug as u64)) == 0 {
+            continue;
+        }
         let remaining: Vec<BugId> = active.iter().copied().filter(|&b| b != bug).collect();
         let mut vm = config.vm.clone();
         vm.faults = FaultInjector::with(remaining);
         outcome.vm_invocations += 1;
-        let result = match supervised_run_cached(mutant_bytecode, vm, mutant_cache) {
+        let result = match memoized_run(memo, mutant_bytecode, mutant_artifacts, &vm) {
             Ok(result) => result,
             Err(panic) => {
                 outcome.incident(
@@ -651,4 +909,56 @@ fn attribute(
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthParams;
+    use cse_vm::VmKind;
+
+    /// The incremental mutant front end must be invisible: for fuzzed
+    /// seeds and their JoNM mutants, rebase-and-recheck produces
+    /// bit-identical bytecode to the full check-everything pipeline.
+    #[test]
+    fn incremental_mutant_front_end_matches_full_pipeline() {
+        let mut checked_mutants = 0;
+        for seed_value in 0..12u64 {
+            let seed = cse_fuzz::generate(seed_value, &cse_fuzz::FuzzConfig::default());
+            let mut annotated_seed = seed.clone();
+            cse_lang::typeck::check(&mut annotated_seed).expect("fuzzed seeds type-check");
+            let table = cse_lang::typeck::ClassTable::build(&annotated_seed).expect("table builds");
+            let mut artemis = Artemis::new(seed_value, SynthParams::for_kind(VmKind::HotSpotLike));
+            for _ in 0..4 {
+                let (mut mutant, mutations) = artemis.jonm(&seed);
+                if mutations.is_empty() {
+                    continue;
+                }
+                let full = try_compile_checked(&mutant);
+                // `None` = the fast path declined (e.g. an MI mutation);
+                // production falls back to the full pipeline there.
+                let Some(incremental) = try_compile_mutant_incremental(
+                    &mut mutant,
+                    &mut annotated_seed,
+                    &table,
+                    &mutations,
+                ) else {
+                    continue;
+                };
+                match (full, incremental) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "seed {seed_value}: bytecode diverged");
+                        checked_mutants += 1;
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!(
+                        "pipelines disagree on acceptance: full={:?} incremental={:?}",
+                        a.err(),
+                        b.err()
+                    ),
+                }
+            }
+        }
+        assert!(checked_mutants >= 20, "calibration: only {checked_mutants} mutants compiled");
+    }
 }

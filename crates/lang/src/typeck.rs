@@ -148,34 +148,50 @@ pub fn check(program: &mut Program) -> Result<(), FrontError> {
         // Method bodies.
         let method_count = program.classes[class_idx].methods.len();
         for method_idx in 0..method_count {
-            let method = &program.classes[class_idx].methods[method_idx];
-            let is_static = method.is_static;
-            let ret = method.ret.clone();
-            let params = method.params.clone();
-            let mut body = method.body.clone();
-            table.check_ty(&ret)?;
-            let mut ck = Checker::new(&table, class_name, is_static);
-            ck.ret = ret.clone();
-            ck.push_scope();
-            let mut seen = HashSet::new();
-            for param in &params {
-                table.check_ty(&param.ty)?;
-                if !seen.insert(param.name.clone()) {
-                    return Err(FrontError::msg(format!("duplicate parameter `{}`", param.name)));
-                }
-                ck.declare(&param.name, param.ty.clone())?;
-            }
-            ck.block(&mut body)?;
-            ck.pop_scope();
-            if ret != Ty::Void && !block_definitely_exits(&body) {
-                return Err(FrontError::msg(format!(
-                    "method `{}.{}` may fall off the end without returning",
-                    class_name, program.classes[class_idx].methods[method_idx].name
-                )));
-            }
-            program.classes[class_idx].methods[method_idx].body = body;
+            check_method(program, &table, class_idx, method_idx)?;
         }
     }
+    Ok(())
+}
+
+/// Resolves and type-checks a single method body in place against an
+/// existing [`ClassTable`]. [`check`] runs this over every method; the
+/// incremental mutant front end in `cse-core` runs it over *only* the
+/// JoNM-mutated methods — mutations are body-local, so every other
+/// method keeps its seed-run annotations and the table stays valid.
+pub fn check_method(
+    program: &mut Program,
+    table: &ClassTable,
+    class_idx: usize,
+    method_idx: usize,
+) -> Result<(), FrontError> {
+    let class_name = program.classes[class_idx].name.clone();
+    let method = &program.classes[class_idx].methods[method_idx];
+    let is_static = method.is_static;
+    let ret = method.ret.clone();
+    let params = method.params.clone();
+    let mut body = method.body.clone();
+    table.check_ty(&ret)?;
+    let mut ck = Checker::new(table, &class_name, is_static);
+    ck.ret = ret.clone();
+    ck.push_scope();
+    let mut seen = HashSet::new();
+    for param in &params {
+        table.check_ty(&param.ty)?;
+        if !seen.insert(param.name.clone()) {
+            return Err(FrontError::msg(format!("duplicate parameter `{}`", param.name)));
+        }
+        ck.declare(&param.name, param.ty.clone())?;
+    }
+    ck.block(&mut body)?;
+    ck.pop_scope();
+    if ret != Ty::Void && !block_definitely_exits(&body) {
+        return Err(FrontError::msg(format!(
+            "method `{}.{}` may fall off the end without returning",
+            class_name, program.classes[class_idx].methods[method_idx].name
+        )));
+    }
+    program.classes[class_idx].methods[method_idx].body = body;
     Ok(())
 }
 

@@ -112,8 +112,8 @@ pub struct ExecStats {
     pub compilations: u32,
     /// OSR compilations performed.
     pub osr_compilations: u32,
-    /// Compilations served from a cross-run [`CodeCache`]
-    /// (`crate::jit::CodeCache`); always a subset of `compilations +
+    /// Compilations served from the cross-run artifact cache
+    /// (`crate::jit::SharedArtifactCache`); always a subset of `compilations +
     /// osr_compilations` — a hit still counts as a compilation, it only
     /// skips the work.
     pub code_cache_hits: u32,
@@ -135,6 +135,13 @@ pub struct ExecStats {
     /// verifier is an oracle: defects are counted and reported, never
     /// acted on.
     pub ir_verify_defects: u32,
+    /// Bitmask (by `BugId` discriminant) of injected bugs whose trigger
+    /// was queried and found active at least once during the run —
+    /// compile-time sites included (replayed from the artifact cache on
+    /// hits). A bug absent from this mask provably could not have
+    /// influenced the run, so ablating it cannot change the observable;
+    /// attribution uses that to skip reruns.
+    pub fired_bugs: u64,
 }
 
 impl ExecStats {

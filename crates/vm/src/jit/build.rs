@@ -540,7 +540,7 @@ impl Builder<'_, '_> {
                             && self.frames.len() < 6;
                         if inline_ok {
                             if !callee_m.handlers.is_empty()
-                                && self.ctx.faults.active(BugId::HsInlineHandlerAssert)
+                                && self.ctx.active(BugId::HsInlineHandlerAssert)
                             {
                                 return Err(self.ctx.crash(
                                     BugId::HsInlineHandlerAssert,

@@ -1,126 +1,193 @@
-//! Cross-run JIT code cache.
+//! Campaign-scoped, content-addressed artifact cache.
 //!
 //! A [`Vm`](crate::Vm) already memoizes compiled code *within* one run,
-//! but campaign workloads execute the **same program many times**:
-//! forced-plan compilation-space enumeration runs `2^n` plans over one
-//! program, validation re-runs a mutant for attribution with each bug
-//! ablated, and recompile-heavy plans rebuild method bodies after every
-//! de-optimization. A `CodeCache` lets all of those runs share compiled
-//! IR instead of rebuilding the CFG and re-running the pass pipeline per
-//! execution.
+//! and PR 2's per-program code cache shared it *across runs of one
+//! program* (2^n forced plans, attribution reruns). But campaign
+//! workloads execute **families of near-identical programs**: every JoNM
+//! mutant differs from its seed in exactly one method, so a per-program
+//! cache re-compiles and re-decodes thousands of byte-identical methods.
+//! [`SharedArtifactCache`] is the program-*agnostic* replacement: one
+//! cache per campaign worker, keyed by the content digests of
+//! [`cse_bytecode::digest`] so any two programs share artifacts exactly
+//! when a fresh compilation could not tell them apart.
+//!
+//! It caches three artifact kinds:
+//!
+//! * **Compiled IR** (and injected compile-time crashes), keyed by
+//!   [`ArtifactKey`]: the root method's *compilation-unit digest* (its
+//!   static call closure to [`cse_bytecode::digest::INLINE_CLOSURE_DEPTH`]
+//!   — everything the inliner can read) plus the PR 2 coordinates
+//!   `(tier, osr, speculate, has_osr_code, profile_fp, env_fp)`.
+//! * **Decoded methods** ([`DecodedMethod`]), keyed by the method digest.
+//! * **Whole decoded programs**, keyed by the whole-program digest.
 //!
 //! # Soundness
 //!
-//! A cache hit must be indistinguishable from a fresh compilation.
-//! `jit::compile` is a pure function of:
+//! A cache hit must be indistinguishable from a fresh compilation — not
+//! just in the returned code, but in every *observable side effect* of
+//! compiling, because with a campaign-scoped cache the hit/miss pattern
+//! of one seed depends on which seeds ran earlier on the same worker
+//! (a `jobs`-dependent fact that must never leak into results):
 //!
-//! * the program (a cache is pinned to one [`BProgram`]),
-//! * `(method, tier, osr)` — what is being compiled,
-//! * `speculate` and `has_osr_code` — compile-mode flags,
-//! * the root method's [`MethodProfile`](crate::profile::MethodProfile)
-//!   (speculation inputs, warmth predicates, deopt history), captured by
-//!   [`MethodProfile::compile_fingerprint`](crate::profile::MethodProfile::compile_fingerprint),
-//! * the environment: VM kind, inline budget, and the active fault set
-//!   (buggy passes compile *differently* when their bug is seeded),
-//!   captured by [`CodeCache::env_fingerprint`].
+//! * The compiled IR itself: every compile input is part of the key.
+//!   `jit::compile` is a pure function of the compilation unit's code
+//!   (unit digest; the digest's *linkage* layer also pins the numeric
+//!   `MethodId`/`StrId`/`ClassId` operands the IR embeds), the root
+//!   profile fingerprint (all profile reads in the JIT are root-method
+//!   reads), the compile-mode flags, and the environment fingerprint
+//!   (VM kind, inline budget, fault set, IR-verify mode).
+//! * IR-verifier defects: harvested at compile time, *stored with the
+//!   entry and replayed on every hit*, so a hit bumps
+//!   `ir_verify_defects` and appends the same rendered reports a fresh
+//!   compile would.
+//! * Injected compile-time crashes are cached as `Err` and re-raised.
 //!
-//! Every one of those inputs is part of [`CacheKey`], so a hit can only
-//! occur when a fresh compilation would have produced byte-identical IR
-//! (including injected compile-time crashes, which are cached as `Err`).
 //! The VM still records the `Compiled` trace event and bumps
 //! `stats.compilations` on a hit — the cache saves the *work*, never the
 //! observable semantics.
 //!
-//! The cache is deliberately single-threaded (`Rc` + `RefCell`): parallel
-//! campaign workers each own a cache per program on their own thread,
-//! which keeps the hot path free of locks.
+//! The cache is deliberately single-threaded (`Rc` + `RefCell`): each
+//! campaign worker owns one shard on its own thread, which keeps the hot
+//! path lock-free; determinism across `jobs` values is then exactly the
+//! replay argument above. Capacity is bounded by whole-map epoch flushes
+//! ([`CODE_CAP`] etc.) — a flush only costs future hits, it cannot change
+//! any run's result.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cse_bytecode::{BProgram, DecodedProgram, MethodId};
+use cse_bytecode::{BProgram, DecodedMethod, DecodedProgram, ProgramDigests};
 
 use crate::config::{Tier, VmConfig};
 use crate::exec::CrashInfo;
 use crate::jit::ir::IrFunc;
 use crate::profile::Fnv;
 
-/// Everything that distinguishes one compilation from another for a
-/// fixed program (see the module docs for the soundness argument).
+/// Everything that distinguishes one compilation from another, across
+/// arbitrary programs (see the module docs for the soundness argument).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct CacheKey {
-    pub method: MethodId,
+pub(crate) struct ArtifactKey {
+    /// `ProgramDigests::units[root]` — the content digest of the whole
+    /// compilation unit (root + static call closure, both digest layers).
+    pub unit: u64,
     pub tier: Tier,
     pub osr: Option<u32>,
     pub speculate: bool,
     pub has_osr_code: bool,
     /// `MethodProfile::compile_fingerprint` of the root method at compile
-    /// time.
+    /// time (the JIT reads no other method's profile).
     pub profile_fp: u64,
-    /// `CodeCache::env_fingerprint` of the executing configuration.
+    /// [`SharedArtifactCache::env_fingerprint`] of the executing
+    /// configuration.
     pub env_fp: u64,
 }
 
-/// A shared cache of compiled IR for **one** program.
-///
-/// Create with [`CodeCache::for_program`], then run any number of VMs
-/// against the same program via [`Vm::run_program_cached`](crate::Vm::run_program_cached)
-/// (or [`supervised_run_cached`](crate::supervise::supervised_run_cached)).
-/// Different configurations (fault sets, plans, thresholds) may share one
-/// cache: configuration facets that affect compilation are part of the
-/// key; facets that only affect execution (fuel, plans, GC interval) are
-/// deliberately not.
-pub struct CodeCache {
-    /// Structural fingerprint of the program this cache is pinned to;
-    /// checked (debug builds) whenever a VM attaches.
-    program_fp: u64,
-    entries: RefCell<HashMap<CacheKey, Result<Rc<IrFunc>, CrashInfo>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    /// The program's pre-decoded instruction form (see
-    /// [`cse_bytecode::decoded`]), built on first attach so the 2^n VM
-    /// runs of a plan-space sweep decode the program exactly once.
-    decoded: RefCell<Option<Rc<DecodedProgram>>>,
+/// One cached compilation: the outcome plus every observable side effect
+/// of compiling, so hits can replay what a fresh compile would have done.
+#[derive(Clone)]
+pub(crate) struct CachedCompile {
+    /// Rendered IR-verifier defect reports harvested during this
+    /// compilation (compile crashes can still report defects first).
+    pub defects: Rc<Vec<String>>,
+    /// The compile's fired-bug mask (`CompileCtx::fired`), replayed into
+    /// `stats.fired_bugs` on every hit.
+    pub fired: u64,
+    pub result: Result<Rc<IrFunc>, CrashInfo>,
 }
 
-impl CodeCache {
-    /// An empty cache pinned to `program`.
-    pub fn for_program(program: &BProgram) -> Rc<CodeCache> {
-        Rc::new(CodeCache {
-            program_fp: program_fingerprint(program),
-            entries: RefCell::new(HashMap::new()),
+/// Epoch-flush capacity for the compiled-IR map.
+const CODE_CAP: usize = 4096;
+/// Epoch-flush capacity for the per-method decode map.
+const DECODED_METHOD_CAP: usize = 8192;
+/// Epoch-flush capacity for the whole-program decode map.
+const DECODED_PROGRAM_CAP: usize = 512;
+
+/// A per-worker shard of the campaign-level artifact cache; see the
+/// module docs. Create with [`SharedArtifactCache::new`], then attach to
+/// programs via [`SharedArtifactCache::attach`].
+pub struct SharedArtifactCache {
+    code: RefCell<HashMap<ArtifactKey, CachedCompile>>,
+    /// Decoded method bodies, keyed by `MethodDigest::key()` (a decoded
+    /// body is a pure re-layout of the code, which the digest pins).
+    decoded_methods: RefCell<HashMap<u64, Rc<DecodedMethod>>>,
+    /// Fully-assembled decoded programs, keyed by the whole-program
+    /// digest.
+    decoded_programs: RefCell<HashMap<u64, Rc<DecodedProgram>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl SharedArtifactCache {
+    /// An empty cache shard.
+    pub fn new() -> Rc<SharedArtifactCache> {
+        Rc::new(SharedArtifactCache {
+            code: RefCell::new(HashMap::new()),
+            decoded_methods: RefCell::new(HashMap::new()),
+            decoded_programs: RefCell::new(HashMap::new()),
             hits: Cell::new(0),
             misses: Cell::new(0),
-            decoded: RefCell::new(None),
         })
     }
 
-    /// Whether this cache was built for `program`.
-    pub fn is_for(&self, program: &BProgram) -> bool {
-        self.program_fp == program_fingerprint(program)
+    /// Binds this cache to one program: computes the program's content
+    /// digests and assembles its decoded form, sharing per-method decoded
+    /// bodies (and whole decoded programs) with every program this shard
+    /// has seen before.
+    pub fn attach(self: &Rc<Self>, program: &BProgram) -> ProgramArtifacts {
+        let digests = Rc::new(ProgramDigests::compute(program));
+        let decoded = self.decoded_program(program, &digests);
+        ProgramArtifacts { cache: self.clone(), digests, decoded }
     }
 
-    /// Fingerprint of the compilation-relevant configuration facets.
+    /// Fingerprint of the compilation-relevant configuration facets: VM
+    /// kind, inline budget, the active fault set (buggy passes compile
+    /// *differently* when their bug is seeded), and the IR-verify mode
+    /// (cached entries replay harvested defects, so entries compiled with
+    /// verification off must not serve a verifying config).
     pub(crate) fn env_fingerprint(config: &VmConfig) -> u64 {
         let mut fp = Fnv::new();
         fp.u64(config.kind as u64);
         fp.u64(config.inline_limit as u64);
         fp.u64(config.faults.fingerprint());
+        fp.u64(config.verify_ir as u64);
         fp.finish()
     }
 
-    /// The shared decoded form of `program`, decoding it on first call.
-    pub(crate) fn decoded(&self, program: &BProgram) -> Rc<DecodedProgram> {
-        debug_assert!(self.is_for(program), "decode requested for a different program");
-        self.decoded
-            .borrow_mut()
-            .get_or_insert_with(|| Rc::new(DecodedProgram::decode(program)))
-            .clone()
+    fn decoded_program(&self, program: &BProgram, digests: &ProgramDigests) -> Rc<DecodedProgram> {
+        if let Some(found) = self.decoded_programs.borrow().get(&digests.program) {
+            return found.clone();
+        }
+        let mut methods_cache = self.decoded_methods.borrow_mut();
+        if methods_cache.len() >= DECODED_METHOD_CAP {
+            methods_cache.clear();
+        }
+        let methods = program
+            .methods
+            .iter()
+            .zip(&digests.methods)
+            .map(|(method, digest)| {
+                methods_cache
+                    .entry(digest.key())
+                    .or_insert_with(|| Rc::new(DecodedMethod::decode(&method.code)))
+                    .clone()
+            })
+            .collect();
+        drop(methods_cache);
+        let decoded = Rc::new(DecodedProgram {
+            methods,
+            strings: program.strings.iter().map(|s| Rc::new(s.clone())).collect(),
+        });
+        let mut programs = self.decoded_programs.borrow_mut();
+        if programs.len() >= DECODED_PROGRAM_CAP {
+            programs.clear();
+        }
+        programs.insert(digests.program, decoded.clone());
+        decoded
     }
 
-    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Result<Rc<IrFunc>, CrashInfo>> {
-        let entry = self.entries.borrow().get(key).cloned();
+    pub(crate) fn lookup(&self, key: &ArtifactKey) -> Option<CachedCompile> {
+        let entry = self.code.borrow().get(key).cloned();
         match &entry {
             Some(_) => self.hits.set(self.hits.get() + 1),
             None => self.misses.set(self.misses.get() + 1),
@@ -128,18 +195,22 @@ impl CodeCache {
         entry
     }
 
-    pub(crate) fn insert(&self, key: CacheKey, value: Result<Rc<IrFunc>, CrashInfo>) {
-        self.entries.borrow_mut().insert(key, value);
+    pub(crate) fn insert(&self, key: ArtifactKey, value: CachedCompile) {
+        let mut code = self.code.borrow_mut();
+        if code.len() >= CODE_CAP {
+            code.clear();
+        }
+        code.insert(key, value);
     }
 
     /// Cached compilations (successful and crashing).
     pub fn len(&self) -> usize {
-        self.entries.borrow().len()
+        self.code.borrow().len()
     }
 
     /// Whether nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.borrow().is_empty()
+        self.code.borrow().is_empty()
     }
 
     /// `(hits, misses)` over the cache's lifetime.
@@ -148,22 +219,31 @@ impl CodeCache {
     }
 }
 
-/// Cheap structural fingerprint of a program — enough to catch a cache
-/// attached to the wrong program, without hashing every instruction.
-fn program_fingerprint(program: &BProgram) -> u64 {
-    let mut fp = Fnv::new();
-    fp.u64(program.classes.len() as u64);
-    fp.u64(program.methods.len() as u64);
-    fp.u64(program.strings.len() as u64);
-    fp.u64(program.entry.0 as u64);
-    fp.u64(program.clinit.map(|m| m.0 as u64 + 1).unwrap_or(0));
-    for method in &program.methods {
-        fp.u64(method.code.len() as u64);
-        fp.u64(method.num_locals as u64);
-        fp.u64(method.handlers.len() as u64);
-        fp.u64(method.loop_headers.len() as u64);
+/// One program bound to a [`SharedArtifactCache`]: the shard handle, the
+/// program's content digests, and its (shared) decoded form. Cheap to
+/// clone; everything inside is refcounted.
+#[derive(Clone)]
+pub struct ProgramArtifacts {
+    pub(crate) cache: Rc<SharedArtifactCache>,
+    /// The program's content digests (also used by execution memoization
+    /// upstream).
+    pub digests: Rc<ProgramDigests>,
+    pub(crate) decoded: Rc<DecodedProgram>,
+}
+
+impl ProgramArtifacts {
+    /// Convenience: a fresh single-program cache, for callers that only
+    /// ever run one program (tests, examples). Campaign code should
+    /// create one [`SharedArtifactCache`] per worker and `attach` each
+    /// program to it.
+    pub fn for_program(program: &BProgram) -> ProgramArtifacts {
+        SharedArtifactCache::new().attach(program)
     }
-    fp.finish()
+
+    /// The shard this program is bound to.
+    pub fn cache(&self) -> &Rc<SharedArtifactCache> {
+        &self.cache
+    }
 }
 
 #[cfg(test)]
@@ -196,9 +276,9 @@ mod tests {
         let program = compile(HOT);
         let config = VmConfig::for_kind(VmKind::HotSpotLike);
         let plain = Vm::run_program(&program, config.clone());
-        let cache = CodeCache::for_program(&program);
-        let first = Vm::run_program_cached(&program, config.clone(), &cache);
-        let second = Vm::run_program_cached(&program, config, &cache);
+        let artifacts = ProgramArtifacts::for_program(&program);
+        let first = Vm::run_program_cached(&program, config.clone(), &artifacts);
+        let second = Vm::run_program_cached(&program, config, &artifacts);
         assert_eq!(plain.observable(), first.observable());
         assert_eq!(plain.observable(), second.observable());
         assert_eq!(plain.output, second.output);
@@ -211,19 +291,19 @@ mod tests {
     fn second_run_hits_the_cache() {
         let program = compile(HOT);
         let config = VmConfig::correct(VmKind::HotSpotLike);
-        let cache = CodeCache::for_program(&program);
-        let first = Vm::run_program_cached(&program, config.clone(), &cache);
+        let artifacts = ProgramArtifacts::for_program(&program);
+        let first = Vm::run_program_cached(&program, config.clone(), &artifacts);
         assert!(first.stats.compilations > 0, "calibration: HOT must trigger the JIT");
         assert_eq!(first.stats.code_cache_hits, 0, "an empty cache cannot hit");
-        let (_, misses_after_first) = cache.stats();
+        let (_, misses_after_first) = artifacts.cache().stats();
         assert!(misses_after_first > 0);
-        let second = Vm::run_program_cached(&program, config, &cache);
+        let second = Vm::run_program_cached(&program, config, &artifacts);
         assert_eq!(
             second.stats.code_cache_hits,
             second.stats.compilations + second.stats.osr_compilations,
             "a deterministic re-run must be served entirely from the cache"
         );
-        let (hits, _) = cache.stats();
+        let (hits, _) = artifacts.cache().stats();
         assert!(hits >= second.stats.code_cache_hits as u64);
     }
 
@@ -231,23 +311,64 @@ mod tests {
     fn different_fault_sets_do_not_share_code() {
         use crate::faults::{BugId, FaultInjector};
         let program = compile(HOT);
-        let cache = CodeCache::for_program(&program);
+        let shard = SharedArtifactCache::new();
+        let artifacts = shard.attach(&program);
         let correct = VmConfig::correct(VmKind::HotSpotLike);
         let buggy = correct.clone().with_faults(FaultInjector::with([BugId::HsGcmStoreSink]));
-        assert_ne!(CodeCache::env_fingerprint(&correct), CodeCache::env_fingerprint(&buggy));
-        let a = Vm::run_program_cached(&program, correct, &cache);
-        let b = Vm::run_program_cached(&program, buggy, &cache);
+        assert_ne!(
+            SharedArtifactCache::env_fingerprint(&correct),
+            SharedArtifactCache::env_fingerprint(&buggy)
+        );
+        let a = Vm::run_program_cached(&program, correct, &artifacts);
+        let b = Vm::run_program_cached(&program, buggy, &artifacts);
         // The second config must not be served the first config's code.
         assert_eq!(b.stats.code_cache_hits, 0);
         assert!(a.outcome.is_completed() && b.outcome.is_completed());
     }
 
     #[test]
-    fn cache_is_pinned_to_its_program() {
-        let program = compile(HOT);
-        let other = compile("class T { static void main() { println(1); } }");
-        let cache = CodeCache::for_program(&program);
-        assert!(cache.is_for(&program));
-        assert!(!cache.is_for(&other));
+    fn mutants_share_unmutated_method_code() {
+        // Two programs that differ in one method body: the unchanged hot
+        // method's compilation must be served from the shard when the
+        // second program runs.
+        let seed = compile(HOT);
+        let mutant = compile(&HOT.replace("total = f(100);", "total = f(100) + 1;"));
+        let shard = SharedArtifactCache::new();
+        let config = VmConfig::correct(VmKind::HotSpotLike);
+        let a = Vm::run_program_cached(&seed, config.clone(), &shard.attach(&seed));
+        assert!(a.stats.compilations > 0);
+        let b = Vm::run_program_cached(&mutant, config, &shard.attach(&mutant));
+        assert!(
+            b.stats.code_cache_hits > 0,
+            "unmutated f must be shared across the mutant boundary: {:?}",
+            b.stats
+        );
+    }
+
+    #[test]
+    fn decoded_methods_are_shared_across_programs() {
+        let seed = compile(HOT);
+        let mutant = compile(&HOT.replace("total = f(100);", "total = f(100) + 1;"));
+        let shard = SharedArtifactCache::new();
+        let a = shard.attach(&seed);
+        let b = shard.attach(&mutant);
+        let f = seed.find_method("T", "f").unwrap();
+        let f_mut = mutant.find_method("T", "f").unwrap();
+        assert!(
+            Rc::ptr_eq(&a.decoded.methods[f.0 as usize], &b.decoded.methods[f_mut.0 as usize]),
+            "unchanged method bodies must decode once per shard"
+        );
+        let main = seed.find_method("T", "main").unwrap();
+        let main_mut = mutant.find_method("T", "main").unwrap();
+        assert!(
+            !Rc::ptr_eq(
+                &a.decoded.methods[main.0 as usize],
+                &b.decoded.methods[main_mut.0 as usize]
+            ),
+            "the mutated method must not be shared"
+        );
+        // Re-attaching an identical program shares the whole decoded form.
+        let c = shard.attach(&seed);
+        assert!(Rc::ptr_eq(&a.decoded, &c.decoded));
     }
 }

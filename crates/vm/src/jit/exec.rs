@@ -54,7 +54,7 @@ pub(crate) fn run_ir(
     }
     // Injected OSR local-transfer bug (ART): with two or more long locals,
     // the first long local arrives corrupted.
-    if func.osr_entry.is_some() && vm.config.faults.active(BugId::ArtOsrLongTransfer) {
+    if func.osr_entry.is_some() && vm.fault_fired(BugId::ArtOsrLongTransfer) {
         let longs: Vec<usize> =
             (0..num_locals0).filter(|&i| matches!(regs[i], Value::L(_))).collect();
         if longs.len() >= 2 {
@@ -464,7 +464,7 @@ fn exec_loop(vm: &mut Vm<'_>, func: &IrFunc, frame_idx: usize) -> Result<IrOutco
                 // Injected de-optimization bug (OpenJ9): the rebuilt frame
                 // restores the first non-argument local stale (arguments
                 // live in registers the deopt stub handles correctly).
-                if vm.config.faults.active(BugId::J9DeoptStaleLocal) && n >= 8 {
+                if vm.fault_fired(BugId::J9DeoptStaleLocal) && n >= 8 {
                     let first_var = vm.program.method(func.method).arg_slots();
                     if let Some(v) = locals.get_mut(first_var) {
                         match v {

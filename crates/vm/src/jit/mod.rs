@@ -33,7 +33,7 @@ use crate::faults::{BugId, FaultInjector};
 use crate::profile::MethodProfile;
 
 pub(crate) use build::can_osr;
-pub use cache::CodeCache;
+pub use cache::{ProgramArtifacts, SharedArtifactCache};
 pub(crate) use exec::run_ir;
 pub use exec::IrOutcome;
 
@@ -53,6 +53,12 @@ pub struct CompileCtx<'a> {
     pub has_osr_code: bool,
     /// Static IR verification mode (see [`verify`]).
     pub verify: VerifyMode,
+    /// Bitmask (by `BugId` discriminant) of injected bugs whose trigger
+    /// was *queried and found active* during this compilation. A bug
+    /// absent from the mask provably cannot have influenced the compile,
+    /// which lets attribution skip its ablation rerun. Stored with cached
+    /// artifacts and replayed on hits.
+    pub fired: std::cell::Cell<u64>,
 }
 
 impl CompileCtx<'_> {
@@ -60,6 +66,18 @@ impl CompileCtx<'_> {
     /// OpenJ9 tier 2, or ART's single tier).
     pub fn optimizing(&self) -> bool {
         self.tier.0 >= 2 || self.kind == VmKind::ArtLike
+    }
+
+    /// Queries the fault injector, recording a firing in
+    /// [`CompileCtx::fired`]. Every compile-time trigger site must go
+    /// through this (not `faults.active` directly) so the fired mask
+    /// stays complete.
+    pub(crate) fn active(&self, bug: BugId) -> bool {
+        let hit = self.faults.active(bug);
+        if hit {
+            self.fired.set(self.fired.get() | (1u64 << (bug as u64)));
+        }
+        hit
     }
 
     /// Raises an injected compile-time crash.
@@ -108,7 +126,7 @@ pub fn compile(
     // Recompilation-interaction bug: re-promoting a previously
     // de-optimized method that still has a live OSR body while lowering
     // long arithmetic (OpenJ9-like).
-    if ctx.faults.active(BugId::J9RecompOsrPromote)
+    if ctx.active(BugId::J9RecompOsrPromote)
         && ctx.tier.0 >= 2
         && osr.is_none()
         && ctx.has_osr_code
@@ -127,7 +145,7 @@ pub fn compile(
     // Structural "ideal graph" assertions (HotSpot-like).
     if ctx.optimizing() {
         let loops = cfg::LoopForest::compute(&func);
-        if ctx.faults.active(BugId::HsGraphDeepLoops) && loops.max_depth() >= 4 {
+        if ctx.active(BugId::HsGraphDeepLoops) && loops.max_depth() >= 4 {
             let has_switch_in_loop = func.blocks.iter().enumerate().any(|(b, block)| {
                 matches!(block.term, ir::Term::Switch { .. }) && loops.depth(b as u32) >= 2
             });
@@ -140,16 +158,14 @@ pub fn compile(
         }
         // The block budget only overflows once inlining has spliced callees
         // in (plain methods stay far below it).
-        if ctx.faults.active(BugId::HsGraphBlockBudget)
-            && func.blocks.len() > 260
-            && func.frames.len() > 1
+        if ctx.active(BugId::HsGraphBlockBudget) && func.blocks.len() > 260 && func.frames.len() > 1
         {
             return Err(CompileFail::Crash(ctx.crash(
                 BugId::HsGraphBlockBudget,
                 format!("ideal graph: {} blocks", func.blocks.len()),
             )));
         }
-        if ctx.faults.active(BugId::J9OtherNestedTry) && nested_handler_depth(&func) >= 3 {
+        if ctx.active(BugId::J9OtherNestedTry) && nested_handler_depth(&func) >= 3 {
             return Err(CompileFail::Crash(ctx.crash(
                 BugId::J9OtherNestedTry,
                 "synchronization stub: deeply nested try regions",
@@ -158,7 +174,7 @@ pub fn compile(
         // The ART asserts only reproduce on warm methods: the compiler
         // consults profile tables that cold (`count=0`) compilations leave
         // empty.
-        if ctx.faults.active(BugId::ArtOptCompHandlerAssert) && func.handlers.len() >= 6 && warm {
+        if ctx.active(BugId::ArtOptCompHandlerAssert) && func.handlers.len() >= 6 && warm {
             return Err(CompileFail::Crash(
                 ctx.crash(BugId::ArtOptCompHandlerAssert, "OptimizingCompiler: multiple handlers"),
             ));

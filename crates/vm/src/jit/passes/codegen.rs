@@ -27,7 +27,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
         for inst in &block.insts {
             match &inst.op {
                 Op::NewMultiArray { .. }
-                    if in_loop(b) && ctx.faults.active(BugId::HsCodegenMultiArray) =>
+                    if in_loop(b) && ctx.active(BugId::HsCodegenMultiArray) =>
                 {
                     return Err(ctx.crash(
                         BugId::HsCodegenMultiArray,
@@ -37,7 +37,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
                 Op::BinL(BinKind::Mul, ..)
                     if forest.depth(b) >= 2
                         && func.osr_entry.is_some()
-                        && ctx.faults.active(BugId::J9CodegenLongMul) =>
+                        && ctx.active(BugId::J9CodegenLongMul) =>
                 {
                     return Err(ctx.crash(
                         BugId::J9CodegenLongMul,
@@ -45,7 +45,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
                     ));
                 }
                 Op::Concat(..)
-                    if forest.depth(b) >= 2 && ctx.faults.active(BugId::J9CodegenConcatLoop) =>
+                    if forest.depth(b) >= 2 && ctx.active(BugId::J9CodegenConcatLoop) =>
                 {
                     return Err(ctx.crash(
                         BugId::J9CodegenConcatLoop,
@@ -59,7 +59,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
         if let Term::Switch { cases, .. } = &block.term {
             let profile = &ctx.profiles[func.method.0 as usize];
             let warm = profile.invocations >= 200 || profile.backedges.iter().any(|&c| c >= 200);
-            if cases.len() >= 5 && warm && ctx.faults.active(BugId::ArtOptCompSwitchAssert) {
+            if cases.len() >= 5 && warm && ctx.active(BugId::ArtOptCompSwitchAssert) {
                 return Err(ctx.crash(
                     BugId::ArtOptCompSwitchAssert,
                     format!("OptimizingCompiler: hot switch with {} arms", cases.len()),
@@ -67,7 +67,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
             }
         }
     }
-    if call_count > 24 && ctx.speculate && ctx.faults.active(BugId::J9JitIntCallAssert) {
+    if call_count > 24 && ctx.speculate && ctx.active(BugId::J9JitIntCallAssert) {
         return Err(ctx.crash(
             BugId::J9JitIntCallAssert,
             format!("JIT-INT interaction: {call_count} residual call sites"),
@@ -77,7 +77,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
     // Code-execution bug: a byte narrowing fed directly by a field load
     // lowers to a wild memory access — the crash happens when the compiled
     // code runs, not at compile time.
-    if ctx.faults.active(BugId::HsCodeExecNarrowSegv) && ctx.optimizing() {
+    if ctx.active(BugId::HsCodeExecNarrowSegv) && ctx.optimizing() {
         // Single-def map to identify the feeding instruction.
         let mut defs: HashMap<Reg, Op> = HashMap::new();
         let mut multi: HashMap<Reg, bool> = HashMap::new();

@@ -95,7 +95,7 @@ fn fold_op(
                 && ci(b) == Some(-1)
                 && block_has_i2b
                 && ctx.speculate
-                && ctx.faults.active(BugId::ArtOptCompXorFold)
+                && ctx.active(BugId::ArtOptCompXorFold)
             {
                 return Some(Op::NegI(*a));
             }
@@ -105,7 +105,7 @@ fn fold_op(
                 && y != 0
                 && x < 0
                 && ctx.optimizing()
-                && ctx.faults.active(BugId::HsConstPropRemSign)
+                && ctx.active(BugId::HsConstPropRemSign)
             {
                 return Some(Op::ConstI(x.rem_euclid(y)));
             }
@@ -193,6 +193,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            fired: std::cell::Cell::new(0),
         }
     }
 

@@ -37,7 +37,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
     // The buggy frequency model only ties when profile-scaled estimates
     // exist (profile-guided compiles); `count=0` compilation uses static
     // estimates that never tie.
-    if ctx.faults.active(BugId::HsGcmStoreSink) && ctx.optimizing() && ctx.speculate {
+    if ctx.active(BugId::HsGcmStoreSink) && ctx.optimizing() && ctx.speculate {
         buggy_store_sink(func);
     }
     Ok(())
@@ -276,6 +276,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            fired: std::cell::Cell::new(0),
         }
     }
 

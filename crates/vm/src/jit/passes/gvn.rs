@@ -71,7 +71,7 @@ pub fn run_local(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInf
     // only (`count=0` compiles take the conservative path), so forced
     // compilation cannot expose it — the warm-up dependence the paper
     // identifies in real JIT bugs.
-    let alias_bug = ctx.faults.active(BugId::HsGvnArrayAlias) && ctx.optimizing() && ctx.speculate;
+    let alias_bug = ctx.active(BugId::HsGvnArrayAlias) && ctx.optimizing() && ctx.speculate;
     for block in &mut func.blocks {
         let mut table: HashMap<Key, Reg> = HashMap::new();
         for inst in &mut block.insts {
@@ -217,7 +217,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
             stack.push((child, undo.len()));
         }
     }
-    if ctx.faults.active(BugId::HsGvnTableAssert) && max_table > 100 {
+    if ctx.active(BugId::HsGvnTableAssert) && max_table > 100 {
         let has_long = func
             .blocks
             .iter()
@@ -295,6 +295,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            fired: std::cell::Cell::new(0),
         }
     }
 

@@ -81,7 +81,7 @@ fn hoist_loop(ctx: &CompileCtx<'_>, func: &mut IrFunc, loop_blocks: &[BlockId], 
     }
     let is_anchor =
         |r: Reg, anchors: &[(Reg, Reg)]| anchors.iter().any(|&(lo, hi)| r >= lo && r < hi);
-    let alias_bug = ctx.faults.active(BugId::HsLicmAliasedLoad) && ctx.optimizing();
+    let alias_bug = ctx.active(BugId::HsLicmAliasedLoad) && ctx.optimizing();
     let anchors = func.anchor_limit_per_frame.clone();
 
     let mut hoisted: Vec<Inst> = Vec::new();
@@ -185,6 +185,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            fired: std::cell::Cell::new(0),
         }
     }
 

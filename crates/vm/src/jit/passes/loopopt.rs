@@ -52,7 +52,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
 
         // --- HotSpot: unrolling a stride-N countable loop with negative
         // bounds.
-        if ctx.faults.active(BugId::HsLoopUnrollStep) && has_big_negative_const && warm_backedges {
+        if ctx.active(BugId::HsLoopUnrollStep) && has_big_negative_const && warm_backedges {
             let has_strided_step = loop_insts.iter().any(|&(b, i)| {
                 let inst = &func.blocks[b as usize].insts[i];
                 if let Op::BinI(BinKind::Add, _, c) = inst.op {
@@ -75,7 +75,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
         }
 
         // --- OpenJ9: vectorizer on mixed element widths.
-        if ctx.faults.active(BugId::J9LoopVecMixedWidth) && lp.depth >= 2 {
+        if ctx.active(BugId::J9LoopVecMixedWidth) && lp.depth >= 2 {
             let mut has_i32 = false;
             let mut has_other = false;
             for &(b, i) in &loop_insts {
@@ -101,7 +101,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
         // --- HotSpot: escape analysis over allocations escaping in-loop.
         // The analysis only runs with profile data (profile-guided escape
         // heuristics), so `count=0` compiles skip it.
-        if ctx.faults.active(BugId::HsEscapeLoopStore) && ctx.speculate {
+        if ctx.active(BugId::HsEscapeLoopStore) && ctx.speculate {
             let escapes = loop_insts.iter().any(|&(b, i)| {
                 let inst = &func.blocks[b as usize].insts[i];
                 if let (Some(dst), Op::NewObject(_)) = (inst.dst, &inst.op) {
@@ -131,7 +131,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
     let mut burns: Vec<BlockId> = Vec::new();
     for lp in &forest.loops {
         // --- HotSpot performance bug: quadratic re-execution.
-        if ctx.faults.active(BugId::HsPerfQuadraticLoop) && lp.depth >= 2 {
+        if ctx.active(BugId::HsPerfQuadraticLoop) && lp.depth >= 2 {
             let has_switch = lp
                 .blocks
                 .iter()
@@ -144,11 +144,9 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
             for (i, inst) in func.blocks[b as usize].insts.iter().enumerate() {
                 match (&inst.op, inst.dst) {
                     (Op::NewObject(_), Some(dst)) => {
-                        if ctx.faults.active(BugId::J9GcCorruptAllocSink)
-                            && !func.handlers.is_empty()
-                        {
+                        if ctx.active(BugId::J9GcCorruptAllocSink) && !func.handlers.is_empty() {
                             corruptions.push((b, i, BugId::J9GcCorruptAllocSink));
-                        } else if ctx.faults.active(BugId::J9GcCorruptRematerialize)
+                        } else if ctx.active(BugId::J9GcCorruptRematerialize)
                             && lp.depth >= 2
                             && escapes_to_field(func, &lp.blocks, dst)
                         {
@@ -156,7 +154,7 @@ pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
                         }
                     }
                     (Op::NewArray { .. }, Some(_))
-                        if ctx.faults.active(BugId::J9GcCorruptUnrollAlloc) && lp.depth >= 2 =>
+                        if ctx.active(BugId::J9GcCorruptUnrollAlloc) && lp.depth >= 2 =>
                     {
                         corruptions.push((b, i, BugId::J9GcCorruptUnrollAlloc));
                     }

@@ -15,13 +15,13 @@ use crate::jit::CompileCtx;
 /// Computes maximum register pressure and fires pressure assertions.
 pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
     let pressure = max_pressure(func);
-    if ctx.faults.active(BugId::HsRegAllocPressure) && pressure > 40 {
+    if ctx.active(BugId::HsRegAllocPressure) && pressure > 40 {
         return Err(ctx.crash(
             BugId::HsRegAllocPressure,
             format!("register allocator: live range budget exceeded ({pressure})"),
         ));
     }
-    if ctx.faults.active(BugId::J9RegAllocLongPressure) && pressure > 34 {
+    if ctx.active(BugId::J9RegAllocLongPressure) && pressure > 34 {
         let has_long =
             func.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, Op::BinL(..)));
         if has_long {

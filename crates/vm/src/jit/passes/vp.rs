@@ -50,7 +50,7 @@ pub fn run_local(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInf
                 non_negative.insert(dst, fact);
             }
         }
-        if const_regs > 28 && ctx.faults.active(BugId::J9LocalVpConstAssert) {
+        if const_regs > 28 && ctx.active(BugId::J9LocalVpConstAssert) {
             return Err(ctx.crash(
                 BugId::J9LocalVpConstAssert,
                 format!("local VP: constant table overflow ({const_regs} entries)"),
@@ -96,7 +96,7 @@ pub fn run_global(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashIn
     }
     // Injected byte-propagation assertion: nested-loop anchor receiving a
     // narrowed value.
-    if ctx.faults.active(BugId::J9GlobalVpByteAssert) {
+    if ctx.active(BugId::J9GlobalVpByteAssert) {
         let forest = LoopForest::compute(func);
         for (b, block) in func.blocks.iter().enumerate() {
             if forest.depth(b as BlockId) < 2 {
@@ -118,7 +118,7 @@ pub fn run_global(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashIn
     // would be only `>= 0`). The fold sits on the profile-guided path:
     // range facts are seeded from profiling tables, so cold `count=0`
     // compiles never reach it.
-    if ctx.faults.active(BugId::J9GlobalVpShiftRange) && ctx.speculate {
+    if ctx.active(BugId::J9GlobalVpShiftRange) && ctx.speculate {
         for block in &mut func.blocks {
             for inst in &mut block.insts {
                 if let Op::CmpI(CmpOp::Gt, a, b) = inst.op {
@@ -161,6 +161,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            fired: std::cell::Cell::new(0),
         }
     }
 

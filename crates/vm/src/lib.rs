@@ -44,7 +44,7 @@ pub use config::{Tier, TierThresholds, VerifyMode, VmConfig, VmKind};
 pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome, Resource};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
-pub use jit::CodeCache;
+pub use jit::{ProgramArtifacts, SharedArtifactCache};
 pub use plan::{ExecMode, ForcedPlan};
 pub use supervise::{contain_panics, supervised_run, supervised_run_cached, VmPanic};
 pub use value::{Str, Value};
@@ -123,10 +123,14 @@ pub struct Vm<'p> {
     next_side_check: u64,
     /// Burned-ops threshold for the chaos panic knob (`u64::MAX` = off).
     chaos_panic_at: u64,
-    /// Cross-run JIT code cache shared with other VMs executing the same
-    /// program (see [`jit::CodeCache`]); `None` compiles everything
-    /// per-run as before.
-    code_cache: Option<Rc<jit::CodeCache>>,
+    /// Content-addressed artifact cache shared with other VMs — across
+    /// runs *and* across near-identical programs (see
+    /// [`jit::SharedArtifactCache`]); `None` compiles everything per-run
+    /// as before.
+    code_cache: Option<Rc<jit::SharedArtifactCache>>,
+    /// The program's content digests (present exactly when `code_cache`
+    /// is), providing the unit digests that key shared compilations.
+    digests: Option<Rc<cse_bytecode::ProgramDigests>>,
     /// Compilation-relevant configuration fingerprint, precomputed for
     /// cache keys.
     env_fp: u64,
@@ -135,8 +139,8 @@ pub struct Vm<'p> {
     ir_verify: Vec<String>,
     /// Pre-decoded instruction form of `program` (see
     /// [`cse_bytecode::decoded`]); decoded lazily on first use, or pulled
-    /// from the attached [`CodeCache`] so the 2^n runs of a plan-space
-    /// sweep decode each program exactly once.
+    /// from the attached [`ProgramArtifacts`] so every run sharing the
+    /// shard decodes each distinct method body exactly once.
     decoded: Option<Rc<cse_bytecode::DecodedProgram>>,
 }
 
@@ -179,7 +183,7 @@ impl<'p> Vm<'p> {
         let max_heap_bytes = config.max_heap_bytes;
         let wall_deadline = config.wall_clock_limit.map(|limit| std::time::Instant::now() + limit);
         let chaos_panic_at = config.chaos_panic_at_ops.unwrap_or(u64::MAX);
-        let env_fp = jit::cache::CodeCache::env_fingerprint(&config);
+        let env_fp = jit::cache::SharedArtifactCache::env_fingerprint(&config);
         Vm {
             program,
             config,
@@ -202,23 +206,32 @@ impl<'p> Vm<'p> {
             next_side_check: WATCHDOG_STRIDE.min(chaos_panic_at),
             chaos_panic_at,
             code_cache: None,
+            digests: None,
             env_fp,
             ir_verify: Vec::new(),
             decoded: None,
         }
     }
 
-    /// Attaches a cross-run [`CodeCache`]; the cache must have been built
-    /// for this VM's program (see [`CodeCache::for_program`]).
-    pub fn with_code_cache(mut self, cache: &Rc<jit::CodeCache>) -> Vm<'p> {
-        debug_assert!(cache.is_for(self.program), "code cache attached to a different program");
-        self.decoded = Some(cache.decoded(self.program));
-        self.code_cache = Some(cache.clone());
+    /// Attaches the program's binding to a campaign-level
+    /// [`SharedArtifactCache`] (see [`SharedArtifactCache::attach`]):
+    /// compiled code, decoded methods, and whole decoded programs are
+    /// then shared with every other run — of this program or any
+    /// near-identical one — on the same shard.
+    pub fn with_artifacts(mut self, artifacts: &jit::ProgramArtifacts) -> Vm<'p> {
+        debug_assert_eq!(
+            artifacts.digests.methods.len(),
+            self.program.methods.len(),
+            "artifacts attached to a different program"
+        );
+        self.decoded = Some(artifacts.decoded.clone());
+        self.digests = Some(artifacts.digests.clone());
+        self.code_cache = Some(artifacts.cache.clone());
         self
     }
 
     /// The decoded instruction form, decoding on first use when no
-    /// [`CodeCache`] supplied a shared copy.
+    /// attached [`ProgramArtifacts`] supplied a shared copy.
     pub(crate) fn decoded(&mut self) -> Rc<cse_bytecode::DecodedProgram> {
         if let Some(decoded) = &self.decoded {
             return decoded.clone();
@@ -291,14 +304,15 @@ impl<'p> Vm<'p> {
         Vm::new(program, config).run()
     }
 
-    /// Like [`Vm::run_program`], but sharing compiled code with other
-    /// runs of the same program through `cache`.
+    /// Like [`Vm::run_program`], but sharing compiled code and decoded
+    /// instructions with other runs through `artifacts` (see
+    /// [`SharedArtifactCache`]).
     pub fn run_program_cached(
         program: &BProgram,
         config: VmConfig,
-        cache: &Rc<jit::CodeCache>,
+        artifacts: &jit::ProgramArtifacts,
     ) -> ExecutionResult {
-        Vm::new(program, config).with_code_cache(cache).run()
+        Vm::new(program, config).with_artifacts(artifacts).run()
     }
 
     /// Like [`Vm::run_program_cached`], but also reporting the run's
@@ -306,9 +320,9 @@ impl<'p> Vm<'p> {
     pub fn run_program_warmth_cached(
         program: &BProgram,
         config: VmConfig,
-        cache: &Rc<jit::CodeCache>,
+        artifacts: &jit::ProgramArtifacts,
     ) -> (ExecutionResult, WarmthProfile) {
-        Vm::new(program, config).with_code_cache(cache).run_with_warmth()
+        Vm::new(program, config).with_artifacts(artifacts).run_with_warmth()
     }
 
     // ----- output ---------------------------------------------------------
@@ -676,6 +690,19 @@ impl<'p> Vm<'p> {
         self.enter_interpreter(id, args)
     }
 
+    /// Queries the fault injector at an *execution-time* trigger site,
+    /// recording a firing in `stats.fired_bugs` (compile-time sites go
+    /// through [`jit::CompileCtx::active`] instead). Every runtime
+    /// trigger site must use this, not `config.faults.active` directly,
+    /// so the fired mask stays complete.
+    pub(crate) fn fault_fired(&mut self, bug: BugId) -> bool {
+        let hit = self.config.faults.active(bug);
+        if hit {
+            self.stats.fired_bugs |= 1u64 << (bug as u64);
+        }
+        hit
+    }
+
     fn record_entry(&mut self, id: MethodId, tier: Tier, invocation: u64) {
         if self.config.record_method_entries {
             self.push_event(TraceEvent::MethodEntry { method: id, tier, invocation });
@@ -717,18 +744,29 @@ impl<'p> Vm<'p> {
         // indistinguishable from compiling — it still records the event
         // and counts as a compilation, it only skips the work.
         let shared = self.code_cache.clone();
-        let shared_key = shared.as_ref().map(|_| jit::cache::CacheKey {
-            method,
-            tier,
-            osr,
-            speculate,
-            has_osr_code,
-            profile_fp: self.profiles[method.0 as usize].compile_fingerprint(),
-            env_fp: self.env_fp,
-        });
+        let shared_key = match (&shared, &self.digests) {
+            (Some(_), Some(digests)) => Some(jit::cache::ArtifactKey {
+                unit: digests.units[method.0 as usize],
+                tier,
+                osr,
+                speculate,
+                has_osr_code,
+                profile_fp: self.profiles[method.0 as usize].compile_fingerprint(),
+                env_fp: self.env_fp,
+            }),
+            _ => None,
+        };
         if let (Some(cache), Some(k)) = (&shared, &shared_key) {
             if let Some(entry) = cache.lookup(k) {
-                return match entry {
+                // Replay every observable side effect of the original
+                // compilation, so a hit is indistinguishable from
+                // compiling no matter which program warmed the shard.
+                if !entry.defects.is_empty() {
+                    self.stats.ir_verify_defects += entry.defects.len() as u32;
+                    self.ir_verify.extend(entry.defects.iter().cloned());
+                }
+                self.stats.fired_bugs |= entry.fired;
+                return match entry.result {
                     Ok(func) => {
                         self.stats.code_cache_hits += 1;
                         self.compiled.insert(key, func.clone());
@@ -758,16 +796,21 @@ impl<'p> Vm<'p> {
             inline_limit: self.config.inline_limit,
             has_osr_code,
             verify: self.config.verify_ir,
+            fired: std::cell::Cell::new(0),
         };
         // Verifier defects are harvested whether or not the compile
         // succeeds: IR corrupted before an injected compile-time crash is
-        // still an observation.
+        // still an observation. Likewise the compile's fired-bug mask.
         let mut defects = Vec::new();
         let compiled = jit::compile(&ctx, method, osr, &mut defects);
-        if !defects.is_empty() {
-            self.stats.ir_verify_defects += defects.len() as u32;
-            self.ir_verify.extend(defects.iter().map(|d| d.to_string()));
+        let fired = ctx.fired.get();
+        self.stats.fired_bugs |= fired;
+        let rendered: Vec<String> = defects.iter().map(|d| d.to_string()).collect();
+        if !rendered.is_empty() {
+            self.stats.ir_verify_defects += rendered.len() as u32;
+            self.ir_verify.extend(rendered.iter().cloned());
         }
+        let rendered = Rc::new(rendered);
         match compiled {
             Ok(func) => {
                 if std::env::var_os("CSE_DUMP_IR").is_some() {
@@ -780,7 +823,14 @@ impl<'p> Vm<'p> {
                 }
                 let func = Rc::new(func);
                 if let (Some(cache), Some(k)) = (&shared, shared_key) {
-                    cache.insert(k, Ok(func.clone()));
+                    cache.insert(
+                        k,
+                        jit::cache::CachedCompile {
+                            defects: rendered,
+                            fired,
+                            result: Ok(func.clone()),
+                        },
+                    );
                 }
                 self.compiled.insert(key, func.clone());
                 match reason {
@@ -797,7 +847,14 @@ impl<'p> Vm<'p> {
             }
             Err(jit::CompileFail::Crash(info)) => {
                 if let (Some(cache), Some(k)) = (&shared, shared_key) {
-                    cache.insert(k, Err(info.clone()));
+                    cache.insert(
+                        k,
+                        jit::cache::CachedCompile {
+                            defects: rendered,
+                            fired,
+                            result: Err(info.clone()),
+                        },
+                    );
                 }
                 Err(Exit::Crash(info))
             }

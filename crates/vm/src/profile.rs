@@ -116,7 +116,7 @@ impl MethodProfile {
     /// back-edge counters), and recompilation state (deopt count). Two
     /// profiles with equal fingerprints produce identical compiled code
     /// for the same method, tier, and configuration — the soundness basis
-    /// of the cross-run JIT code cache ([`crate::jit::CodeCache`]).
+    /// of the cross-run artifact cache ([`crate::jit::SharedArtifactCache`]).
     pub fn compile_fingerprint(&self) -> u64 {
         let mut fp = Fnv::new();
         fp.u64(self.invocations);

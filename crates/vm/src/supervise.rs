@@ -82,14 +82,27 @@ pub fn supervised_run(program: &BProgram, config: VmConfig) -> Result<ExecutionR
 }
 
 /// [`Vm::run_program_cached`] behind the crash barrier: like
-/// [`supervised_run`], but sharing compiled code with other runs of the
-/// same program through `cache`.
+/// [`supervised_run`], but sharing compiled code and decoded
+/// instructions with other runs through `artifacts` (see
+/// [`crate::jit::SharedArtifactCache`]).
 pub fn supervised_run_cached(
     program: &BProgram,
     config: VmConfig,
-    cache: &std::rc::Rc<crate::jit::CodeCache>,
+    artifacts: &crate::jit::ProgramArtifacts,
 ) -> Result<ExecutionResult, VmPanic> {
-    contain_panics(|| Vm::run_program_cached(program, config, cache))
+    contain_panics(|| Vm::run_program_cached(program, config, artifacts))
+}
+
+/// [`supervised_run_cached`], additionally reporting the run's
+/// [`crate::WarmthProfile`]. Execution memoization uses the per-method
+/// invocation counts to reconstruct the set of methods a run actually
+/// consulted (its content footprint).
+pub fn supervised_run_warmth_cached(
+    program: &BProgram,
+    config: VmConfig,
+    artifacts: &crate::jit::ProgramArtifacts,
+) -> Result<(ExecutionResult, crate::WarmthProfile), VmPanic> {
+    contain_panics(|| Vm::run_program_warmth_cached(program, config, artifacts))
 }
 
 #[cfg(test)]

@@ -145,6 +145,7 @@ fn compiled_add() -> (IrFunc, artemis_cse::bytecode::BProgram) {
         inline_limit: 48,
         has_osr_code: false,
         verify: VerifyMode::Off,
+        fired: std::cell::Cell::new(0),
     };
     let mut defects = Vec::new();
     let func = jit::compile(&ctx, method, None, &mut defects).expect("add compiles");
