@@ -30,6 +30,14 @@ cargo test --workspace -q
 echo "==> cargo test -q under CSE_VERIFY_IR=each (IR verifier after every pass)"
 CSE_VERIFY_IR=each cargo test -q
 
+# Translation validation: the corpus and 2^n plan-space soundness tests,
+# corruption-injection sensitivity, and digest invariance run with the
+# refinement checker armed after every pass. The pass-table completeness
+# gate (every registered pass declares a TV contract) runs in the
+# workspace unit suite above.
+echo "==> translation-validation smoke (CSE_TV=each on corpus + plan space)"
+CSE_TV=each cargo test -q --test tv_checker
+
 if [ "$mode" != "quick" ]; then
     echo "==> parallel-engine digest equality under --release"
     cargo test --release -q --test parallel_determinism

@@ -22,7 +22,7 @@ use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
 use crate::executor;
 use crate::memo::ExecCachePolicy;
-use crate::supervisor::{self, HarnessIncident, SupervisorConfig};
+use crate::supervisor::{self, HarnessIncident, IncidentPhase, SupervisorConfig};
 use crate::triage::TriageConfig;
 use crate::validate::ValidateConfig;
 
@@ -142,6 +142,14 @@ pub struct CampaignTotals {
     /// across seed and mutant runs; 0 unless `vm.verify_ir` enables the
     /// third oracle.
     pub ir_verify_defects: u64,
+    /// Refinement violations flagged by the translation validator
+    /// (`cse_vm::jit::tv`) across seed and mutant runs; 0 unless `vm.tv`
+    /// enables the per-pass semantic oracle. Persisted in checkpoints but
+    /// masked out of [`CampaignResult::digest`] (with the matching
+    /// `TvDefect` incidents), so digests are bit-identical across
+    /// `CSE_TV` settings — the validator observes campaigns, it never
+    /// changes what they find.
+    pub tv_defects: u64,
     /// Triage: promoted reports (deterministic or flaky), 0 unless
     /// `CampaignConfig::triage` is set. Part of the campaign digest —
     /// triage verdicts are deterministic, so these counters are
@@ -225,16 +233,20 @@ impl CampaignResult {
     }
 
     /// Content digest over every deterministic field (everything except
-    /// `totals.wall` and the four cache counters, which depend on the
+    /// `totals.wall`, the four cache counters — which depend on the
     /// memoization policy and worker warm-up rather than on what the
-    /// campaign observed). A campaign killed mid-run and resumed from
-    /// its checkpoint produces the same digest as an uninterrupted run.
+    /// campaign observed — and the translation-validator observations,
+    /// which depend on the `CSE_TV` mode). A campaign killed mid-run and
+    /// resumed from its checkpoint produces the same digest as an
+    /// uninterrupted run.
     pub fn digest(&self, config: &CampaignConfig) -> u64 {
         let mut stable = self.clone();
         stable.totals.exec_cache_hits = 0;
         stable.totals.exec_cache_misses = 0;
         stable.totals.artifact_cache_hits = 0;
         stable.totals.artifact_cache_misses = 0;
+        stable.totals.tv_defects = 0;
+        stable.incidents.retain(|i| i.phase != IncidentPhase::TvDefect);
         let canonical = supervisor::encode(config, 0, &stable, 0);
         // FNV-1a, 64-bit.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;

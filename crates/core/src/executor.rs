@@ -151,6 +151,7 @@ fn merge_seed(ctx: &ExecContext<'_>, result: &mut CampaignResult, record: SeedRe
     result.totals.mutant_compile_failures += outcome.mutant_compile_failures as u64;
     result.totals.neutrality_violations += outcome.neutrality_violations as u64;
     result.totals.ir_verify_defects += outcome.ir_verify_defects;
+    result.totals.tv_defects += outcome.tv_defects;
     result.totals.exec_cache_hits += outcome.exec_cache_hits;
     result.totals.exec_cache_misses += outcome.exec_cache_misses;
     result.totals.artifact_cache_hits += record.artifact_stats.0;

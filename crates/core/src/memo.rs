@@ -269,10 +269,11 @@ pub(crate) fn render_for_check(result: &ExecutionResult) -> String {
     let mut stats = result.stats;
     stats.code_cache_hits = 0;
     format!(
-        "{} | events {:?} | stats {stats:?} | ir_verify {:?}",
+        "{} | events {:?} | stats {stats:?} | ir_verify {:?} | tv {:?}",
         result.observable(),
         result.events,
-        result.ir_verify
+        result.ir_verify,
+        result.tv
     )
 }
 

@@ -20,14 +20,14 @@
 //! for multi-line strings:
 //!
 //! ```text
-//! cse-checkpoint v4
+//! cse-checkpoint v5
 //! config HotSpot 100 0 8
 //! next_seed 42
 //! partial 1
 //! unattributed 0
 //! totals <seeds> <mutants> <completed> <vm_invocations> <discarded>
 //!        <seeds_discarded> <mutant_compile_failures>
-//!        <neutrality_violations> <ir_verify_defects>
+//!        <neutrality_violations> <ir_verify_defects> <tv_defects>
 //!        <triage_reports> <triage_duplicates> <triage_flaky>
 //!        <triage_unreproducible> <exec_cache_hits> <exec_cache_misses>
 //!        <artifact_cache_hits> <artifact_cache_misses>
@@ -79,10 +79,14 @@ pub enum IncidentPhase {
     /// the third oracle (alongside output differencing and crash
     /// detection); see `cse_vm::jit::verify`.
     IrVerifyDefect,
+    /// The translation validator flagged a pass whose output is not a
+    /// semantic refinement of its input — the per-pass semantic oracle;
+    /// see `cse_vm::jit::tv`.
+    TvDefect,
 }
 
 impl IncidentPhase {
-    pub const ALL: [IncidentPhase; 10] = [
+    pub const ALL: [IncidentPhase; 11] = [
         IncidentPhase::SeedCompile,
         IncidentPhase::SeedRun,
         IncidentPhase::ReferenceRun,
@@ -93,6 +97,7 @@ impl IncidentPhase {
         IncidentPhase::Attribution,
         IncidentPhase::Baseline,
         IncidentPhase::IrVerifyDefect,
+        IncidentPhase::TvDefect,
     ];
 
     pub fn name(self) -> &'static str {
@@ -107,6 +112,7 @@ impl IncidentPhase {
             IncidentPhase::Attribution => "Attribution",
             IncidentPhase::Baseline => "Baseline",
             IncidentPhase::IrVerifyDefect => "IrVerifyDefect",
+            IncidentPhase::TvDefect => "TvDefect",
         }
     }
 
@@ -191,11 +197,11 @@ pub struct Checkpoint {
 }
 
 // v2 added the `ir_verify_defects` totals field; v3 added the four
-// triage counters; v4 added the four (volatile) cache counters. Older
-// checkpoints are rejected by the magic check, so an interrupted
-// old-format campaign restarts from scratch rather than resuming with
-// silently-zeroed counters.
-const MAGIC: &str = "cse-checkpoint v4";
+// triage counters; v4 added the four (volatile) cache counters; v5 added
+// the `tv_defects` totals field. Older checkpoints are rejected by the
+// magic check, so an interrupted old-format campaign restarts from
+// scratch rather than resuming with silently-zeroed counters.
+const MAGIC: &str = "cse-checkpoint v5";
 
 // ----- encoding -----------------------------------------------------------
 
@@ -229,7 +235,7 @@ pub(crate) fn encode(
     let t = &result.totals;
     let _ = writeln!(
         out,
-        "totals {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "totals {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         t.seeds,
         t.mutants,
         t.completed,
@@ -239,6 +245,7 @@ pub(crate) fn encode(
         t.mutant_compile_failures,
         t.neutrality_violations,
         t.ir_verify_defects,
+        t.tv_defects,
         t.triage_reports,
         t.triage_duplicates,
         t.triage_flaky,
@@ -441,15 +448,16 @@ pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpo
     result.totals.mutant_compile_failures = parse_field(&t, 6, "totals")?;
     result.totals.neutrality_violations = parse_field(&t, 7, "totals")?;
     result.totals.ir_verify_defects = parse_field(&t, 8, "totals")?;
-    result.totals.triage_reports = parse_field(&t, 9, "totals")?;
-    result.totals.triage_duplicates = parse_field(&t, 10, "totals")?;
-    result.totals.triage_flaky = parse_field(&t, 11, "totals")?;
-    result.totals.triage_unreproducible = parse_field(&t, 12, "totals")?;
-    result.totals.exec_cache_hits = parse_field(&t, 13, "totals")?;
-    result.totals.exec_cache_misses = parse_field(&t, 14, "totals")?;
-    result.totals.artifact_cache_hits = parse_field(&t, 15, "totals")?;
-    result.totals.artifact_cache_misses = parse_field(&t, 16, "totals")?;
-    let wall_nanos: u128 = parse_field(&t, 17, "totals")?;
+    result.totals.tv_defects = parse_field(&t, 9, "totals")?;
+    result.totals.triage_reports = parse_field(&t, 10, "totals")?;
+    result.totals.triage_duplicates = parse_field(&t, 11, "totals")?;
+    result.totals.triage_flaky = parse_field(&t, 12, "totals")?;
+    result.totals.triage_unreproducible = parse_field(&t, 13, "totals")?;
+    result.totals.exec_cache_hits = parse_field(&t, 14, "totals")?;
+    result.totals.exec_cache_misses = parse_field(&t, 15, "totals")?;
+    result.totals.artifact_cache_hits = parse_field(&t, 16, "totals")?;
+    result.totals.artifact_cache_misses = parse_field(&t, 17, "totals")?;
+    let wall_nanos: u128 = parse_field(&t, 18, "totals")?;
     result.totals.wall = Duration::from_nanos(wall_nanos.min(u64::MAX as u128) as u64);
     let n: usize = r.tagged_num("cse_seeds")?;
     for _ in 0..n {
@@ -655,6 +663,7 @@ mod tests {
         result.totals.mutant_compile_failures = 2;
         result.totals.neutrality_violations = 0;
         result.totals.ir_verify_defects = 3;
+        result.totals.tv_defects = 2;
         result.totals.triage_reports = 2;
         result.totals.triage_duplicates = 1;
         result.totals.triage_flaky = 1;

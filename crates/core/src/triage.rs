@@ -61,6 +61,9 @@ pub enum OracleKind {
     MutatorBug,
     /// The static IR verifier flagged malformed IR.
     IrDefect,
+    /// The translation validator flagged a pass that broke its refinement
+    /// contract.
+    TvDefect,
     /// A crash discrepancy (used for quarantine file naming).
     Crash,
 }
@@ -71,6 +74,7 @@ impl std::fmt::Display for OracleKind {
             OracleKind::HarnessPanic => write!(f, "harness-panic"),
             OracleKind::MutatorBug => write!(f, "mutator-bug"),
             OracleKind::IrDefect => write!(f, "ir-defect"),
+            OracleKind::TvDefect => write!(f, "tv-defect"),
             OracleKind::Crash => write!(f, "crash"),
         }
     }
@@ -127,7 +131,15 @@ fn normalize_shape(text: &str) -> String {
             out.push(c);
         }
     }
-    out.truncate(160);
+    // Truncate on a char boundary: payload lines can carry multi-byte
+    // glyphs (e.g. the `…` in depth-bounded TV value terms).
+    if out.len() > 160 {
+        let mut cut = 160;
+        while !out.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        out.truncate(cut);
+    }
     out
 }
 
@@ -139,6 +151,17 @@ fn ir_shape(line: &str) -> String {
         None => line,
     };
     normalize_shape(tail)
+}
+
+/// The shape of one translation-validation defect line. TV
+/// counterexamples embed symbolic terms full of program-specific temp
+/// names (`r12`, `b3`, `in(b2, r7)`, `call#4@b1.0`) whose identity is
+/// entirely numeric, so the digit normalization that `ir_shape` applies
+/// after stripping the method name also collapses every temp name —
+/// repeated hits of one pass defect on different programs dedup into one
+/// report.
+fn tv_shape(line: &str) -> String {
+    ir_shape(line)
 }
 
 /// The pass an IR-verifier defect line attributes itself to.
@@ -160,6 +183,11 @@ pub fn signature_of(incident: &HarnessIncident) -> BugSignature {
             oracle: OracleKind::IrDefect,
             component: ir_pass(&incident.payload).unwrap_or("ir").to_string(),
             shape: ir_shape(incident.payload.lines().next().unwrap_or("")),
+        },
+        IncidentPhase::TvDefect => BugSignature {
+            oracle: OracleKind::TvDefect,
+            component: ir_pass(&incident.payload).unwrap_or("tv").to_string(),
+            shape: tv_shape(incident.payload.lines().next().unwrap_or("")),
         },
         _ => BugSignature {
             oracle: OracleKind::HarnessPanic,
@@ -237,6 +265,7 @@ enum Expected {
     Panic(String),
     CompileFail(String),
     IrDefect(String),
+    TvDefect(String),
 }
 
 fn expected_of(incident: &HarnessIncident) -> Expected {
@@ -246,6 +275,9 @@ fn expected_of(incident: &HarnessIncident) -> Expected {
         }
         IncidentPhase::IrVerifyDefect => {
             Expected::IrDefect(ir_shape(incident.payload.lines().next().unwrap_or("")))
+        }
+        IncidentPhase::TvDefect => {
+            Expected::TvDefect(tv_shape(incident.payload.lines().next().unwrap_or("")))
         }
         _ => Expected::Panic(normalize_shape(&incident.payload)),
     }
@@ -295,6 +327,10 @@ fn replay_once(expected: &Expected, vm: &VmConfig, program: &Program) -> bool {
             Expected::IrDefect(shape) => {
                 result.ir_verify.iter().any(|line| ir_shape(line) == *shape)
             }
+            Expected::TvDefect(shape) => result
+                .tv
+                .iter()
+                .any(|report| tv_shape(report.lines().next().unwrap_or("")) == *shape),
             _ => false,
         },
     }
@@ -753,6 +789,55 @@ mod tests {
         let c = ir_shape("m3: after licm: b2[4]: use before def in `add`");
         assert_ne!(a, c);
         assert_eq!(ir_pass("m3: after gvn: b2[4]: use before def"), Some("gvn"));
+    }
+
+    /// Shape truncation must respect char boundaries: TV value terms are
+    /// depth-bounded with a multi-byte `…`, and a payload whose 160-byte
+    /// cut lands inside it must not panic.
+    #[test]
+    fn shape_truncation_is_char_boundary_safe() {
+        for pad in 150..170 {
+            let line = format!("{}…tail", "x".repeat(pad));
+            let shape = normalize_shape(&line);
+            assert!(shape.len() <= 160, "shape must stay bounded");
+        }
+    }
+
+    /// TV counterexamples embed symbolic temp names (`r12`, `b3`,
+    /// `in(b2, r7)`) whose identity is numeric: two hits of the same pass
+    /// defect on different programs must share one signature, while a
+    /// different pass or a different defect shape must not.
+    #[test]
+    fn tv_shapes_dedup_across_temp_names_and_programs() {
+        let a = tv_shape("T.hot: after gvn: b2: effect 1 diverges: before `putfield#3(r12, in(b2, r7))`, after `putfield#3(r12, r9)`");
+        let b = tv_shape("Other.main: after gvn: b5: effect 3 diverges: before `putfield#8(r4, in(b5, r31))`, after `putfield#8(r4, r2)`");
+        assert_eq!(a, b, "temp names and counters must normalize away");
+        let c = tv_shape("T.hot: after licm: b2: effect 1 diverges: before `putfield#3(r12, in(b2, r7))`, after `putfield#3(r12, r9)`");
+        assert_ne!(a, c, "the attributed pass stays significant");
+        let d = tv_shape("T.hot: after gvn: b2: effect 1 dropped: `putfield#3(r12, in(b2, r7))`");
+        assert_ne!(a, d, "the defect shape stays significant");
+
+        // End-to-end: two TvDefect incidents from different programs and
+        // methods collapse into one signature group.
+        let incident = |seed: u64, payload: &str| HarnessIncident {
+            phase: IncidentPhase::TvDefect,
+            seed,
+            rng_seed: seed,
+            iteration: None,
+            payload: payload.to_string(),
+            source: None,
+        };
+        let x = signature_of(&incident(
+            1,
+            "T.hot: after gvn: b2: effect 1 diverges: before `putfield#3(r12, r7)`, after `putfield#3(r12, r9)`",
+        ));
+        let y = signature_of(&incident(
+            2,
+            "U.cold: after gvn: b9: effect 4 diverges: before `putfield#1(r2, r88)`, after `putfield#1(r2, r3)`",
+        ));
+        assert_eq!(x, y, "repeated TV hits must dedup into one report");
+        assert_eq!(x.oracle, OracleKind::TvDefect);
+        assert_eq!(x.component, "gvn", "signature component is the blamed pass");
     }
 
     #[test]

@@ -157,6 +157,10 @@ pub struct ValidationOutcome {
     /// `cse_vm::jit::verify`) across seed and mutant runs. Orthogonal to
     /// the mutant counters: a defect never changes a run's verdict.
     pub ir_verify_defects: u64,
+    /// Refinement violations reported by the translation validator (see
+    /// `cse_vm::jit::tv`) across seed and mutant runs. Observation-only,
+    /// like `ir_verify_defects`.
+    pub tv_defects: u64,
     /// Runs served by the execution memo instead of executing (see
     /// [`crate::memo`]). A served run still counts in `vm_invocations`,
     /// so every other counter is independent of the cache policy.
@@ -230,6 +234,29 @@ impl ValidationOutcome {
             rng_seed,
             iteration,
             result.ir_verify.join("\n"),
+            Some(cse_lang::pretty::print(source)),
+        );
+    }
+
+    /// Harvests translation-validation defects from a run into the
+    /// counter and an [`IncidentPhase::TvDefect`] incident; same sampling
+    /// rules as [`ValidationOutcome::note_ir_defects`].
+    fn note_tv_defects(
+        &mut self,
+        result: &ExecutionResult,
+        rng_seed: u64,
+        iteration: Option<usize>,
+        source: &Program,
+    ) {
+        if result.tv.is_empty() {
+            return;
+        }
+        self.tv_defects += result.tv.len() as u64;
+        self.incident(
+            IncidentPhase::TvDefect,
+            rng_seed,
+            iteration,
+            result.tv.join("\n"),
             Some(cse_lang::pretty::print(source)),
         );
     }
@@ -518,6 +545,7 @@ fn validate_inner(
         }
     };
     outcome.note_ir_defects(&seed_result, rng_seed, None, seed);
+    outcome.note_tv_defects(&seed_result, rng_seed, None, seed);
     if seed_result.outcome.is_resource_exhausted() {
         // An expensive seed: the paper's two-minute cutoff (§4.3), or a
         // heap/stack budget the seed cannot fit in. Not a mutant discard —
@@ -632,6 +660,7 @@ fn validate_inner(
                 }
             };
         outcome.note_ir_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
+        outcome.note_tv_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
         // Reference run: neutrality check + performance baseline.
         //
         // A mutant whose LVM run never touched the JIT — no tier

@@ -76,6 +76,59 @@ impl std::fmt::Display for VerifyMode {
     }
 }
 
+/// When the translation validator ([`crate::jit::tv`]) runs during a
+/// compilation. Selected per [`VmConfig`]; the default comes from the
+/// `CSE_TV` environment variable (`off`/`boundary`/`each`). Orthogonal to
+/// [`VerifyMode`]: the static verifier proves the IR is *well-formed*,
+/// the translation validator proves each pass *refined the semantics*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TvMode {
+    /// No translation validation (zero overhead).
+    #[default]
+    Off,
+    /// Validate once per compilation: the post-`build()` IR against the
+    /// final pipeline output, under the weakest (guard-introducing)
+    /// contract. Cheap enough for long campaigns.
+    Boundary,
+    /// Validate every pass against its own input, under that pass's
+    /// declared refinement contract, attributing any divergence to the
+    /// pass that introduced it. Used in CI and triage.
+    Each,
+}
+
+impl TvMode {
+    /// Reads the mode from `CSE_TV`. Unset or `off` means [`Off`]; an
+    /// unrecognized value warns once and falls back to [`Off`] rather
+    /// than tearing down a campaign.
+    ///
+    /// [`Off`]: TvMode::Off
+    pub fn from_env() -> TvMode {
+        match std::env::var("CSE_TV") {
+            Ok(v) if v == "boundary" => TvMode::Boundary,
+            Ok(v) if v == "each" => TvMode::Each,
+            Ok(v) if v == "off" || v.is_empty() => TvMode::Off,
+            Ok(v) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("[cse-vm] unknown CSE_TV={v:?}; expected off/boundary/each");
+                });
+                TvMode::Off
+            }
+            Err(_) => TvMode::Off,
+        }
+    }
+}
+
+impl std::fmt::Display for TvMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TvMode::Off => write!(f, "off"),
+            TvMode::Boundary => write!(f, "boundary"),
+            TvMode::Each => write!(f, "each"),
+        }
+    }
+}
+
 /// Reads a numeric budget override from the environment, once per
 /// variable per process (the value is cached so hot campaign loops never
 /// touch the environment). Unset means "use the built-in default"; a
@@ -200,6 +253,11 @@ pub struct VmConfig {
     /// observable behavior; defects are reported out-of-band through
     /// `ExecutionResult::ir_verify` / `ExecStats::ir_verify_defects`.
     pub verify_ir: VerifyMode,
+    /// Translation-validation mode (see [`crate::jit::tv`]). Defaults to
+    /// `CSE_TV` (off when unset). Validation never changes observable
+    /// behavior; defects are reported out-of-band through
+    /// `ExecutionResult::tv` / `ExecStats::tv_defects`.
+    pub tv: TvMode,
 }
 
 impl VmConfig {
@@ -244,6 +302,7 @@ impl VmConfig {
             wall_clock_limit: None,
             chaos_panic_at_ops: None,
             verify_ir: VerifyMode::from_env(),
+            tv: TvMode::from_env(),
         }
     }
 
@@ -284,6 +343,12 @@ impl VmConfig {
     /// Replaces the IR verification mode.
     pub fn with_verify_ir(mut self, mode: VerifyMode) -> VmConfig {
         self.verify_ir = mode;
+        self
+    }
+
+    /// Replaces the translation-validation mode.
+    pub fn with_tv(mut self, mode: TvMode) -> VmConfig {
+        self.tv = mode;
         self
     }
 
@@ -330,6 +395,11 @@ impl VmConfig {
             VerifyMode::Off => 0,
             VerifyMode::Boundary => 1,
             VerifyMode::Each => 2,
+        });
+        fp.u64(match self.tv {
+            TvMode::Off => 0,
+            TvMode::Boundary => 1,
+            TvMode::Each => 2,
         });
         fp.finish()
     }
@@ -398,6 +468,12 @@ mod tests {
         assert_ne!(base.exec_fingerprint(), fuel.exec_fingerprint());
         let verify = base.clone().with_verify_ir(VerifyMode::Each);
         assert_ne!(base.exec_fingerprint(), verify.exec_fingerprint());
+        let tv = base.clone().with_tv(TvMode::Each);
+        assert_ne!(base.exec_fingerprint(), tv.exec_fingerprint());
+        assert_ne!(
+            base.clone().with_tv(TvMode::Boundary).exec_fingerprint(),
+            tv.exec_fingerprint()
+        );
         // Plans that pin different calls must not collide.
         let mut a = base.clone();
         let mut plan_a = crate::plan::ForcedPlan::selective();

@@ -135,6 +135,10 @@ pub struct ExecStats {
     /// verifier is an oracle: defects are counted and reported, never
     /// acted on.
     pub ir_verify_defects: u32,
+    /// Refinement violations the translation validator found across this
+    /// run's compilations (0 unless `VmConfig::tv` enables it). Like the
+    /// static verifier, an observation-only oracle.
+    pub tv_defects: u32,
     /// Bitmask (by `BugId` discriminant) of injected bugs whose trigger
     /// was queried and found active at least once during the run —
     /// compile-time sites included (replayed from the artifact cache on
@@ -167,6 +171,12 @@ pub struct ExecutionResult {
     /// [`ExecutionResult::observable`]: the verifier is a third oracle
     /// and must never perturb the differential one.
     pub ir_verify: Vec<String>,
+    /// Rendered translation-validation defect reports, in compilation
+    /// order (empty unless `VmConfig::tv` enables validation and a pass
+    /// failed its refinement contract). Excluded from
+    /// [`ExecutionResult::observable`] for the same reason as
+    /// [`ExecutionResult::ir_verify`].
+    pub tv: Vec<String>,
 }
 
 impl ExecutionResult {
@@ -204,6 +214,7 @@ mod tests {
             events: vec![],
             stats: ExecStats::default(),
             ir_verify: vec![],
+            tv: vec![],
         };
         let timeout = ExecutionResult {
             output: "3\n".into(),
@@ -211,6 +222,7 @@ mod tests {
             events: vec![],
             stats: ExecStats::default(),
             ir_verify: vec![],
+            tv: vec![],
         };
         assert_ne!(ok.observable(), timeout.observable());
         assert!(ok.outcome.is_completed());

@@ -90,6 +90,9 @@ pub(crate) struct CachedCompile {
     /// Rendered IR-verifier defect reports harvested during this
     /// compilation (compile crashes can still report defects first).
     pub defects: Rc<Vec<String>>,
+    /// Rendered translation-validation defect reports, replayed on hits
+    /// exactly like `defects`.
+    pub tv: Rc<Vec<String>>,
     /// The compile's fired-bug mask (`CompileCtx::fired`), replayed into
     /// `stats.fired_bugs` on every hit.
     pub fired: u64,
@@ -142,15 +145,17 @@ impl SharedArtifactCache {
 
     /// Fingerprint of the compilation-relevant configuration facets: VM
     /// kind, inline budget, the active fault set (buggy passes compile
-    /// *differently* when their bug is seeded), and the IR-verify mode
-    /// (cached entries replay harvested defects, so entries compiled with
-    /// verification off must not serve a verifying config).
+    /// *differently* when their bug is seeded), and the IR-verify and
+    /// translation-validation modes (cached entries replay harvested
+    /// defects, so entries compiled with a checker off must not serve a
+    /// checking config).
     pub(crate) fn env_fingerprint(config: &VmConfig) -> u64 {
         let mut fp = Fnv::new();
         fp.u64(config.kind as u64);
         fp.u64(config.inline_limit as u64);
         fp.u64(config.faults.fingerprint());
         fp.u64(config.verify_ir as u64);
+        fp.u64(config.tv as u64);
         fp.finish()
     }
 

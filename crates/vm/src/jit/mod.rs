@@ -23,11 +23,12 @@ pub mod cfg;
 pub mod exec;
 pub mod ir;
 pub mod passes;
+pub mod tv;
 pub mod verify;
 
 use cse_bytecode::{BProgram, MethodId};
 
-use crate::config::{Tier, VerifyMode, VmKind};
+use crate::config::{Tier, TvMode, VerifyMode, VmKind};
 use crate::exec::{CrashInfo, CrashKind, CrashPhase};
 use crate::faults::{BugId, FaultInjector};
 use crate::profile::MethodProfile;
@@ -53,6 +54,8 @@ pub struct CompileCtx<'a> {
     pub has_osr_code: bool,
     /// Static IR verification mode (see [`verify`]).
     pub verify: VerifyMode,
+    /// Translation-validation mode (see [`tv`]).
+    pub tv: TvMode,
     /// Bitmask (by `BugId` discriminant) of injected bugs whose trigger
     /// was *queried and found active* during this compilation. A bug
     /// absent from the mask provably cannot have influenced the compile,
@@ -107,18 +110,24 @@ pub enum CompileFail {
 ///
 /// When `ctx.verify` is not [`VerifyMode::Off`], the IR is statically
 /// verified (after `build()`, and per [`passes::run_pipeline`]'s mode
-/// rules thereafter); defects accumulate in `defects` and never change
-/// the compilation result.
+/// rules thereafter); when `ctx.tv` is not [`TvMode::Off`], each pass (or
+/// the whole pipeline, in boundary mode) is additionally checked as a
+/// semantic refinement of its input. Defects accumulate in `defects` /
+/// `tv_defects` and never change the compilation result.
 pub fn compile(
     ctx: &CompileCtx<'_>,
     method: MethodId,
     osr: Option<u32>,
     defects: &mut Vec<verify::IrVerifyError>,
+    tv_defects: &mut Vec<tv::TvError>,
 ) -> Result<ir::IrFunc, CompileFail> {
     let mut func = build::build(ctx, method, osr)?;
     if ctx.verify != VerifyMode::Off {
         defects.extend(verify::check_func(&func, ctx.program, verify::PASS_BUILD));
     }
+    // Boundary mode validates the whole pipeline as one refinement step:
+    // snapshot the freshly built IR as the "before" side.
+    let built = if ctx.tv == TvMode::Boundary { Some(func.clone()) } else { None };
     let has_long_ops =
         func.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, ir::Op::BinL(..)));
     let profile = &ctx.profiles[method.0 as usize];
@@ -180,9 +189,20 @@ pub fn compile(
             ));
         }
     }
-    passes::run_pipeline(ctx, &mut func, defects).map_err(CompileFail::Crash)?;
+    passes::run_pipeline(ctx, &mut func, defects, tv_defects).map_err(CompileFail::Crash)?;
     if ctx.verify == VerifyMode::Boundary {
         defects.extend(verify::check_func(&func, ctx.program, verify::PASS_PIPELINE_EXIT));
+    }
+    if let Some(built) = built {
+        // The end-to-end pipeline must satisfy the weakest contract: any
+        // pass may have folded control flow or strengthened guards.
+        tv_defects.extend(tv::check_refinement(
+            &built,
+            &func,
+            tv::PASS_PIPELINE,
+            tv::TvContract::GuardIntroducing,
+            ctx.program,
+        ));
     }
     Ok(func)
 }

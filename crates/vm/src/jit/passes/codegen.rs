@@ -14,7 +14,13 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::LoopForest;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Final lowering validation: the IR may only be renamed, never
+/// restructured (the narrowing rewrite under
+/// [`BugId::HsCodeExecNarrowSegv`] is exactly what this catches).
+pub const TV_CONTRACT: TvContract = TvContract::LayoutOnly;
 
 /// Runs the lowering checks and (for the code-execution bug) rewrites.
 pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {

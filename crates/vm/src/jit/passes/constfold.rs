@@ -18,7 +18,12 @@ use cse_bytecode::CmpOp;
 use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Folding replaces conditional control on proven constants with
+/// jumps; range speculation may strengthen guards.
+pub const TV_CONTRACT: TvContract = TvContract::GuardIntroducing;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Const {
@@ -193,6 +198,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            tv: crate::config::TvMode::Off,
             fired: std::cell::Cell::new(0),
         }
     }

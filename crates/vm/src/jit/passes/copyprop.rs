@@ -9,6 +9,11 @@
 use std::collections::HashMap;
 
 use crate::jit::ir::{IrFunc, Op, Reg};
+use crate::jit::tv::TvContract;
+
+/// Rewrites sources through copies only; never adds, drops, or
+/// reorders instructions.
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// Runs copy propagation on every block.
 pub fn run(func: &mut IrFunc) {

@@ -8,6 +8,10 @@
 use std::collections::HashSet;
 
 use crate::jit::ir::{IrFunc, Reg};
+use crate::jit::tv::TvContract;
+
+/// Removes only pure, unread, non-anchor definitions.
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// Runs DCE to a fixpoint.
 pub fn run(func: &mut IrFunc) {

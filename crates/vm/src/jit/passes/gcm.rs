@@ -21,7 +21,11 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::{Dominators, LoopForest};
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Sinks only pure single-assignment computation; effects stay put.
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// One sink decision: (from block+index, to block+index, the instruction).
 type Move = ((BlockId, usize), (BlockId, usize), Inst);
@@ -276,6 +280,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            tv: crate::config::TvMode::Off,
             fired: std::cell::Cell::new(0),
         }
     }

@@ -19,7 +19,13 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::Dominators;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Both the local and the dominator-scoped pass rewrite pure
+/// expressions to earlier equal computations (shared by `gvn-local`
+/// and `gvn`).
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// A canonical key for a pure expression.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -295,6 +301,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            tv: crate::config::TvMode::Off,
             fired: std::cell::Cell::new(0),
         }
     }

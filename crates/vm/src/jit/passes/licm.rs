@@ -14,7 +14,12 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::LoopForest;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Hoists only pure, non-throwing computation into fresh pure
+/// forwarding preheaders.
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// Runs LICM over every loop; the forest is re-discovered after each
 /// preheader insertion (which invalidates block ids' loop membership).
@@ -185,6 +190,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            tv: crate::config::TvMode::Off,
             fired: std::cell::Cell::new(0),
         }
     }

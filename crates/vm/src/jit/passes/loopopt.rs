@@ -22,7 +22,12 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::LoopForest;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Feasibility analysis only on the correct path; any inserted
+/// instrumentation is an injected bug the validator should flag.
+pub const TV_CONTRACT: TvContract = TvContract::EffectPreserving;
 
 /// Runs the loop analyses and injected-bug triggers.
 pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {

@@ -24,8 +24,9 @@ pub mod regalloc;
 pub mod vp;
 
 use super::ir::IrFunc;
+use super::tv::{self, TvContract};
 use super::{verify, CompileCtx};
-use crate::config::{VerifyMode, VmKind};
+use crate::config::{TvMode, VerifyMode, VmKind};
 use crate::exec::CrashInfo;
 
 /// One pipeline stage: fallible in-place IR transform.
@@ -114,22 +115,95 @@ pub fn pipeline(kind: VmKind, optimizing: bool) -> &'static [Pass] {
     }
 }
 
+/// The refinement contract a registered pass declared (see
+/// [`TvContract`]). Every pass in every pipeline table must resolve here
+/// — a completeness unit test enforces it, so new passes can't silently
+/// opt out of translation validation.
+pub fn tv_contract(pass: &'static str) -> Option<TvContract> {
+    Some(match pass {
+        "copyprop" => copyprop::TV_CONTRACT,
+        "constfold" => constfold::TV_CONTRACT,
+        "gvn-local" | "gvn" => gvn::TV_CONTRACT,
+        "licm" => licm::TV_CONTRACT,
+        "gcm" => gcm::TV_CONTRACT,
+        "loopopt" => loopopt::TV_CONTRACT,
+        "regalloc" => regalloc::TV_CONTRACT,
+        "codegen" => codegen::TV_CONTRACT,
+        "dce" => dce::TV_CONTRACT,
+        "vp-local" => vp::TV_CONTRACT_LOCAL,
+        "vp-global" => vp::TV_CONTRACT_GLOBAL,
+        _ => return None,
+    })
+}
+
 /// Runs the pipeline for `ctx.kind` / `ctx.tier` over `func` in place.
 ///
 /// In [`VerifyMode::Each`] the IR is statically verified after every
-/// pass; defects (attributed to the pass's table name) accumulate in
-/// `defects` without altering compilation — the verifier is an oracle,
-/// not a gate.
+/// pass; in [`TvMode::Each`] every (before, after) pair is additionally
+/// checked against the pass's declared refinement contract. Defects
+/// (attributed to the pass's table name) accumulate in `defects` /
+/// `tv_defects` without altering compilation — both checkers are
+/// oracles, not gates.
 pub fn run_pipeline(
     ctx: &CompileCtx<'_>,
     func: &mut IrFunc,
     defects: &mut Vec<verify::IrVerifyError>,
+    tv_defects: &mut Vec<tv::TvError>,
 ) -> Result<(), CrashInfo> {
+    let snapshot = ctx.verify == VerifyMode::Each || ctx.tv == TvMode::Each;
     for (name, pass) in pipeline(ctx.kind, ctx.optimizing()) {
+        let before = if snapshot { Some(func.clone()) } else { None };
         pass(ctx, func)?;
         if ctx.verify == VerifyMode::Each {
-            defects.extend(verify::check_func(func, ctx.program, name));
+            let pre_ir = before.as_ref().map(IrFunc::pretty);
+            defects.extend(verify::check_func(func, ctx.program, name).into_iter().map(|mut e| {
+                e.pre_ir = pre_ir.clone();
+                e
+            }));
+        }
+        if ctx.tv == TvMode::Each {
+            let contract = tv_contract(name)
+                .unwrap_or_else(|| panic!("pass `{name}` has no TV refinement annotation"));
+            let before = before.as_ref().expect("snapshot taken when tv == Each");
+            tv_defects.extend(tv::check_refinement(before, func, name, contract, ctx.program));
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every pass registered in any pipeline table must carry a TV
+    /// refinement annotation (tentpole completeness gate: new passes
+    /// can't silently opt out of translation validation).
+    #[test]
+    fn every_registered_pass_has_a_tv_contract() {
+        for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+            for optimizing in [false, true] {
+                for (name, _) in pipeline(kind, optimizing) {
+                    assert!(
+                        tv_contract(name).is_some(),
+                        "pass `{name}` ({kind:?}, optimizing={optimizing}) lacks a TV contract"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The layout-only (weaker, renaming-based) check is reserved for the
+    /// two location-assignment stages; every semantic optimization gets
+    /// the full simulation relation.
+    #[test]
+    fn layout_only_is_limited_to_location_passes() {
+        for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+            for optimizing in [false, true] {
+                for (name, _) in pipeline(kind, optimizing) {
+                    let layout = tv_contract(name) == Some(TvContract::LayoutOnly);
+                    assert_eq!(layout, matches!(*name, "regalloc" | "codegen"), "pass `{name}`");
+                }
+            }
+        }
+    }
 }

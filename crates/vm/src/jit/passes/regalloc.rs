@@ -10,7 +10,12 @@ use std::collections::HashSet;
 use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Location assignment: the IR may only be renamed, never
+/// restructured.
+pub const TV_CONTRACT: TvContract = TvContract::LayoutOnly;
 
 /// Computes maximum register pressure and fires pressure assertions.
 pub fn run(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {

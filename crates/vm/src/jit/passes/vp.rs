@@ -19,7 +19,16 @@ use crate::exec::CrashInfo;
 use crate::faults::BugId;
 use crate::jit::cfg::LoopForest;
 use crate::jit::ir::*;
+use crate::jit::tv::TvContract;
 use crate::jit::CompileCtx;
+
+/// Local VP only rewrites pure comparisons the block's range facts
+/// decide; no control flow or effects change.
+pub const TV_CONTRACT_LOCAL: TvContract = TvContract::EffectPreserving;
+
+/// Global VP folds comparisons (and thereby branches) on proven range
+/// facts and may strengthen speculation guards.
+pub const TV_CONTRACT_GLOBAL: TvContract = TvContract::GuardIntroducing;
 
 /// Local value propagation: per-block range facts.
 pub fn run_local(ctx: &CompileCtx<'_>, func: &mut IrFunc) -> Result<(), CrashInfo> {
@@ -161,6 +170,7 @@ mod tests {
             inline_limit: 48,
             has_osr_code: false,
             verify: crate::config::VerifyMode::Off,
+            tv: crate::config::TvMode::Off,
             fired: std::cell::Cell::new(0),
         }
     }

@@ -76,9 +76,16 @@ pub struct IrVerifyError {
     pub detail: String,
     /// One-line disassembly of the offending instruction or terminator.
     pub disasm: Option<String>,
+    /// Full pre-pass IR dump (`IrFunc::pretty`), attached by the pipeline
+    /// driver where a snapshot exists — `None` for [`PASS_BUILD`] (there
+    /// is no earlier IR) and in boundary mode.
+    pub pre_ir: Option<String>,
 }
 
 impl std::fmt::Display for IrVerifyError {
+    /// First line carries the parseable signature (`method: after pass:
+    /// …`); the pre-pass IR dump, when present, follows on later lines so
+    /// triage's first-line shape extraction is unaffected.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: after {}: b{}", self.method, self.pass, self.block)?;
         if let Some(i) = self.inst {
@@ -87,6 +94,9 @@ impl std::fmt::Display for IrVerifyError {
         write!(f, ": {}", self.detail)?;
         if let Some(disasm) = &self.disasm {
             write!(f, " in `{disasm}`")?;
+        }
+        if let Some(pre_ir) = &self.pre_ir {
+            write!(f, "\n--- IR before {} ---\n{}", self.pass, pre_ir.trim_end())?;
         }
         Ok(())
     }
@@ -316,6 +326,7 @@ impl Checker<'_> {
             inst,
             detail,
             disasm,
+            pre_ir: None,
         });
     }
 

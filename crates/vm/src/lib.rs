@@ -40,7 +40,7 @@ use std::rc::Rc;
 
 use cse_bytecode::{ArrKind, BProgram, ClassId, ExcKind, MethodId, PrintKind};
 
-pub use config::{Tier, TierThresholds, VerifyMode, VmConfig, VmKind};
+pub use config::{Tier, TierThresholds, TvMode, VerifyMode, VmConfig, VmKind};
 pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome, Resource};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
@@ -137,6 +137,9 @@ pub struct Vm<'p> {
     /// Rendered IR-verifier defect reports, in compilation order (see
     /// [`jit::verify`]).
     ir_verify: Vec<String>,
+    /// Rendered translation-validation defect reports, in compilation
+    /// order (see [`jit::tv`]).
+    tv: Vec<String>,
     /// Pre-decoded instruction form of `program` (see
     /// [`cse_bytecode::decoded`]); decoded lazily on first use, or pulled
     /// from the attached [`ProgramArtifacts`] so every run sharing the
@@ -209,6 +212,7 @@ impl<'p> Vm<'p> {
             digests: None,
             env_fp,
             ir_verify: Vec::new(),
+            tv: Vec::new(),
             decoded: None,
         }
     }
@@ -295,6 +299,7 @@ impl<'p> Vm<'p> {
             events: self.events,
             stats: self.stats,
             ir_verify: self.ir_verify,
+            tv: self.tv,
         };
         (result, warmth)
     }
@@ -765,6 +770,10 @@ impl<'p> Vm<'p> {
                     self.stats.ir_verify_defects += entry.defects.len() as u32;
                     self.ir_verify.extend(entry.defects.iter().cloned());
                 }
+                if !entry.tv.is_empty() {
+                    self.stats.tv_defects += entry.tv.len() as u32;
+                    self.tv.extend(entry.tv.iter().cloned());
+                }
                 self.stats.fired_bugs |= entry.fired;
                 return match entry.result {
                     Ok(func) => {
@@ -796,13 +805,16 @@ impl<'p> Vm<'p> {
             inline_limit: self.config.inline_limit,
             has_osr_code,
             verify: self.config.verify_ir,
+            tv: self.config.tv,
             fired: std::cell::Cell::new(0),
         };
-        // Verifier defects are harvested whether or not the compile
-        // succeeds: IR corrupted before an injected compile-time crash is
-        // still an observation. Likewise the compile's fired-bug mask.
+        // Verifier and translation-validator defects are harvested whether
+        // or not the compile succeeds: IR corrupted before an injected
+        // compile-time crash is still an observation. Likewise the
+        // compile's fired-bug mask.
         let mut defects = Vec::new();
-        let compiled = jit::compile(&ctx, method, osr, &mut defects);
+        let mut tv_defects = Vec::new();
+        let compiled = jit::compile(&ctx, method, osr, &mut defects, &mut tv_defects);
         let fired = ctx.fired.get();
         self.stats.fired_bugs |= fired;
         let rendered: Vec<String> = defects.iter().map(|d| d.to_string()).collect();
@@ -811,6 +823,12 @@ impl<'p> Vm<'p> {
             self.ir_verify.extend(rendered.iter().cloned());
         }
         let rendered = Rc::new(rendered);
+        let rendered_tv: Vec<String> = tv_defects.iter().map(|d| d.to_string()).collect();
+        if !rendered_tv.is_empty() {
+            self.stats.tv_defects += rendered_tv.len() as u32;
+            self.tv.extend(rendered_tv.iter().cloned());
+        }
+        let rendered_tv = Rc::new(rendered_tv);
         match compiled {
             Ok(func) => {
                 if std::env::var_os("CSE_DUMP_IR").is_some() {
@@ -827,6 +845,7 @@ impl<'p> Vm<'p> {
                         k,
                         jit::cache::CachedCompile {
                             defects: rendered,
+                            tv: rendered_tv,
                             fired,
                             result: Ok(func.clone()),
                         },
@@ -851,6 +870,7 @@ impl<'p> Vm<'p> {
                         k,
                         jit::cache::CachedCompile {
                             defects: rendered,
+                            tv: rendered_tv,
                             fired,
                             result: Err(info.clone()),
                         },

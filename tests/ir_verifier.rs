@@ -20,7 +20,7 @@ use artemis_cse::core::synth::SynthParams;
 use artemis_cse::core::validate::{compile_checked, try_compile_checked};
 use artemis_cse::vm::jit::ir::{Inst, IrFunc, Op, Term};
 use artemis_cse::vm::jit::{self, verify, CompileCtx};
-use artemis_cse::vm::{FaultInjector, Tier, VerifyMode, Vm, VmConfig, VmKind};
+use artemis_cse::vm::{FaultInjector, Tier, TvMode, VerifyMode, Vm, VmConfig, VmKind};
 
 /// `each`-mode verification across the fuzzed seed corpus, on every VM
 /// profile, under both the natural tiering policy and force-compile-all.
@@ -145,11 +145,15 @@ fn compiled_add() -> (IrFunc, artemis_cse::bytecode::BProgram) {
         inline_limit: 48,
         has_osr_code: false,
         verify: VerifyMode::Off,
+        tv: TvMode::Off,
         fired: std::cell::Cell::new(0),
     };
     let mut defects = Vec::new();
-    let func = jit::compile(&ctx, method, None, &mut defects).expect("add compiles");
+    let mut tv_defects = Vec::new();
+    let func =
+        jit::compile(&ctx, method, None, &mut defects, &mut tv_defects).expect("add compiles");
     assert!(defects.is_empty());
+    assert!(tv_defects.is_empty());
     let baseline = verify::check_func(&func, &bytecode, verify::PASS_BUILD);
     assert!(baseline.is_empty(), "baseline must verify: {baseline:?}");
     (func, bytecode)
@@ -242,6 +246,52 @@ fn wrong_effect_claims_are_rejected() {
     assert!(truth_ok.is_ok(), "true flags must pass the audit");
 }
 
+/// Satellite: the verifier holds at the location-assignment stages too.
+/// The regalloc and codegen analyses leave `compiled_add`'s IR
+/// verifiable, a corruption surfacing after codegen is attributed to
+/// that stage, and the defect renders the pre-pass IR snapshot when the
+/// pipeline driver attaches one.
+#[test]
+fn post_regalloc_codegen_stage_verifies_and_attributes() {
+    let (mut func, bytecode) = compiled_add();
+    let profiles: Vec<_> = bytecode.methods.iter().map(|_| Default::default()).collect();
+    let faults = FaultInjector::none();
+    let ctx = CompileCtx {
+        program: &bytecode,
+        profiles: &profiles,
+        faults: &faults,
+        kind: VmKind::HotSpotLike,
+        tier: Tier::T2,
+        speculate: false,
+        inline_limit: 48,
+        has_osr_code: false,
+        verify: VerifyMode::Off,
+        tv: TvMode::Off,
+        fired: std::cell::Cell::new(0),
+    };
+    let snapshot = func.pretty();
+    jit::passes::regalloc::run(&ctx, &mut func).expect("correct regalloc never crashes");
+    assert!(verify::check_func(&func, &bytecode, "regalloc").is_empty());
+    jit::passes::codegen::run(&ctx, &mut func).expect("correct codegen never crashes");
+    assert!(verify::check_func(&func, &bytecode, "codegen").is_empty());
+    // A corruption surfacing after the codegen stage carries its label.
+    let last = func.blocks.len() - 1;
+    func.blocks[last].term = Term::Jump(777);
+    let mut errors = verify::check_func(&func, &bytecode, "codegen");
+    assert!(!errors.is_empty());
+    assert_eq!(errors[0].pass, "codegen");
+    // Without a snapshot the defect renders only the post-pass IR; with
+    // one (attached by the pipeline driver in `each` mode) both dumps
+    // appear, and the first line — what triage signatures parse — stays
+    // identical.
+    let bare = errors[0].to_string();
+    assert!(!bare.contains("--- IR before"), "no snapshot, no pre-pass dump");
+    errors[0].pre_ir = Some(snapshot);
+    let full = errors[0].to_string();
+    assert!(full.contains("--- IR before codegen"), "missing pre-pass dump in: {full}");
+    assert_eq!(bare.lines().next(), full.lines().next(), "signature line must not change");
+}
+
 /// Satellite: a hand-corrupted compiled program must be caught by
 /// bytecode verification before any VM executes it (the gate
 /// `try_compile_checked` now applies to every JoNM mutant).
@@ -283,5 +333,27 @@ fn boundary_mode_digest_is_identical_across_jobs() {
     assert_eq!(
         serial.totals.ir_verify_defects, parallel.totals.ir_verify_defects,
         "defect totals must merge deterministically"
+    );
+}
+
+/// Satellite: with *both* boundary oracles enabled (`CSE_VERIFY_IR` and
+/// `CSE_TV`), campaign digests stay bit-identical across `jobs ∈ {1,4}`
+/// and the TV defect totals merge deterministically.
+#[test]
+fn tv_boundary_digest_is_identical_across_jobs() {
+    let mut config = CampaignConfig::for_kind(VmKind::OpenJ9Like, 4);
+    config.vm.verify_ir = VerifyMode::Boundary;
+    config.vm.tv = TvMode::Boundary;
+    let serial = run_campaign(&config);
+    let parallel_config = config.clone().with_jobs(4);
+    let parallel = run_campaign(&parallel_config);
+    assert_eq!(
+        serial.digest(&config),
+        parallel.digest(&parallel_config),
+        "boundary-mode TV digest must not depend on jobs"
+    );
+    assert_eq!(
+        serial.totals.tv_defects, parallel.totals.tv_defects,
+        "TV defect totals must merge deterministically"
     );
 }

@@ -32,11 +32,14 @@ fn panicking_seed_is_contained_and_loses_no_other_results() {
     assert_eq!(chaotic.totals.seeds, SEEDS);
     assert!(!chaotic.totals.partial);
 
-    // The panic is a structured incident naming the offending seed.
-    assert!(!chaotic.incidents.is_empty(), "the contained panic must be reported");
-    for incident in &chaotic.incidents {
+    // The panic is a structured incident naming the offending seed. Other
+    // incident phases (e.g. `TvDefect` when the suite runs under
+    // `CSE_TV=each` against this bug-seeded VM) are orthogonal oracles.
+    let panics: Vec<_> =
+        chaotic.incidents.iter().filter(|i| i.phase == IncidentPhase::SeedRun).collect();
+    assert!(!panics.is_empty(), "the contained panic must be reported");
+    for incident in panics {
         assert_eq!(incident.seed, CHAOS_SEED);
-        assert_eq!(incident.phase, IncidentPhase::SeedRun);
         assert!(incident.payload.contains("chaos"), "payload: {}", incident.payload);
         assert!(incident.source.is_some(), "incident must carry a repro source");
     }

@@ -1,0 +1,420 @@
+//! The per-pass translation validator (`cse_vm::jit::tv`) as a fourth
+//! oracle:
+//!
+//! * **Sensitivity with attribution** — for every pass registered in any
+//!   pipeline table, seeded semantic corruptions of the pass's output
+//!   (dropped store, wrong constant, weakened guard, reordered effects,
+//!   dropped anchor write) must each be rejected under the pass's
+//!   declared refinement contract, with the counterexample attributed to
+//!   exactly that pass.
+//! * **Soundness on the clean path** — the uncorrupted output of every
+//!   pass on a reference function, the fuzzed corpus under `CSE_TV=each`,
+//!   and the full `2^n` forced plan space must all validate cleanly. A
+//!   false positive would flood campaigns with phantom incidents.
+//! * **Real-bug sensitivity** — an actual injected compiler bug
+//!   (`HsGvnArrayAlias`, a wrong "cannot alias" test) is caught by the
+//!   simulation relation, not just hand-made corruptions.
+//! * **Observation-only determinism** — campaign digests with `CSE_TV`
+//!   in `boundary` mode are bit-identical to `off`, across `jobs ∈ {1,4}`.
+
+use std::cell::Cell;
+
+use cse_rng::Rng64;
+
+use artemis_cse::bytecode::{ArrKind, BProgram, ClassId, CmpOp, PrintKind};
+use artemis_cse::core::campaign::{run_campaign, CampaignConfig};
+use artemis_cse::core::space::enumerate_space;
+use artemis_cse::core::validate::compile_checked;
+use artemis_cse::vm::jit::ir::{BinKind, Block, InlineFrame, Inst, IrFunc, Op, Reg, Term};
+use artemis_cse::vm::jit::passes::{self, PassFn};
+use artemis_cse::vm::jit::tv::{self, TvContract};
+use artemis_cse::vm::jit::{verify, CompileCtx};
+use artemis_cse::vm::{
+    BugId, DeoptReason, FaultInjector, ForcedPlan, Tier, TvMode, VerifyMode, Vm, VmConfig, VmKind,
+};
+
+fn inst(dst: Option<Reg>, op: Op) -> Inst {
+    Inst { dst, op, frame: 0, bc_pc: 0 }
+}
+
+/// A compiled program whose method table backs `qualified_name` for the
+/// hand-built IR below (the IR itself never executes).
+fn host_bytecode() -> BProgram {
+    let program = cse_lang::parse_and_check(
+        r#"
+        class T {
+            static int add(int a, int b) { return a + b; }
+            static void main() { println(add(1, 2)); }
+        }
+        "#,
+    )
+    .unwrap();
+    cse_bytecode::compile(&program).unwrap()
+}
+
+/// Hand-built reference function exercising every contract dimension:
+/// const-foldable arithmetic (constfold), a copy chain (copyprop), a
+/// redundant expression (gvn), a loop-invariant computation in a
+/// self-loop (licm), heap effects and an interleaved load (effect
+/// ordering), anchor writes (deopt state), a speculation guard
+/// (`Trap`), and a return of a loop-defined anchor.
+fn reference_func(bytecode: &BProgram) -> IrFunc {
+    let method = bytecode.find_method("T", "add").unwrap();
+    let func = IrFunc {
+        method,
+        tier: Tier::T2,
+        blocks: vec![
+            // b0: constants, a copy chain, redundant adds, an anchor
+            // write, and an allocation.
+            Block {
+                insts: vec![
+                    inst(Some(5), Op::ConstI(7)),
+                    inst(Some(6), Op::ConstI(3)),
+                    inst(Some(13), Op::Copy(6)),
+                    inst(Some(7), Op::BinI(BinKind::Add, 5, 6)),
+                    inst(Some(15), Op::BinI(BinKind::Add, 5, 6)),
+                    inst(Some(0), Op::Copy(7)),
+                    inst(Some(9), Op::NewObject(ClassId(0))),
+                ],
+                term: Term::Jump(1),
+            },
+            // b1: self-loop with a loop-invariant add, an anchor write, a
+            // store/load pair, and an observable print.
+            Block {
+                insts: vec![
+                    inst(Some(8), Op::BinI(BinKind::Add, 0, 6)),
+                    inst(Some(1), Op::Copy(8)),
+                    inst(None, Op::PutField { obj: 9, field: 0, val: 8 }),
+                    inst(Some(10), Op::GetField { obj: 9, field: 0 }),
+                    inst(None, Op::Println { kind: PrintKind::Int, val: 10 }),
+                    inst(Some(11), Op::CmpI(CmpOp::Lt, 8, 5)),
+                ],
+                term: Term::Branch { cond: 11, if_true: 1, if_false: 2 },
+            },
+            // b2: a comparison through the copy chain feeding the guard.
+            Block {
+                insts: vec![inst(Some(12), Op::CmpI(CmpOp::Gt, 0, 13))],
+                term: Term::Branch { cond: 12, if_true: 3, if_false: 4 },
+            },
+            // b3: speculation guard (deopt point).
+            Block {
+                insts: vec![],
+                term: Term::Trap { bc_pc: 9, reason: DeoptReason::BranchSpeculation },
+            },
+            // b4: return the loop-defined anchor.
+            Block { insts: vec![], term: Term::Return(Some(1)) },
+        ],
+        num_regs: 16,
+        frames: vec![InlineFrame { method, local_base: 0, num_locals: 2, parent: None }],
+        handlers: vec![],
+        osr_entry: None,
+        anchor_limit_per_frame: vec![(0, 2)],
+    };
+    let baseline = verify::check_func(&func, bytecode, verify::PASS_BUILD);
+    assert!(baseline.is_empty(), "reference function must verify: {baseline:?}");
+    func
+}
+
+fn test_ctx<'a>(
+    bytecode: &'a BProgram,
+    profiles: &'a [artemis_cse::vm::profile::MethodProfile],
+    faults: &'a FaultInjector,
+) -> CompileCtx<'a> {
+    CompileCtx {
+        program: bytecode,
+        profiles,
+        faults,
+        kind: VmKind::HotSpotLike,
+        tier: Tier::T2,
+        speculate: true,
+        inline_limit: 48,
+        has_osr_code: false,
+        verify: VerifyMode::Off,
+        tv: TvMode::Off,
+        fired: Cell::new(0),
+    }
+}
+
+/// Every distinct pass registered across all pipeline tables, keyed by
+/// the table name the verifier attributes defects to.
+fn unique_passes() -> Vec<(&'static str, PassFn)> {
+    let mut seen: Vec<(&'static str, PassFn)> = Vec::new();
+    for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+        for optimizing in [false, true] {
+            for &(name, pass) in passes::pipeline(kind, optimizing) {
+                if !seen.iter().any(|&(n, _)| n == name) {
+                    seen.push((name, pass));
+                }
+            }
+        }
+    }
+    seen
+}
+
+// --- Seeded semantic corruptions -------------------------------------
+//
+// Each takes a pass's (clean, validated) output and miscompiles it in a
+// way the simulation relation must reject: an observable effect
+// disappears, a value feeding effects changes, a deopt guard weakens,
+// effects reorder, or deopt-visible anchor state is lost. They locate
+// their target structurally so they apply to any pass's output shape
+// (e.g. after LICM has inserted a preheader or constfold has folded).
+
+fn drop_store(func: &mut IrFunc) {
+    for block in &mut func.blocks {
+        if let Some(i) = block.insts.iter().position(|x| matches!(x.op, Op::PutField { .. })) {
+            block.insts.remove(i);
+            return;
+        }
+    }
+    panic!("no store to drop");
+}
+
+fn wrong_constant(func: &mut IrFunc) {
+    for block in &mut func.blocks {
+        for x in &mut block.insts {
+            if x.op == Op::ConstI(3) {
+                x.op = Op::ConstI(4);
+                return;
+            }
+        }
+    }
+    panic!("no ConstI(3) to corrupt");
+}
+
+fn weaken_guard(func: &mut IrFunc) {
+    for block in &mut func.blocks {
+        if matches!(block.term, Term::Trap { .. }) {
+            block.term = Term::Return(None);
+            return;
+        }
+    }
+    panic!("no guard to weaken");
+}
+
+fn reorder_effects(func: &mut IrFunc) {
+    for block in &mut func.blocks {
+        let store = block.insts.iter().position(|x| matches!(x.op, Op::PutField { .. }));
+        let print = block.insts.iter().position(|x| matches!(x.op, Op::Println { .. }));
+        if let (Some(a), Some(b)) = (store, print) {
+            block.insts.swap(a, b);
+            return;
+        }
+    }
+    panic!("no block with both a store and a print");
+}
+
+fn drop_anchor_write(func: &mut IrFunc) {
+    for block in &mut func.blocks {
+        if let Some(i) = block.insts.iter().position(|x| x.dst == Some(1)) {
+            block.insts.remove(i);
+            return;
+        }
+    }
+    panic!("no write to anchor r1");
+}
+
+type Corruption = fn(&mut IrFunc);
+
+const CORRUPTIONS: &[(&str, Corruption)] = &[
+    ("dropped-store", drop_store),
+    ("wrong-constant", wrong_constant),
+    ("weakened-guard", weaken_guard),
+    ("reordered-effects", reorder_effects),
+    ("dropped-anchor-write", drop_anchor_write),
+];
+
+/// The tentpole acceptance gate: every registered pass's legitimate
+/// output validates cleanly against its declared contract, and each of
+/// the ≥3 seeded semantic corruptions of that output is rejected with
+/// the counterexample attributed to exactly that pass.
+#[test]
+fn every_pass_rejects_seeded_corruptions_with_attribution() {
+    let bytecode = host_bytecode();
+    let reference = reference_func(&bytecode);
+    let profiles: Vec<_> = bytecode.methods.iter().map(|_| Default::default()).collect();
+    let faults = FaultInjector::none();
+    let ctx = test_ctx(&bytecode, &profiles, &faults);
+    let all = unique_passes();
+    assert!(all.len() >= 10, "expected the full pass roster, got {}", all.len());
+    for (name, pass) in all {
+        let contract = passes::tv_contract(name).expect("registered pass carries a contract");
+        let mut after = reference.clone();
+        pass(&ctx, &mut after).expect("correct path never crashes");
+        let clean = tv::check_refinement(&reference, &after, name, contract, &bytecode);
+        assert!(
+            clean.is_empty(),
+            "false positive on the clean output of {name}:\n{}",
+            clean.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+        );
+        for (label, corrupt) in CORRUPTIONS {
+            let mut bad = after.clone();
+            corrupt(&mut bad);
+            let errors = tv::check_refinement(&reference, &bad, name, contract, &bytecode);
+            assert!(!errors.is_empty(), "{name}: corruption `{label}` was not rejected");
+            for e in &errors {
+                assert_eq!(e.pass, name, "{name}/{label}: defect attributed to `{}`", e.pass);
+            }
+            // The counterexample carries both IR dumps for triage.
+            let rendered = errors[0].to_string();
+            assert!(rendered.contains(&format!("after {name}")), "missing pass in {rendered}");
+            assert!(rendered.contains("--- IR before"), "missing pre-pass dump");
+            assert!(rendered.contains("--- IR after"), "missing post-pass dump");
+        }
+    }
+}
+
+/// Boundary mode checks the whole pipeline as one refinement; its
+/// counterexamples are attributed to the synthetic `pipeline` pass.
+#[test]
+fn boundary_counterexamples_are_attributed_to_the_pipeline() {
+    let bytecode = host_bytecode();
+    let reference = reference_func(&bytecode);
+    let mut bad = reference.clone();
+    weaken_guard(&mut bad);
+    let errors = tv::check_refinement(
+        &reference,
+        &bad,
+        tv::PASS_PIPELINE,
+        TvContract::GuardIntroducing,
+        &bytecode,
+    );
+    assert!(!errors.is_empty(), "weakened guard must be a defect even when guards may strengthen");
+    assert_eq!(errors[0].pass, "pipeline");
+    assert!(errors[0].detail.contains("weakened"), "unexpected detail: {}", errors[0].detail);
+}
+
+/// A *real* injected bug — `HsGvnArrayAlias` CSEs an array load across a
+/// store whose index register differs (a wrong "cannot alias" test) —
+/// must be caught by the simulation relation: the stale value reaches an
+/// observable print.
+#[test]
+fn tv_catches_the_injected_gvn_alias_bug() {
+    let bytecode = host_bytecode();
+    let method = bytecode.find_method("T", "add").unwrap();
+    let profiles: Vec<_> = bytecode.methods.iter().map(|_| Default::default()).collect();
+    let before = IrFunc {
+        method,
+        tier: Tier::T2,
+        blocks: vec![Block {
+            insts: vec![
+                inst(Some(4), Op::ArrLoad { kind: ArrKind::I32, arr: 0, idx: 1 }),
+                inst(None, Op::ArrStore { kind: ArrKind::I32, arr: 0, idx: 2, val: 4 }),
+                inst(Some(5), Op::ArrLoad { kind: ArrKind::I32, arr: 0, idx: 1 }),
+                inst(None, Op::Println { kind: PrintKind::Int, val: 5 }),
+            ],
+            term: Term::Return(None),
+        }],
+        num_regs: 8,
+        frames: vec![InlineFrame { method, local_base: 0, num_locals: 2, parent: None }],
+        handlers: vec![],
+        osr_entry: None,
+        anchor_limit_per_frame: vec![(0, 2)],
+    };
+    let faults = FaultInjector::with([BugId::HsGvnArrayAlias]);
+    let ctx = test_ctx(&bytecode, &profiles, &faults);
+    let mut after = before.clone();
+    passes::gvn::run_local(&ctx, &mut after).unwrap();
+    assert_eq!(after.blocks[0].insts[2].op, Op::Copy(4), "the injected bug must fire");
+    let errors =
+        tv::check_refinement(&before, &after, "gvn-local", TvContract::EffectPreserving, &bytecode);
+    assert!(!errors.is_empty(), "stale load reaching a print must break the simulation");
+    assert_eq!(errors[0].pass, "gvn-local");
+    // The correct path on the same input validates cleanly.
+    let faults = FaultInjector::none();
+    let ctx = test_ctx(&bytecode, &profiles, &faults);
+    let mut after = before.clone();
+    passes::gvn::run_local(&ctx, &mut after).unwrap();
+    let clean =
+        tv::check_refinement(&before, &after, "gvn-local", TvContract::EffectPreserving, &bytecode);
+    assert!(clean.is_empty(), "correct GVN must validate:\n{:?}", clean.first());
+}
+
+/// `each`-mode soundness across the fuzzed seed corpus, on every VM
+/// profile, under both the natural tiering policy and a forced
+/// compile-everything plan — on *correct* VMs (no seeded bugs), any TV
+/// report is a checker false positive or a genuine pipeline bug.
+#[test]
+fn each_mode_accepts_fuzzed_corpus() {
+    let mut rng = Rng64::seed_from_u64(0x7c5e);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..1_000_000);
+        let program = cse_fuzz::generate(seed, &cse_fuzz::FuzzConfig::default());
+        let bytecode = compile_checked(&program);
+        for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+            let top = VmConfig::correct(kind).top_tier();
+            for config in [
+                VmConfig::correct(kind).with_tv(TvMode::Each),
+                VmConfig::correct(kind).with_plan(ForcedPlan::all(top)).with_tv(TvMode::Each),
+            ] {
+                let result = Vm::run_program(&bytecode, config);
+                assert!(
+                    result.tv.is_empty(),
+                    "seed {seed} on {kind}: TV flagged a correct pipeline:\n{}",
+                    result.tv.join("\n")
+                );
+                assert_eq!(result.stats.tv_defects, 0, "seed {seed} on {kind}");
+            }
+        }
+    }
+}
+
+/// All `2^4` forced plans of the paper's Figure 1 program validate
+/// cleanly under `each` mode: the refinement checker holds over the
+/// entire enumerated compilation space, not just the natural path.
+#[test]
+fn each_mode_accepts_all_forced_plans() {
+    let program = cse_lang::parse_and_check(
+        r#"
+        class T {
+            static int baz() { return 1; }
+            static int bar() { return 2; }
+            static int foo() { return bar() + baz(); }
+            static void main() { println(foo()); }
+        }
+        "#,
+    )
+    .unwrap();
+    let bytecode = cse_bytecode::compile(&program).unwrap();
+    let calls = vec![
+        (bytecode.find_method("T", "main").unwrap(), 0),
+        (bytecode.find_method("T", "foo").unwrap(), 0),
+        (bytecode.find_method("T", "bar").unwrap(), 0),
+        (bytecode.find_method("T", "baz").unwrap(), 0),
+    ];
+    for kind in [VmKind::HotSpotLike, VmKind::OpenJ9Like, VmKind::ArtLike] {
+        let base = VmConfig::correct(kind).with_tv(TvMode::Each);
+        let points = enumerate_space(&bytecode, &calls, &base);
+        assert_eq!(points.len(), 16);
+        for (i, point) in points.iter().enumerate() {
+            assert!(
+                point.result.tv.is_empty(),
+                "space point {i} on {kind}:\n{}",
+                point.result.tv.join("\n")
+            );
+            assert_eq!(point.result.stats.tv_defects, 0, "space point {i} on {kind}");
+        }
+    }
+}
+
+/// TV is observation-only: campaign digests in `boundary` mode are
+/// bit-identical to `off`, and independent of `jobs`. TV defect totals
+/// and `TvDefect` incidents are masked out of the digest exactly so this
+/// holds even on bug-seeded campaign VMs.
+#[test]
+fn boundary_mode_digests_match_off_across_jobs() {
+    let base = CampaignConfig::for_kind(VmKind::HotSpotLike, 4);
+    let mut digests = Vec::new();
+    for jobs in [1, 4] {
+        for mode in [TvMode::Off, TvMode::Boundary] {
+            let mut config = base.clone().with_jobs(jobs);
+            config.vm.tv = mode;
+            let result = run_campaign(&config);
+            digests.push((jobs, mode, result.digest(&config)));
+        }
+    }
+    let reference = digests[0].2;
+    for (jobs, mode, digest) in &digests {
+        assert_eq!(digest, &reference, "campaign digest diverged at jobs={jobs}, CSE_TV={mode}");
+    }
+}

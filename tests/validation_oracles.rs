@@ -15,6 +15,7 @@ fn completed(total_ops: u64) -> ExecutionResult {
         outcome: Outcome::Completed { uncaught_exception: false },
         events: Vec::new(),
         ir_verify: Vec::new(),
+        tv: Vec::new(),
         stats: ExecStats { interp_ops: total_ops, ..ExecStats::default() },
     }
 }
@@ -25,6 +26,7 @@ fn timed_out() -> ExecutionResult {
         outcome: Outcome::Timeout,
         events: Vec::new(),
         ir_verify: Vec::new(),
+        tv: Vec::new(),
         stats: ExecStats::default(),
     }
 }
