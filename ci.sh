@@ -64,6 +64,23 @@ if [ "$mode" != "quick" ]; then
 
     echo "==> triage smoke (seeded-fault campaign; every incident reduced, deduped, classified)"
     cargo test --release -q --test triage chaos_campaign_triage_is_complete_and_job_count_invariant
+
+    # Coverage smoke: the same seed budget under uniform sampling
+    # (CSE_COVERAGE=off digests are byte-compatible with collect, so
+    # collect doubles as the uniform reference) and under the feedback
+    # scheduler. Guidance must strictly increase covered cells — this is
+    # the subsystem's payoff gate, not just a does-it-run check.
+    echo "==> coverage smoke (CSE_COVERAGE=guide must beat collect at equal budget)"
+    collect_cells=$(CSE_COVERAGE=collect CSE_SEEDS=12 \
+        cargo run --release -q --bin coverage | awk '/^cells /{print $2}')
+    guide_cells=$(CSE_COVERAGE=guide CSE_SEEDS=12 \
+        cargo run --release -q --bin coverage | awk '/^cells /{print $2}')
+    echo "    collect: ${collect_cells} cells   guide: ${guide_cells} cells"
+    if [ -z "$collect_cells" ] || [ -z "$guide_cells" ] \
+        || [ "$guide_cells" -le "$collect_cells" ]; then
+        echo "error: coverage guidance did not increase covered cells" >&2
+        exit 1
+    fi
 fi
 
 echo "==> OK"

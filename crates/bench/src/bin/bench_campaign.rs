@@ -1,7 +1,7 @@
 //! Campaign-engine throughput and hot-path benchmarks, with a
 //! machine-readable `BENCH_campaign.json` report.
 //!
-//! Five sections:
+//! Six sections:
 //!
 //! 1. **Campaign throughput** — serial (`jobs = 1`) vs parallel
 //!    (`jobs = N`) execution of the same campaign, digest-checked. Runs
@@ -17,7 +17,11 @@
 //! 4. **Interpreter microbench** — a hot integer loop executed with the
 //!    JIT disabled, reported as interpreted Mops/s. This is the number
 //!    the zero-clone dispatch and compact-value work moves.
-//! 5. **Plan-space pruning cross-check** — warmth-aware pruned vs
+//! 5. **Coverage payoff** — uniform (`collect`) vs feedback-scheduled
+//!    (`guide`) campaigns at an equal seed budget, compared on merged
+//!    JIT-behavior coverage cells (`coverage_cells`,
+//!    `new_cells_per_1k_execs`).
+//! 6. **Plan-space pruning cross-check** — warmth-aware pruned vs
 //!    exhaustive [`cse_core::space`] enumeration over a small corpus;
 //!    the process exits nonzero on any digest divergence, so CI can
 //!    gate on pruning soundness.
@@ -54,6 +58,7 @@ use cse_bench::campaign_seeds;
 use cse_core::campaign::{run_campaign, CampaignConfig, CampaignResult};
 use cse_core::space::{enumerate_space_with, space_digest, PrunePlans};
 use cse_core::validate::{self, ValidateConfig};
+use cse_core::CoveragePolicy;
 use cse_vm::{Vm, VmConfig, VmKind};
 
 struct Measurement {
@@ -353,6 +358,50 @@ fn prune_cross_check() -> Vec<PruneCheck> {
         .collect()
 }
 
+// ----- coverage payoff ----------------------------------------------------
+
+struct CoverageBench {
+    seeds: u64,
+    uniform_cells: u32,
+    guided_cells: u32,
+    corpus: usize,
+    execs: u64,
+    new_cells_per_1k_execs: f64,
+}
+
+/// Runs the same seed budget twice — uniform sampling under `collect`
+/// and feedback scheduling under `guide` — and compares merged
+/// coverage-cell counts. Equal budget, so the delta is the payoff of
+/// guidance, not of extra work. (Out-of-line for the same reason as
+/// [`measure_stages`].)
+#[cold]
+#[inline(never)]
+fn coverage_bench(seeds: u64) -> CoverageBench {
+    let uniform = run_campaign(
+        &CampaignConfig::for_kind(VmKind::HotSpotLike, seeds)
+            .with_coverage(CoveragePolicy::Collect),
+    );
+    let guided = run_campaign(
+        &CampaignConfig::for_kind(VmKind::HotSpotLike, seeds).with_coverage(CoveragePolicy::Guide),
+    );
+    let uniform_state = uniform.coverage.as_ref().expect("collect carries coverage state");
+    let guided_state = guided.coverage.as_ref().expect("guide carries coverage state");
+    let cells = guided_state.cells();
+    let execs = guided_state.execs;
+    CoverageBench {
+        seeds,
+        uniform_cells: uniform_state.cells(),
+        guided_cells: cells,
+        corpus: guided_state.corpus.len(),
+        execs,
+        new_cells_per_1k_execs: if execs == 0 {
+            0.0
+        } else {
+            f64::from(cells) * 1000.0 / execs as f64
+        },
+    }
+}
+
 // ----- perf trajectory ----------------------------------------------------
 
 /// `YYYY-MM-DD` (UTC) from the system clock; civil-from-days, so no
@@ -465,6 +514,21 @@ fn main() {
         interp.interp_ops, interp.wall, interp.mops_per_sec
     );
 
+    // Coverage payoff: capped at 12 seeds — the comparison needs an
+    // equal budget on both sides, not the full throughput workload.
+    let coverage = coverage_bench(seeds.min(12));
+    println!(
+        "Coverage payoff ({} seeds, equal budget): uniform {} cells, guided {} cells (+{})",
+        coverage.seeds,
+        coverage.uniform_cells,
+        coverage.guided_cells,
+        coverage.guided_cells.saturating_sub(coverage.uniform_cells),
+    );
+    println!(
+        "  guided corpus {} entries over {} execs = {:.2} new cells / 1k execs",
+        coverage.corpus, coverage.execs, coverage.new_cells_per_1k_execs
+    );
+
     println!("Plan-space pruning cross-check:");
     let prune_checks = prune_cross_check();
     let mut prune_ok = true;
@@ -515,6 +579,18 @@ fn main() {
         interp.wall.as_secs_f64(),
         interp.mops_per_sec,
     );
+    let coverage_json = format!(
+        "{{\"seeds\": {}, \"uniform_cells\": {}, \"guided_cells\": {}, \
+         \"coverage_cells\": {}, \"corpus\": {}, \"execs\": {}, \
+         \"new_cells_per_1k_execs\": {:.4}}}",
+        coverage.seeds,
+        coverage.uniform_cells,
+        coverage.guided_cells,
+        coverage.guided_cells,
+        coverage.corpus,
+        coverage.execs,
+        coverage.new_cells_per_1k_execs,
+    );
     let prune_json = prune_checks
         .iter()
         .map(|c| {
@@ -538,6 +614,7 @@ fn main() {
          \"mutants\": {},\n  \"serial\": {},\n  \"parallel\": {},\n  \"speedup\": {speedup:.4},\n  \
          \"sustained_seeds\": {sustained_seeds},\n  \"sustained\": {},\n  \
          \"stages\": {stages_json},\n  \"interp_microbench\": {interp_json},\n  \
+         \"coverage\": {coverage_json},\n  \
          \"prune_check\": [\n    {prune_json}\n  ]\n}}\n",
         serial_result.totals.mutants,
         emit(&serial),
@@ -571,7 +648,8 @@ fn main() {
          \"jobs\": {jobs}, \"seeds_per_sec\": {:.4}, \"mutants_per_sec\": {:.4}, \
          \"speedup\": {speedup:.4}, \"validate_secs\": {:.6}, \"exec_cache_hits\": {}, \
          \"exec_cache_misses\": {}, \"artifact_cache_hits\": {}, \
-         \"artifact_cache_misses\": {}, \"digest\": \"{:#018x}\"}}\n",
+         \"artifact_cache_misses\": {}, \"coverage_cells\": {}, \
+         \"new_cells_per_1k_execs\": {:.4}, \"digest\": \"{:#018x}\"}}\n",
         today_utc(),
         serial.seeds_per_sec,
         serial.mutants_per_sec,
@@ -580,6 +658,8 @@ fn main() {
         totals.exec_cache_misses,
         totals.artifact_cache_hits,
         totals.artifact_cache_misses,
+        coverage.guided_cells,
+        coverage.new_cells_per_1k_execs,
         serial.digest,
     );
     let append = std::fs::OpenOptions::new()

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use cse_vm::{BugId, Component, Symptom, VmConfig, VmKind};
 
+use crate::coverage::{self, CoverageMode, CoveragePolicy, CoverageState};
 use crate::executor;
 use crate::memo::ExecCachePolicy;
 use crate::supervisor::{self, HarnessIncident, IncidentPhase, SupervisorConfig};
@@ -64,6 +65,12 @@ pub struct CampaignConfig {
     /// memo is an execution strategy, not a campaign input, and the
     /// result digest is bit-identical at every setting.
     pub exec_cache: ExecCachePolicy,
+    /// JIT-behavior coverage policy (see [`crate::coverage`]). `Auto`
+    /// (the default) follows the `CSE_COVERAGE` environment knob; `Off`
+    /// reproduces the pre-coverage campaign byte-for-byte, `Collect`
+    /// additionally merges coverage maps (digest-identical to `Off`),
+    /// `Guide` feeds the merged map back into round scheduling.
+    pub coverage: CoveragePolicy,
 }
 
 impl CampaignConfig {
@@ -80,6 +87,7 @@ impl CampaignConfig {
             jobs: 1,
             triage: None,
             exec_cache: ExecCachePolicy::Auto,
+            coverage: CoveragePolicy::Auto,
         }
     }
 
@@ -93,6 +101,13 @@ impl CampaignConfig {
     /// (tests use this instead of mutating `CSE_EXEC_CACHE`).
     pub fn with_exec_cache(mut self, policy: ExecCachePolicy) -> CampaignConfig {
         self.exec_cache = policy;
+        self
+    }
+
+    /// Same campaign, with an explicit coverage policy (tests use this
+    /// instead of mutating `CSE_COVERAGE`).
+    pub fn with_coverage(mut self, policy: CoveragePolicy) -> CampaignConfig {
+        self.coverage = policy;
         self
     }
 
@@ -203,6 +218,13 @@ pub struct CampaignResult {
     /// than checkpointed; the triage counters in [`CampaignTotals`]
     /// carry its identity into the digest.
     pub triage: Option<crate::triage::TriageReport>,
+    /// Merged coverage state, present when the campaign ran under
+    /// `CSE_COVERAGE=collect|guide`. Persisted in checkpoints (format
+    /// v6) but masked out of [`CampaignResult::digest`]: under
+    /// `collect` coverage only observes, so the digest stays identical
+    /// to `off`; under `guide` the schedule it drives already shapes
+    /// every digested field.
+    pub coverage: Option<CoverageState>,
     pub totals: CampaignTotals,
 }
 
@@ -247,6 +269,7 @@ impl CampaignResult {
         stable.totals.artifact_cache_misses = 0;
         stable.totals.tv_defects = 0;
         stable.incidents.retain(|i| i.phase != IncidentPhase::TvDefect);
+        stable.coverage = None;
         let canonical = supervisor::encode(config, 0, &stable, 0);
         // FNV-1a, 64-bit.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -267,14 +290,26 @@ impl CampaignResult {
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let start = Instant::now();
     let sup = &config.supervisor;
+    let mode = config.coverage.resolve();
     let mut result = CampaignResult::default();
     // Seed *offset* of the next seed to validate (0-based).
     let mut next: u64 = 0;
     if let Some(path) = &sup.checkpoint_path {
         match supervisor::load_checkpoint(path, config) {
             Ok(Some(checkpoint)) => {
-                next = checkpoint.next_seed.min(config.seeds);
-                result = checkpoint.result;
+                // A checkpoint written under a different coverage mode
+                // cannot be resumed deterministically (the schedules
+                // would diverge); restart instead, like a foreign
+                // checkpoint.
+                if checkpoint.result.coverage.is_some() != (mode != CoverageMode::Off) {
+                    eprintln!(
+                        "warning: ignoring checkpoint {}: coverage mode changed",
+                        path.display()
+                    );
+                } else {
+                    next = checkpoint.next_seed.min(config.seeds);
+                    result = checkpoint.result;
+                }
             }
             Ok(None) => {}
             Err(e) => {
@@ -285,17 +320,85 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             }
         }
     }
+    if mode != CoverageMode::Off && result.coverage.is_none() {
+        result.coverage = Some(CoverageState::default());
+    }
     // Wall time accumulated by previous (killed) invocations.
     let prior_wall = result.totals.wall;
+    let mut vm = config.vm.clone();
+    vm.coverage = mode != CoverageMode::Off;
     let validate_config = ValidateConfig {
         max_iter: config.max_iter,
-        vm: config.vm.clone(),
+        vm,
         params: crate::synth::SynthParams::for_kind(config.vm.kind),
         verify_neutrality: true,
         exec_cache: config.exec_cache,
     };
-    let ctx = executor::ExecContext { config, validate_config, start, prior_wall };
-    let mut result = executor::run(&ctx, result, next);
+    // Seeds processed by this invocation (the `stop_after_seeds` budget
+    // spans rounds).
+    let mut processed: u64 = 0;
+    let mut result = if mode != CoverageMode::Guide {
+        // Unguided: one pass over the whole remaining range.
+        let ctx = executor::ExecContext { config, validate_config, start, prior_wall, round: None };
+        executor::run(&ctx, result, next, config.seeds, &mut processed)
+    } else {
+        // Guided: synchronized rounds of `ROUND_LEN` seeds. Each round's
+        // schedule is derived purely from the merged coverage state at
+        // the round barrier (and persisted inside it, so a kill/resume
+        // mid-round replays the identical schedule).
+        loop {
+            if next >= config.seeds {
+                break result;
+            }
+            if sup.stop_after_seeds.is_some_and(|stop| processed >= stop) {
+                break result;
+            }
+            if sup.deadline.is_some_and(|deadline| start.elapsed() >= deadline) {
+                break result;
+            }
+            let round = next / coverage::ROUND_LEN;
+            let round_start = round * coverage::ROUND_LEN;
+            let round_end = (round_start + coverage::ROUND_LEN).min(config.seeds);
+            let state = result.coverage.as_mut().expect("guided campaigns carry coverage state");
+            let at_barrier = next == round_start;
+            let stale =
+                state.round != round || state.schedule.len() as u64 != round_end - round_start;
+            if at_barrier || stale {
+                let schedule = coverage::schedule_round(
+                    &*state,
+                    config.first_seed,
+                    round,
+                    round_end - round_start,
+                    config.vm.tiers.len() >= 2,
+                );
+                state.round = round;
+                state.schedule = schedule;
+            }
+            let round_tasks =
+                executor::RoundTasks { base: round_start, tasks: state.schedule.clone() };
+            let ctx = executor::ExecContext {
+                config,
+                validate_config: validate_config.clone(),
+                start,
+                prior_wall,
+                round: Some(round_tasks),
+            };
+            result = executor::run(&ctx, result, next, round_end, &mut processed);
+            // The executor merges a contiguous prefix from offset 0, so
+            // the totals are also the resumption point.
+            let reached = result.totals.seeds;
+            debug_assert!(reached >= next && reached <= round_end);
+            if reached < round_end {
+                // Stopped mid-round (budget or deadline); the schedule
+                // stays persisted in the state for the resume.
+                break result;
+            }
+            next = reached;
+        }
+    };
+    if result.totals.seeds < config.seeds {
+        result.totals.partial = true;
+    }
     // End-of-campaign triage: only once the seed range is exhausted (a
     // partial campaign triages after its resumed run finishes instead).
     // The report is recomputed — deterministically — on every completed

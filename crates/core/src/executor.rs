@@ -41,6 +41,7 @@ use cse_vm::{SharedArtifactCache, Symptom, VmPanic};
 
 use crate::baseline;
 use crate::campaign::{BugEvidence, CampaignConfig, CampaignResult};
+use crate::coverage::{PlanVariant, TaskSpec};
 use crate::supervisor::{self, HarnessIncident, IncidentPhase};
 use crate::validate::{self, DiscrepancyKind, ValidateConfig, ValidationOutcome};
 
@@ -52,12 +53,32 @@ pub(crate) struct ExecContext<'a> {
     pub start: Instant,
     /// Wall time accumulated by previous (killed) invocations.
     pub prior_wall: Duration,
+    /// The coverage scheduler's task assignments for the offset range
+    /// this invocation covers (`None` = unguided: every offset runs its
+    /// natural seed, unfocused, baseline plan).
+    pub round: Option<RoundTasks>,
+}
+
+/// One guided round's schedule, anchored at its first seed offset.
+pub(crate) struct RoundTasks {
+    pub base: u64,
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl ExecContext<'_> {
+    /// The scheduled task for a seed offset, if this is a guided round.
+    fn task(&self, offset: u64) -> Option<&TaskSpec> {
+        let round = self.round.as_ref()?;
+        round.tasks.get(usize::try_from(offset.checked_sub(round.base)?).ok()?)
+    }
 }
 
 /// The complete, self-contained outcome of one seed: what a worker sends
 /// to the collector. Contains no shared state and no open resources, so
 /// it can cross threads freely.
 struct SeedRecord {
+    /// Seed offset (for task lookups at the merge barrier).
+    offset: u64,
     seed_value: u64,
     outcome: ValidationOutcome,
     /// Baseline verdict when `run_traditional` is on; a contained panic
@@ -69,20 +90,40 @@ struct SeedRecord {
     artifact_stats: (u64, u64),
 }
 
-/// Runs the seed loop (serial or parallel per `config.jobs`) on top of a
-/// possibly checkpoint-restored `result`/`next` pair.
-pub(crate) fn run(ctx: &ExecContext<'_>, result: CampaignResult, next: u64) -> CampaignResult {
+/// Runs the seed loop (serial or parallel per `config.jobs`) over the
+/// offset range `[next, end)` on top of a possibly checkpoint-restored
+/// `result`/`next` pair. `end < config.seeds` bounds one guided round;
+/// unguided campaigns pass `end = config.seeds`. `processed` counts
+/// seeds merged across this *invocation* (the `stop_after_seeds` budget
+/// spans rounds).
+pub(crate) fn run(
+    ctx: &ExecContext<'_>,
+    result: CampaignResult,
+    next: u64,
+    end: u64,
+    processed: &mut u64,
+) -> CampaignResult {
     if ctx.config.jobs <= 1 {
-        run_serial(ctx, result, next)
+        run_serial(ctx, result, next, end, processed)
     } else {
-        run_parallel(ctx, result, next)
+        run_parallel(ctx, result, next, end, processed)
     }
 }
 
-/// The chaos-tweaked validation config for one seed (the supervisor's
-/// fault-injection knob targets a single seed value).
-fn seed_vconfig(ctx: &ExecContext<'_>, seed_value: u64) -> ValidateConfig {
+/// The per-seed validation config: the scheduled forced-plan coordinate
+/// (guided rounds), then the supervisor's chaos knob (which targets a
+/// single seed value).
+fn seed_vconfig(ctx: &ExecContext<'_>, offset: u64, seed_value: u64) -> ValidateConfig {
     let mut vconfig = ctx.validate_config.clone();
+    match ctx.task(offset).map_or(PlanVariant::Baseline, |t| t.plan) {
+        PlanVariant::Baseline => {}
+        PlanVariant::ForceTop => {
+            vconfig.vm.plan = Some(cse_vm::ForcedPlan::all(vconfig.vm.top_tier()));
+        }
+        PlanVariant::ForceT1 => {
+            vconfig.vm.plan = Some(cse_vm::ForcedPlan::all(cse_vm::Tier(1)));
+        }
+    }
     if let Some(chaos) = ctx.config.supervisor.chaos {
         if chaos.panic_on_seed == seed_value {
             vconfig.vm.chaos_panic_at_ops = Some(chaos.after_ops);
@@ -96,14 +137,17 @@ fn seed_vconfig(ctx: &ExecContext<'_>, seed_value: u64) -> ValidateConfig {
 /// `shard` is worker-local (results are hit/miss-invariant, see
 /// [`cse_vm::SharedArtifactCache`]), and everything the collector needs
 /// is in the returned record.
-fn process_seed(
-    ctx: &ExecContext<'_>,
-    seed_value: u64,
-    shard: &Rc<SharedArtifactCache>,
-) -> SeedRecord {
+fn process_seed(ctx: &ExecContext<'_>, offset: u64, shard: &Rc<SharedArtifactCache>) -> SeedRecord {
     let config = ctx.config;
-    let seed_program = cse_fuzz::generate(seed_value, &config.fuzz);
-    let seed_vconfig = seed_vconfig(ctx, seed_value);
+    let seed_value = config.first_seed + offset;
+    // A guided task may re-expand a corpus entry (its generator seed +
+    // focused mutation sites); the *rng* seed stays the slot's natural
+    // value, so re-expansions draw fresh mutation sequences.
+    let task = ctx.task(offset);
+    let gen_seed = task.map_or(seed_value, |t| t.gen_seed);
+    let focus: Vec<String> = task.map(|t| t.focus.clone()).unwrap_or_default();
+    let seed_program = cse_fuzz::generate(gen_seed, &config.fuzz);
+    let seed_vconfig = seed_vconfig(ctx, offset, seed_value);
     let stats_before = shard.stats();
     // Compile the seed exactly once; validation and the traditional
     // baseline share the same bytecode.
@@ -113,7 +157,7 @@ fn process_seed(
         seed_bytecode.clone(),
         &seed_vconfig,
         seed_value,
-        |_| {},
+        |artemis| artemis.focus = focus,
         shard,
     );
     outcome.check_invariants();
@@ -130,7 +174,7 @@ fn process_seed(
     };
     let stats_after = shard.stats();
     let artifact_stats = (stats_after.0 - stats_before.0, stats_after.1 - stats_before.1);
-    SeedRecord { seed_value, outcome, baseline, artifact_stats }
+    SeedRecord { offset, seed_value, outcome, baseline, artifact_stats }
 }
 
 /// Folds one seed's record into the campaign result. This is the *only*
@@ -156,7 +200,22 @@ fn merge_seed(ctx: &ExecContext<'_>, result: &mut CampaignResult, record: SeedRe
     result.totals.exec_cache_misses += outcome.exec_cache_misses;
     result.totals.artifact_cache_hits += record.artifact_stats.0;
     result.totals.artifact_cache_misses += record.artifact_stats.1;
-    let quarantine_vm = seed_vconfig(ctx, seed_value).vm;
+    // Coverage feedback mutates campaign state *only* here, on the
+    // seed-ordered collector — the whole scheduler's jobs-invariance
+    // rests on that.
+    if let Some(state) = result.coverage.as_mut() {
+        let task = ctx.task(record.offset);
+        let plan = task.map_or(PlanVariant::Baseline, |t| t.plan);
+        let gen_seed = task.map_or(seed_value, |t| t.gen_seed);
+        state.absorb(
+            &outcome.coverage,
+            std::mem::take(&mut outcome.corpus_candidates),
+            gen_seed,
+            plan,
+            outcome.vm_invocations as u64,
+        );
+    }
+    let quarantine_vm = seed_vconfig(ctx, record.offset, seed_value).vm;
     for incident in std::mem::take(&mut outcome.incidents) {
         if let Some(dir) = &sup.quarantine_dir {
             if let Err(e) = supervisor::quarantine_incident(dir, &incident, &quarantine_vm) {
@@ -241,34 +300,36 @@ fn checkpoint(ctx: &ExecContext<'_>, result: &mut CampaignResult, next: u64) {
 }
 
 /// The reference semantics: one seed at a time, in order.
-fn run_serial(ctx: &ExecContext<'_>, mut result: CampaignResult, mut next: u64) -> CampaignResult {
+fn run_serial(
+    ctx: &ExecContext<'_>,
+    mut result: CampaignResult,
+    mut next: u64,
+    end: u64,
+    processed: &mut u64,
+) -> CampaignResult {
     let config = ctx.config;
     let sup = &config.supervisor;
     let shard = SharedArtifactCache::new();
-    let mut processed_this_run: u64 = 0;
-    let mut stopped_early = false;
-    while next < config.seeds {
+    while next < end {
         if let Some(deadline) = sup.deadline {
             if ctx.start.elapsed() >= deadline {
-                stopped_early = true;
                 break;
             }
         }
         if let Some(stop) = sup.stop_after_seeds {
-            if processed_this_run >= stop {
-                stopped_early = true;
+            if *processed >= stop {
                 break;
             }
         }
-        let record = process_seed(ctx, config.first_seed + next, &shard);
+        let record = process_seed(ctx, next, &shard);
         merge_seed(ctx, &mut result, record);
         next += 1;
-        processed_this_run += 1;
-        if sup.checkpoint_path.is_some() && processed_this_run.is_multiple_of(sup.cadence()) {
+        *processed += 1;
+        if sup.checkpoint_path.is_some() && processed.is_multiple_of(sup.cadence()) {
             checkpoint(ctx, &mut result, next);
         }
     }
-    result.totals.partial = stopped_early && next < config.seeds;
+    result.totals.partial = next < config.seeds;
     result.totals.wall = ctx.prior_wall + ctx.start.elapsed();
     if let Some(path) = &sup.checkpoint_path {
         if let Err(e) = supervisor::save_checkpoint(path, config, next, &result) {
@@ -282,16 +343,25 @@ fn run_serial(ctx: &ExecContext<'_>, mut result: CampaignResult, mut next: u64) 
 /// offsets from an atomic counter and ship [`SeedRecord`]s to the
 /// collector below, which merges them in seed order (see the module docs
 /// for why the digest cannot depend on scheduling).
-fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) -> CampaignResult {
+fn run_parallel(
+    ctx: &ExecContext<'_>,
+    mut result: CampaignResult,
+    next: u64,
+    end: u64,
+    processed: &mut u64,
+) -> CampaignResult {
     let config = ctx.config;
     let sup = &config.supervisor;
     let claim = AtomicU64::new(next);
     let stop = AtomicBool::new(false);
+    // Seeds this invocation may still process under `stop_after_seeds`
+    // (the budget spans rounds; claimed-before-budget-check stays safe
+    // because the claim counter is monotonic).
+    let budget = sup.stop_after_seeds.map(|limit| limit.saturating_sub(*processed));
     let (tx, rx) = mpsc::channel::<(u64, SeedRecord)>();
     // Offset of the next record the collector will merge; everything
     // below it is already folded into `result`.
     let mut merged_next = next;
-    let mut processed_this_run: u64 = 0;
     std::thread::scope(|scope| {
         for _ in 0..config.jobs {
             let tx = tx.clone();
@@ -315,10 +385,10 @@ fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) ->
                         }
                     }
                     let offset = claim.fetch_add(1, Ordering::SeqCst);
-                    if offset >= config.seeds {
+                    if offset >= end {
                         break;
                     }
-                    if let Some(limit) = config.supervisor.stop_after_seeds {
+                    if let Some(limit) = budget {
                         // The claim counter is monotonic, so refusing the
                         // first offset past the budget refuses all later
                         // ones too.
@@ -326,7 +396,7 @@ fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) ->
                             break;
                         }
                     }
-                    let record = process_seed(ctx, config.first_seed + offset, &shard);
+                    let record = process_seed(ctx, offset, &shard);
                     if tx.send((offset, record)).is_err() {
                         break;
                     }
@@ -342,9 +412,8 @@ fn run_parallel(ctx: &ExecContext<'_>, mut result: CampaignResult, next: u64) ->
             while let Some(record) = pending.remove(&merged_next) {
                 merge_seed(ctx, &mut result, record);
                 merged_next += 1;
-                processed_this_run += 1;
-                if sup.checkpoint_path.is_some() && processed_this_run.is_multiple_of(sup.cadence())
-                {
+                *processed += 1;
+                if sup.checkpoint_path.is_some() && processed.is_multiple_of(sup.cadence()) {
                     checkpoint(ctx, &mut result, merged_next);
                 }
             }

@@ -15,6 +15,9 @@
 //!   baselines (§3.2, §4.3).
 //! * [`campaign`] — multi-seed fuzzing campaigns with Table 1/2-style
 //!   aggregation.
+//! * [`coverage`] — JIT-behavior coverage feedback: merged coverage
+//!   maps, the minimized live corpus, and the deterministic round
+//!   scheduler behind `CSE_COVERAGE=guide`.
 //! * [`executor`] — the campaign engines: the serial reference loop and
 //!   the deterministic work-stealing parallel executor behind
 //!   `CampaignConfig::jobs`.
@@ -45,6 +48,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod coverage;
 pub mod executor;
 pub mod memo;
 pub mod mutate;
@@ -55,6 +59,7 @@ pub mod synth;
 pub mod triage;
 pub mod validate;
 
+pub use coverage::{CoverageMode, CoveragePolicy, CoverageState, PlanVariant};
 pub use memo::{ExecCachePolicy, ExecMemo};
 pub use mutate::{AppliedMutation, Artemis, Mutator};
 pub use supervisor::{ChaosConfig, HarnessIncident, IncidentPhase, SupervisorConfig};

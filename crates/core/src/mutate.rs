@@ -64,6 +64,11 @@ pub struct Artemis {
     /// literal assignment. Exercises the harness's neutrality-violation
     /// detection; never set outside tests.
     pub chaos_break_neutrality: bool,
+    /// `Class.method` locations whose mutation probability is boosted
+    /// (coverage guidance's mutation-site weighting). Empty — the
+    /// default — leaves the RNG draw sequence bit-identical to an
+    /// unguided engine.
+    pub focus: Vec<String>,
 }
 
 impl Artemis {
@@ -75,6 +80,7 @@ impl Artemis {
             counter: 0,
             enabled: Mutator::ALL.to_vec(),
             chaos_break_neutrality: false,
+            focus: Vec::new(),
         }
     }
 
@@ -99,7 +105,20 @@ impl Artemis {
             if mutant.classes[class_idx].methods[method_idx].name == "main" {
                 continue;
             }
-            if !self.rng.gen_bool(self.params.mutation_prob) {
+            // Focused methods mutate with boosted probability; exactly
+            // one RNG draw happens either way, so an empty focus list
+            // preserves the unguided draw sequence bit-for-bit.
+            let boosted = !self.focus.is_empty() && {
+                let class = &mutant.classes[class_idx];
+                let location = format!("{}.{}", class.name, class.methods[method_idx].name);
+                self.focus.iter().any(|f| f == &location)
+            };
+            let prob = if boosted {
+                (self.params.mutation_prob * 3.0).min(0.95)
+            } else {
+                self.params.mutation_prob
+            };
+            if !self.rng.gen_bool(prob) {
                 continue;
             }
             let mutator = self.enabled[self.rng.gen_range(0..self.enabled.len())];

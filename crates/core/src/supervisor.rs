@@ -42,6 +42,22 @@
 //!   text <byte-len>      (payload)
 //!   source <0|1>  [+ text block when 1]
 //! ```
+//!
+//! A campaign running under `CSE_COVERAGE=collect|guide` writes format
+//! v6: the v5 body followed by a `coverage` section (merged map, the
+//! minimized corpus, the active round's schedule — see
+//! [`crate::coverage`]). Coverage-off campaigns keep writing v5
+//! byte-for-byte:
+//!
+//! ```text
+//! coverage <round> <execs> <runs0> <runs1> <runs2> <new0> <new1> <new2>
+//! map <64 lowercase-hex u64 words>
+//! corpus <n>
+//!   entry <gen_seed> <new_cells> <n-locations>  (then one location/line)
+//!   map <64 hex words>
+//! schedule <n>
+//!   task <gen_seed> <plan-name> <n-focus>       (then one location/line)
+//! ```
 
 use std::fmt::Write as _;
 use std::io;
@@ -52,6 +68,7 @@ use std::time::Duration;
 use cse_vm::{BugId, Component, Symptom, VmConfig};
 
 use crate::campaign::{BugEvidence, CampaignConfig, CampaignResult};
+use crate::coverage::{CorpusEntry, CoverageState, PlanVariant, TaskSpec};
 
 /// Where in Algorithm 1 a harness incident happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -198,10 +215,14 @@ pub struct Checkpoint {
 
 // v2 added the `ir_verify_defects` totals field; v3 added the four
 // triage counters; v4 added the four (volatile) cache counters; v5 added
-// the `tv_defects` totals field. Older checkpoints are rejected by the
-// magic check, so an interrupted old-format campaign restarts from
-// scratch rather than resuming with silently-zeroed counters.
+// the `tv_defects` totals field; v6 appends the coverage section (only
+// written when the campaign carries coverage state — coverage-off
+// campaigns still produce v5 byte-for-byte). Older checkpoints are
+// rejected by the magic check, so an interrupted old-format campaign
+// restarts from scratch rather than resuming with silently-zeroed
+// counters.
 const MAGIC: &str = "cse-checkpoint v5";
+const MAGIC_V6: &str = "cse-checkpoint v6";
 
 // ----- encoding -----------------------------------------------------------
 
@@ -223,7 +244,7 @@ pub(crate) fn encode(
     wall_nanos: u128,
 ) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "{}", if result.coverage.is_some() { MAGIC_V6 } else { MAGIC });
     let _ = writeln!(
         out,
         "config {:?} {} {} {}",
@@ -288,7 +309,54 @@ pub(crate) fn encode(
             }
         }
     }
+    if let Some(state) = &result.coverage {
+        let _ = writeln!(
+            out,
+            "coverage {} {} {} {} {} {} {} {}",
+            state.round,
+            state.execs,
+            state.variant_runs[0],
+            state.variant_runs[1],
+            state.variant_runs[2],
+            state.variant_new[0],
+            state.variant_new[1],
+            state.variant_new[2],
+        );
+        push_map(&mut out, &state.global);
+        let _ = writeln!(out, "corpus {}", state.corpus.len());
+        for entry in &state.corpus {
+            let _ = writeln!(
+                out,
+                "entry {} {} {}",
+                entry.gen_seed,
+                entry.new_cells,
+                entry.locations.len()
+            );
+            for location in &entry.locations {
+                let _ = writeln!(out, "{location}");
+            }
+            push_map(&mut out, &entry.map);
+        }
+        let _ = writeln!(out, "schedule {}", state.schedule.len());
+        for task in &state.schedule {
+            let _ =
+                writeln!(out, "task {} {} {}", task.gen_seed, task.plan.name(), task.focus.len());
+            for focus in &task.focus {
+                let _ = writeln!(out, "{focus}");
+            }
+        }
+    }
     out
+}
+
+/// One `map` line: the bitmap's words in lowercase hex (fixed width so
+/// the encoding is canonical).
+fn push_map(out: &mut String, map: &cse_vm::CoverageMap) {
+    out.push_str("map");
+    for word in map.words() {
+        let _ = write!(out, " {word:016x}");
+    }
+    out.push('\n');
 }
 
 // ----- decoding -----------------------------------------------------------
@@ -411,9 +479,11 @@ fn component_from_name(name: &str) -> ParseResult<Component> {
 pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpoint> {
     let mut r = Reader::new(data);
     let magic = r.line()?;
-    if magic != MAGIC {
-        return Err(format!("bad checkpoint header `{magic}` (want `{MAGIC}`)"));
-    }
+    let has_coverage = match magic {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V6 => true,
+        _ => return Err(format!("bad checkpoint header `{magic}` (want `{MAGIC}`)")),
+    };
     let fields = r.tagged("config")?;
     let kind = format!("{:?}", config.vm.kind);
     let (got_kind, got_seeds, got_first, got_iter) = (
@@ -507,10 +577,63 @@ pub(crate) fn decode(data: &str, config: &CampaignConfig) -> ParseResult<Checkpo
             source,
         });
     }
+    if has_coverage {
+        let fields = r.tagged("coverage")?;
+        let mut state = CoverageState {
+            round: parse_field(&fields, 0, "coverage")?,
+            execs: parse_field(&fields, 1, "coverage")?,
+            ..CoverageState::default()
+        };
+        for i in 0..3 {
+            state.variant_runs[i] = parse_field(&fields, 2 + i, "coverage")?;
+            state.variant_new[i] = parse_field(&fields, 5 + i, "coverage")?;
+        }
+        state.global = parse_map(&mut r)?;
+        let n: usize = r.tagged_num("corpus")?;
+        for _ in 0..n {
+            let fields = r.tagged("entry")?;
+            let gen_seed: u64 = parse_field(&fields, 0, "entry")?;
+            let new_cells: u32 = parse_field(&fields, 1, "entry")?;
+            let locations = (0..parse_field::<usize>(&fields, 2, "entry")?)
+                .map(|_| r.line().map(str::to_string))
+                .collect::<ParseResult<Vec<String>>>()?;
+            let map = parse_map(&mut r)?;
+            state.corpus.push(CorpusEntry { gen_seed, locations, map, new_cells });
+        }
+        let n: usize = r.tagged_num("schedule")?;
+        for _ in 0..n {
+            let fields = r.tagged("task")?;
+            let gen_seed: u64 = parse_field(&fields, 0, "task")?;
+            let plan = PlanVariant::from_name(fields.get(1).unwrap_or(&""))
+                .ok_or_else(|| format!("unknown plan variant in {fields:?}"))?;
+            let focus = (0..parse_field::<usize>(&fields, 2, "task")?)
+                .map(|_| r.line().map(str::to_string))
+                .collect::<ParseResult<Vec<String>>>()?;
+            state.schedule.push(TaskSpec { gen_seed, focus, plan });
+        }
+        result.coverage = Some(state);
+    }
     if !r.at_end() {
         return Err("trailing data after checkpoint".to_string());
     }
     Ok(Checkpoint { next_seed, result })
+}
+
+/// Parses one `map` line back into a bitmap.
+fn parse_map(r: &mut Reader<'_>) -> ParseResult<cse_vm::CoverageMap> {
+    let fields = r.tagged("map")?;
+    if fields.len() != cse_vm::coverage::MAP_WORDS {
+        return Err(format!(
+            "map: expected {} words, got {}",
+            cse_vm::coverage::MAP_WORDS,
+            fields.len()
+        ));
+    }
+    let mut words = [0u64; cse_vm::coverage::MAP_WORDS];
+    for (word, field) in words.iter_mut().zip(&fields) {
+        *word = u64::from_str_radix(field, 16).map_err(|_| "map: malformed hex word")?;
+    }
+    Ok(cse_vm::CoverageMap::from_words(words))
 }
 
 // ----- checkpoint I/O -----------------------------------------------------
@@ -553,8 +676,13 @@ pub fn load_checkpoint(path: &Path, config: &CampaignConfig) -> io::Result<Optio
 
 // ----- quarantine ---------------------------------------------------------
 
+/// Filename-safe form of a label. Lowercased: quarantine file names must
+/// not rely on case to stay distinct, or entries collide on
+/// case-insensitive filesystems (macOS, Windows).
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
 }
 
 fn vm_profile_header(vm: &VmConfig) -> String {
@@ -718,6 +846,49 @@ mod tests {
         let re_encoded =
             encode(&config, 7, &checkpoint.result, checkpoint.result.totals.wall.as_nanos());
         assert_eq!(encoded, re_encoded);
+    }
+
+    /// Checkpoint v6: a result carrying coverage state round-trips the
+    /// full state (map, corpus, schedule, counters) exactly, and the
+    /// magic reflects the presence of coverage.
+    #[test]
+    fn coverage_checkpoint_round_trips_as_v6() {
+        use crate::coverage::{CorpusEntry, CoverageState, PlanVariant, TaskSpec};
+        let config = CampaignConfig::for_kind(VmKind::HotSpotLike, 7);
+        let mut result = sample_result();
+        let mut map = cse_vm::CoverageMap::new();
+        map.insert(cse_vm::coverage::feat_compile(42, 2, false));
+        map.insert(cse_vm::coverage::feat_pass(42, 2, "gvn"));
+        let mut state = CoverageState {
+            global: map,
+            round: 3,
+            execs: 1234,
+            variant_runs: [9, 2, 1],
+            variant_new: [40, 30, 5],
+            ..CoverageState::default()
+        };
+        state.corpus.push(CorpusEntry {
+            gen_seed: 11,
+            locations: vec!["Cls0.m1".to_string(), "Cls2.m0".to_string()],
+            map,
+            new_cells: 2,
+        });
+        state.schedule.push(TaskSpec {
+            gen_seed: 12,
+            focus: vec!["Cls0.m1".to_string()],
+            plan: PlanVariant::ForceTop,
+        });
+        state.schedule.push(TaskSpec { gen_seed: 13, focus: vec![], plan: PlanVariant::Baseline });
+        let fingerprint = state.fingerprint();
+        result.coverage = Some(state);
+
+        let encoded = encode(&config, 7, &result, 0);
+        assert!(encoded.starts_with(MAGIC_V6), "coverage checkpoints are v6");
+        let decoded = decode(&encoded, &config).expect("decode");
+        let restored = decoded.result.coverage.expect("coverage state restored");
+        assert_eq!(restored.fingerprint(), fingerprint, "state must round-trip exactly");
+        // And a coverage-free result still writes v5 byte-for-byte.
+        assert!(encode(&config, 7, &sample_result(), 0).starts_with(MAGIC));
     }
 
     #[test]

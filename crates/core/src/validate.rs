@@ -170,6 +170,13 @@ pub struct ValidationOutcome {
     /// Contained harness failures (panics in the VM, the compilers, or
     /// the mutation engine).
     pub incidents: Vec<HarnessIncident>,
+    /// Union of the JIT-behavior coverage of every seed/mutant run
+    /// under the VM under test (all-zero unless `VmConfig::coverage`).
+    pub coverage: cse_vm::CoverageMap,
+    /// Mutant runs that covered cells no earlier run of this seed did
+    /// — corpus-admission candidates for the campaign's coverage
+    /// scheduler (capped; empty unless `VmConfig::coverage`).
+    pub corpus_candidates: Vec<crate::coverage::CorpusCandidate>,
 }
 
 impl ValidationOutcome {
@@ -546,6 +553,12 @@ fn validate_inner(
     };
     outcome.note_ir_defects(&seed_result, rng_seed, None, seed);
     outcome.note_tv_defects(&seed_result, rng_seed, None, seed);
+    // Running union of this seed's coverage, for novelty checks within
+    // the seed (the campaign-global check happens at the merge barrier).
+    let mut seen_coverage = seed_result.stats.coverage;
+    if config.vm.coverage {
+        outcome.coverage.union(&seed_result.stats.coverage);
+    }
     if seed_result.outcome.is_resource_exhausted() {
         // An expensive seed: the paper's two-minute cutoff (§4.3), or a
         // heap/stack budget the seed cannot fit in. Not a mutant discard —
@@ -661,6 +674,22 @@ fn validate_inner(
             };
         outcome.note_ir_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
         outcome.note_tv_defects(&mutant_result, rng_seed, Some(iteration), &mutant);
+        if config.vm.coverage {
+            let map = mutant_result.stats.coverage;
+            if map.covers_new(&seen_coverage) && outcome.corpus_candidates.len() < 4 {
+                // Whitespace-bearing locations (e.g. the chaos marker)
+                // would break the checkpoint's line format; real
+                // `Class.method` locations never contain whitespace.
+                let locations: Vec<String> = mutations
+                    .iter()
+                    .map(|m| m.location.clone())
+                    .filter(|l| !l.contains(char::is_whitespace))
+                    .collect();
+                outcome.corpus_candidates.push(crate::coverage::CorpusCandidate { map, locations });
+            }
+            seen_coverage.union(&map);
+            outcome.coverage.union(&map);
+        }
         // Reference run: neutrality check + performance baseline.
         //
         // A mutant whose LVM run never touched the JIT — no tier

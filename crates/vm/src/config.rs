@@ -258,6 +258,13 @@ pub struct VmConfig {
     /// behavior; defects are reported out-of-band through
     /// `ExecutionResult::tv` / `ExecStats::tv_defects`.
     pub tv: TvMode,
+    /// Whether to record JIT-behavior coverage into
+    /// `ExecStats::coverage` (see [`crate::coverage`]). Off by default
+    /// and zero-cost when off: no feature is computed, no digest work
+    /// is added. Collection never changes observable behavior; the flag
+    /// still partitions the execution fingerprint so memoized replays
+    /// carry coverage only when it was recorded.
+    pub coverage: bool,
 }
 
 impl VmConfig {
@@ -303,6 +310,7 @@ impl VmConfig {
             chaos_panic_at_ops: None,
             verify_ir: VerifyMode::from_env(),
             tv: TvMode::from_env(),
+            coverage: false,
         }
     }
 
@@ -349,6 +357,12 @@ impl VmConfig {
     /// Replaces the translation-validation mode.
     pub fn with_tv(mut self, mode: TvMode) -> VmConfig {
         self.tv = mode;
+        self
+    }
+
+    /// Enables or disables JIT-behavior coverage collection.
+    pub fn with_coverage(mut self, on: bool) -> VmConfig {
+        self.coverage = on;
         self
     }
 
@@ -401,6 +415,7 @@ impl VmConfig {
             TvMode::Boundary => 1,
             TvMode::Each => 2,
         });
+        fp.u64(u64::from(self.coverage));
         fp.finish()
     }
 }

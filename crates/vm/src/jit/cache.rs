@@ -156,6 +156,7 @@ impl SharedArtifactCache {
         fp.u64(config.faults.fingerprint());
         fp.u64(config.verify_ir as u64);
         fp.u64(config.tv as u64);
+        fp.u64(u64::from(config.coverage));
         fp.finish()
     }
 

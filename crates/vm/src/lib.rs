@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod coverage;
 pub mod events;
 pub mod exec;
 pub mod faults;
@@ -41,6 +42,7 @@ use std::rc::Rc;
 use cse_bytecode::{ArrKind, BProgram, ClassId, ExcKind, MethodId, PrintKind};
 
 pub use config::{Tier, TierThresholds, TvMode, VerifyMode, VmConfig, VmKind};
+pub use coverage::CoverageMap;
 pub use events::{CompileReason, DeoptReason, TraceEvent};
 pub use exec::{CrashInfo, CrashKind, CrashPhase, ExecStats, ExecutionResult, Outcome, Resource};
 pub use faults::{BugId, Component, FaultInjector, Symptom};
@@ -730,6 +732,39 @@ impl<'p> Vm<'p> {
         self.compiled.get(&CodeKey { method, tier, osr }).cloned()
     }
 
+    /// Content digests for coverage features: reuses the digests the
+    /// attached artifact cache already computed, or computes (and
+    /// caches) them on first use. Caching them here never enables the
+    /// shared code cache — cache probes require `code_cache` *and*
+    /// `digests` to both be present.
+    fn coverage_digests(&mut self) -> Rc<cse_bytecode::ProgramDigests> {
+        if let Some(digests) = &self.digests {
+            return digests.clone();
+        }
+        let digests = Rc::new(cse_bytecode::ProgramDigests::compute(self.program));
+        self.digests = Some(digests.clone());
+        digests
+    }
+
+    /// Emits the coverage features of one (method, tier) compilation:
+    /// the compile (or OSR entry) itself, every pipeline pass that ran
+    /// over it, and every inline edge the compiled body embeds. Called
+    /// for cross-run cache hits too — a hit replays the original
+    /// compilation, passes and all.
+    fn record_compile_coverage(&mut self, method: MethodId, tier: Tier, osr: bool, func: &IrFunc) {
+        let digests = self.coverage_digests();
+        let key = digests.methods[method.0 as usize].key();
+        self.stats.coverage.insert(coverage::feat_compile(key, tier.0, osr));
+        let optimizing = tier.0 >= 2 || self.config.kind == VmKind::ArtLike;
+        for (name, _) in jit::passes::pipeline(self.config.kind, optimizing) {
+            self.stats.coverage.insert(coverage::feat_pass(key, tier.0, name));
+        }
+        for frame in func.frames.iter().skip(1) {
+            let callee = digests.methods[frame.method.0 as usize].key();
+            self.stats.coverage.insert(coverage::feat_inline(key, callee, tier.0));
+        }
+    }
+
     /// Compiles (or fetches cached) code for a method at a tier.
     pub(crate) fn ensure_compiled(
         &mut self,
@@ -789,6 +824,9 @@ impl<'p> Vm<'p> {
                             reason,
                             invocation: self.invocations[method.0 as usize],
                         });
+                        if self.config.coverage {
+                            self.record_compile_coverage(method, tier, osr.is_some(), &func);
+                        }
                         Ok(func)
                     }
                     Err(info) => Err(Exit::Crash(info)),
@@ -862,6 +900,9 @@ impl<'p> Vm<'p> {
                     reason,
                     invocation: self.invocations[method.0 as usize],
                 });
+                if self.config.coverage {
+                    self.record_compile_coverage(method, tier, osr.is_some(), &func);
+                }
                 Ok(func)
             }
             Err(jit::CompileFail::Crash(info)) => {
@@ -923,6 +964,15 @@ impl<'p> Vm<'p> {
             reason,
             invocation: self.invocations[id.0 as usize],
         });
+        if self.config.coverage {
+            let key = self.coverage_digests().methods[id.0 as usize].key();
+            self.stats.coverage.insert(coverage::feat_deopt(
+                key,
+                tier.0,
+                bc_pc,
+                &format!("{reason:?}"),
+            ));
+        }
         let prof = &mut self.profiles[id.0 as usize];
         prof.no_speculate.insert(bc_pc);
         prof.cool_down(self.config.max_deopts_per_method);

@@ -1,0 +1,139 @@
+//! Acceptance tests for coverage-guided exploration: digest stability
+//! under `off`, jobs-invariance and kill/resume-invariance under
+//! `guide`, and the guidance payoff (strictly more cells at the same
+//! execution budget).
+
+use std::path::PathBuf;
+
+use cse_core::campaign::{run_campaign, CampaignConfig};
+use cse_core::supervisor::SupervisorConfig;
+use cse_core::CoveragePolicy;
+use cse_vm::VmKind;
+
+const SEEDS: u64 = 12;
+
+/// A unique scratch directory per test (tests share one process).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cse-coverage-{}-{test}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// `off` must reproduce the pre-coverage campaign exactly, and
+/// `collect` must observe without perturbing: same digest, plus a
+/// non-trivial coverage report on the side.
+#[test]
+fn collect_observes_without_changing_the_campaign_digest() {
+    let off_config =
+        CampaignConfig::for_kind(VmKind::HotSpotLike, SEEDS).with_coverage(CoveragePolicy::Off);
+    let off = run_campaign(&off_config);
+    assert!(off.coverage.is_none(), "off campaigns must carry no coverage state");
+
+    let collect_config =
+        CampaignConfig::for_kind(VmKind::HotSpotLike, SEEDS).with_coverage(CoveragePolicy::Collect);
+    let collect = run_campaign(&collect_config);
+    let state = collect.coverage.as_ref().expect("collect campaigns carry coverage state");
+    assert!(state.cells() > 0, "a JIT-heavy campaign must cover cells");
+    assert!(!state.corpus.is_empty(), "novel mutants must enter the corpus");
+
+    assert_eq!(
+        off.digest(&off_config),
+        collect.digest(&collect_config),
+        "collection must not perturb what the campaign finds"
+    );
+    // Spot-check the digest comparison is not vacuous.
+    assert_eq!(off.cse_seeds, collect.cse_seeds);
+    assert_eq!(off.totals.mutants, collect.totals.mutants);
+}
+
+/// The full feedback loop — map merge, corpus admission, round
+/// scheduling — must be bit-identical across worker counts.
+#[test]
+fn guided_campaign_is_jobs_invariant() {
+    let base =
+        CampaignConfig::for_kind(VmKind::OpenJ9Like, SEEDS).with_coverage(CoveragePolicy::Guide);
+    let reference = run_campaign(&base);
+    let reference_fp = reference.coverage.as_ref().expect("guided state").fingerprint();
+    for jobs in [4, 8] {
+        let config = base.clone().with_jobs(jobs);
+        let result = run_campaign(&config);
+        assert_eq!(
+            result.digest(&config),
+            reference.digest(&base),
+            "guided digest must not depend on jobs ({jobs})"
+        );
+        assert_eq!(
+            result.coverage.as_ref().expect("guided state").fingerprint(),
+            reference_fp,
+            "coverage state must not depend on jobs ({jobs})"
+        );
+    }
+}
+
+/// A guided campaign killed mid-round and resumed from its v6
+/// checkpoint must be bit-identical to an uninterrupted run — the
+/// persisted schedule is what makes mid-round resume exact.
+#[test]
+fn guided_kill_resume_mid_round_is_bit_identical() {
+    const KILL_SEEDS: u64 = 10;
+    let uninterrupted = run_campaign(
+        &CampaignConfig::for_kind(VmKind::HotSpotLike, KILL_SEEDS)
+            .with_coverage(CoveragePolicy::Guide),
+    );
+
+    let dir = scratch("resume");
+    let mut config = CampaignConfig::for_kind(VmKind::HotSpotLike, KILL_SEEDS)
+        .with_coverage(CoveragePolicy::Guide);
+    config.supervisor = SupervisorConfig {
+        checkpoint_path: Some(dir.join("campaign.checkpoint")),
+        checkpoint_every: 1,
+        // 5 is not a multiple of ROUND_LEN (4): the kill lands mid-round.
+        stop_after_seeds: Some(5),
+        ..SupervisorConfig::default()
+    };
+    let killed = run_campaign(&config);
+    assert!(killed.totals.partial);
+    assert_eq!(killed.totals.seeds, 5, "the kill must land mid-round");
+
+    let mut resumed = killed;
+    let mut invocations = 1;
+    while resumed.totals.partial {
+        resumed = run_campaign(&config);
+        invocations += 1;
+        assert!(invocations <= 10, "campaign must converge");
+    }
+    assert_eq!(resumed.totals.seeds, KILL_SEEDS);
+    assert_eq!(
+        resumed.digest(&config),
+        uninterrupted.digest(&config),
+        "mid-round resume must be bit-identical to an uninterrupted run"
+    );
+    assert_eq!(
+        resumed.coverage.as_ref().expect("guided state").fingerprint(),
+        uninterrupted.coverage.as_ref().expect("guided state").fingerprint(),
+        "coverage state must round-trip through checkpoint v6 exactly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The payoff: at the same seed budget, guidance must reach coverage
+/// cells uniform sampling does not (forced top-tier plans alone
+/// guarantee compilations of methods warmup never promotes).
+#[test]
+fn guide_covers_strictly_more_cells_than_collect_at_equal_budget() {
+    let collect = run_campaign(
+        &CampaignConfig::for_kind(VmKind::HotSpotLike, SEEDS)
+            .with_coverage(CoveragePolicy::Collect),
+    );
+    let guide = run_campaign(
+        &CampaignConfig::for_kind(VmKind::HotSpotLike, SEEDS).with_coverage(CoveragePolicy::Guide),
+    );
+    assert_eq!(collect.totals.seeds, guide.totals.seeds, "equal budget");
+    let collect_cells = collect.coverage.as_ref().expect("state").cells();
+    let guide_cells = guide.coverage.as_ref().expect("state").cells();
+    assert!(
+        guide_cells > collect_cells,
+        "guide must strictly beat uniform sampling ({guide_cells} vs {collect_cells} cells)"
+    );
+}

@@ -171,7 +171,8 @@ fn quarantine_holds_self_contained_repro_files() {
         result.bugs.values().filter(|e| e.symptom == cse_vm::Symptom::Crash).collect();
     assert!(!crash_bugs.is_empty(), "calibration: this campaign finds crash bugs");
     for evidence in crash_bugs {
-        let label = format!("{:?}", evidence.bug);
+        // Quarantine file names are lowercased (case-insensitive-fs safe).
+        let label = format!("{:?}", evidence.bug).to_ascii_lowercase();
         let file = names
             .iter()
             .find(|n| n.starts_with("crash_seed") && n.contains(&label))
